@@ -1,0 +1,161 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   A. Variable-length encoding — Huffman vs fixed m-bit packing of the
+//      quantization codes (the paper's AEQVE claim: the uneven code
+//      distribution is where the compression factor comes from).
+//   B. Binary-representation analysis — truncated vs raw storage of
+//      unpredictable values.
+//   C. Prediction layers — CF and speed as n grows (why the default is 1).
+//   D. Interval count m — CF across m at a fixed bound (why adaptive m
+//      matters: too small loses hits, too large wastes code bits).
+//   E. Decorrelation mode — error autocorrelation vs CF cost (the paper's
+//      future-work feature).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/bitstream.hpp"
+#include "common/timer.hpp"
+#include "core/compressor.hpp"
+#include "core/pointwise.hpp"
+#include "core/unpredictable.hpp"
+#include "encoding/huffman.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace sz14;
+
+void ablation_vle(const data::Field& f, double eb) {
+  bench::header("Ablation A: Huffman VLE vs fixed-width code packing");
+  std::printf("%-6s %16s %16s %12s\n", "m", "fixed bits/val",
+              "huffman bits/val", "VLE gain");
+  bench::rule();
+  for (unsigned m : {4u, 8u, 12u}) {
+    const auto pass = prediction_quantization_pass(f.values, f.dims, 1, m, eb);
+    ByteWriter w;
+    huffman_encode(pass.codes, 1u << m, w);
+    const double huff_bits = 8.0 * static_cast<double>(w.size()) /
+                             static_cast<double>(pass.codes.size());
+    std::printf("%-6u %16.2f %16.2f %11.1f%%\n", m, static_cast<double>(m),
+                huff_bits, 100.0 * (m - huff_bits) / m);
+  }
+}
+
+void ablation_unpredictable(const data::Field& f, double eb) {
+  bench::header("Ablation B: binary-representation analysis vs raw storage");
+  const auto pass = prediction_quantization_pass(f.values, f.dims, 1, 4, eb);
+  const std::size_t misses = pass.codes.size() - pass.predictable;
+  const UnpredictableCodec codec(eb);
+  BitWriter bw;
+  for (std::size_t i = 0; i < pass.codes.size(); ++i)
+    if (pass.codes[i] == 0) codec.encode(f.values[i], bw);
+  const double trunc_bits =
+      misses ? static_cast<double>(bw.bit_count()) /
+                   static_cast<double>(misses)
+             : 0.0;
+  std::printf("unpredictable points : %zu (%.1f%%)\n", misses,
+              100.0 * static_cast<double>(misses) /
+                  static_cast<double>(pass.codes.size()));
+  std::printf("raw storage          : 32.00 bits/point\n");
+  std::printf("truncated (midpoint) : %5.2f bits/point (%.1f%% saved)\n",
+              trunc_bits, 100.0 * (32.0 - trunc_bits) / 32.0);
+}
+
+void ablation_layers(const data::Field& f, double eb) {
+  bench::header("Ablation C: prediction layer count (CF and speed)");
+  std::printf("%-8s %10s %12s %14s\n", "layers", "CF", "hit rate",
+              "comp MB/s");
+  bench::rule();
+  const std::size_t raw = f.values.size() * sizeof(float);
+  for (unsigned n = 1; n <= 4; ++n) {
+    Options opts;
+    opts.eb_abs = eb;
+    opts.layers = n;
+    CompressStats stats;
+    Timer t;
+    const auto stream = compress(f.values, f.dims, opts, &stats);
+    const double secs = t.seconds();
+    std::printf("%-8u %10.2f %11.1f%% %14.1f\n", n,
+                compression_factor(raw, stream.size()),
+                100 * stats.hitting_rate(), throughput_mbs(raw, secs));
+  }
+}
+
+void ablation_intervals(const data::Field& f, double eb) {
+  bench::header("Ablation D: interval count m at a fixed bound");
+  std::printf("%-6s %12s %12s %14s\n", "m", "CF", "hit rate", "bits/value");
+  bench::rule();
+  const std::size_t raw = f.values.size() * sizeof(float);
+  for (unsigned m : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    Options opts;
+    opts.eb_abs = eb;
+    opts.interval_bits = m;
+    CompressStats stats;
+    const auto stream = compress(f.values, f.dims, opts, &stats);
+    std::printf("%-6u %12.2f %11.1f%% %14.2f\n", m,
+                compression_factor(raw, stream.size()),
+                100 * stats.hitting_rate(),
+                bit_rate(stream.size(), f.values.size()));
+  }
+}
+
+void ablation_decorrelate() {
+  bench::header("Ablation E: decorrelation mode (future-work feature)");
+  std::printf("%-22s %10s %14s\n", "field / mode", "CF", "max |acf|");
+  bench::rule();
+  for (const bool high_cf : {false, true}) {
+    const auto f = high_cf ? data::snowhlnd_like(256, 512)
+                           : data::freqsh_like(256, 512);
+    const double eb = 1e-4 * bench::value_range(f.values);
+    const std::size_t raw = f.values.size() * sizeof(float);
+    for (const bool decor : {false, true}) {
+      Options opts;
+      opts.eb_abs = eb;
+      opts.decorrelate = decor;
+      const auto stream = compress(f.values, f.dims, opts);
+      const auto out = decompress(stream);
+      const auto acf = error_autocorrelation(f.values, out.data, 100);
+      double mx = 0;
+      for (double a : acf) mx = std::max(mx, std::fabs(a));
+      std::printf("%-14s %-7s %10.2f %14.2e\n", f.name,
+                  decor ? "dither" : "plain",
+                  compression_factor(raw, stream.size()), mx);
+    }
+  }
+}
+
+void ablation_pointwise() {
+  bench::header("Ablation F: pointwise-relative mode on a 14-decade field");
+  const auto f = data::huge_range2d(256, 256);
+  const std::size_t raw = f.values.size() * sizeof(float);
+  float min_abs = std::numeric_limits<float>::max();
+  for (float v : f.values)
+    if (v != 0.0f) min_abs = std::min(min_abs, std::fabs(v));
+  const double pwrel = 1e-3;
+  // Absolute-bound equivalent guarantee: eb = pwrel * min|x|.
+  Options abs_opts;
+  abs_opts.eb_abs = pwrel * static_cast<double>(min_abs);
+  const auto abs_stream = compress(f.values, f.dims, abs_opts);
+  const auto pw_stream = compress_pointwise_rel(f.values, f.dims, pwrel);
+  std::printf("guarantee: |x - x~| <= %.0e * |x|   (values span %.0e..%.0e)\n",
+              pwrel, min_abs, bench::value_range(f.values));
+  std::printf("absolute-bound route : CF %6.2f (eb pinned to the smallest "
+              "value)\n",
+              compression_factor(raw, abs_stream.size()));
+  std::printf("log-domain pointwise : CF %6.2f\n",
+              compression_factor(raw, pw_stream.size()));
+}
+
+}  // namespace
+
+int main() {
+  const auto f = sz14::bench::atm();
+  const double eb = 1e-4 * sz14::bench::value_range(f.values);
+  ablation_vle(f, eb);
+  ablation_unpredictable(f, eb);
+  ablation_layers(f, eb);
+  ablation_intervals(f, eb);
+  ablation_decorrelate();
+  ablation_pointwise();
+  return 0;
+}

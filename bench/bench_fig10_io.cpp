@@ -1,0 +1,71 @@
+// Fig. 10: share of time spent in compression + writing compressed data
+// versus writing the initial (raw) data, as the process count grows — and
+// the decompression/read mirror image.
+//
+// The file-system side uses the IoModel (DESIGN.md §3: Blues-like GPFS
+// bandwidth saturation); the compression side uses the MEASURED throughput
+// of this machine scaled by process count (communication-free workload).
+//
+// Paper shape: from ~32 processes on, compress+write-compressed takes less
+// than half the total bar, i.e. it beats writing raw data outright.
+#include "baselines/registry.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "metrics/metrics.hpp"
+#include "parallel/io_model.hpp"
+
+int main() {
+  using namespace sz14;
+  const auto f = bench::atm();
+  const std::size_t raw_bytes = f.values.size() * sizeof(float);
+  const double eb = 1e-4 * bench::value_range(f.values);
+
+  // Measure single-process compression/decompression throughput and CF.
+  baselines::Sz14Codec codec;
+  Timer tc;
+  const auto stream = codec.compress(f.values, f.dims, eb);
+  const double comp_bps = static_cast<double>(raw_bytes) / tc.seconds();
+  Timer td;
+  const auto out = codec.decompress(stream);
+  const double decomp_bps = static_cast<double>(raw_bytes) / td.seconds();
+  const double cf = compression_factor(raw_bytes, stream.size());
+
+  // Scale the experiment to the paper's 2.5 TB ATM archive.
+  const double total_raw = 2.5e12;
+  const double total_comp = total_raw / cf;
+  IoModel io;
+
+  bench::header("Fig. 10(a): compression + write vs writing initial data");
+  std::printf("measured: comp %.0f MB/s/proc, decomp %.0f MB/s/proc, CF %.2f\n",
+              comp_bps / 1e6, decomp_bps / 1e6, cf);
+  std::printf("%-8s %12s %14s %12s %10s\n", "procs", "comp(s)",
+              "write comp(s)", "write raw(s)", "comp share");
+  bench::rule();
+  for (std::size_t p = 1; p <= 1024; p *= 2) {
+    const double t_comp = total_raw / (comp_bps * static_cast<double>(p));
+    const double t_wc =
+        io.transfer_seconds(static_cast<std::size_t>(total_comp), p);
+    const double t_wr =
+        io.transfer_seconds(static_cast<std::size_t>(total_raw), p);
+    const double share = (t_comp + t_wc) / (t_comp + t_wc + t_wr);
+    std::printf("%-8zu %12.1f %14.1f %12.1f %9.1f%%%s\n", p, t_comp, t_wc,
+                t_wr, 100 * share, share < 0.5 ? "  <- wins" : "");
+  }
+
+  bench::header("Fig. 10(b): decompression + read vs reading initial data");
+  std::printf("%-8s %12s %14s %12s %10s\n", "procs", "decomp(s)",
+              "read comp(s)", "read raw(s)", "decomp share");
+  bench::rule();
+  for (std::size_t p = 1; p <= 1024; p *= 2) {
+    const double t_dec = total_raw / (decomp_bps * static_cast<double>(p));
+    const double t_rc =
+        io.transfer_seconds(static_cast<std::size_t>(total_comp), p);
+    const double t_rr =
+        io.transfer_seconds(static_cast<std::size_t>(total_raw), p);
+    const double share = (t_dec + t_rc) / (t_dec + t_rc + t_rr);
+    std::printf("%-8zu %12.1f %14.1f %12.1f %9.1f%%%s\n", p, t_dec, t_rc,
+                t_rr, 100 * share, share < 0.5 ? "  <- wins" : "");
+  }
+  std::printf("\npaper: compression+write beats raw write from ~32 procs on\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 6: compression factor of all six compressors at value-range-based
+// relative error bounds 1e-3 .. 1e-6, on the three evaluation data sets.
+//
+// Paper shape: SZ-1.4 best in class on every data set and bound; ZFP and
+// SZ-1.1 trade second place; ISABELA/FPZIP/GZIP under ~2.5.
+#include "baselines/compressor_iface.hpp"
+#include "bench_util.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+void run(const sz14::data::Field& f, const char* label) {
+  using namespace sz14;
+  const double range = bench::value_range(f.values);
+  const std::size_t raw = f.values.size() * sizeof(float);
+  auto codecs = baselines::make_all_compressors();
+
+  bench::header(std::string("Fig. 6: compression factors — ") + label);
+  std::printf("%-10s", "eb_rel");
+  for (const auto& c : codecs) std::printf("%10s", c->name().c_str());
+  std::printf("\n");
+  bench::rule();
+  for (const double eb_rel : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    std::printf("%-10.0e", eb_rel);
+    for (auto& c : codecs) {
+      const auto stream = c->compress(f.values, f.dims, eb_rel * range);
+      std::printf("%10.2f",
+                  compression_factor(raw, stream.size()));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto atm = sz14::bench::atm();
+  const auto aps = sz14::bench::aps();
+  const auto hur = sz14::bench::hurricane();
+  run(atm, "ATM (2D climate)");
+  run(aps, "APS (2D X-ray)");
+  run(hur, "hurricane (3D)");
+  std::printf("\npaper @1e-4: ATM sz14 6.3 / zfp 3.0 / sz11 3.8 / isabela 1.4 "
+              "/ fpzip 1.9 / gzip 1.3\n");
+  return 0;
+}

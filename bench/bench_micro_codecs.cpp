@@ -1,0 +1,48 @@
+// End-to-end codec throughput micro-benchmark over all six evaluation
+// compressors on the same climate-class input — the per-codec cost picture
+// behind the Table VI speed comparison.
+#include <benchmark/benchmark.h>
+
+#include "baselines/compressor_iface.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+void BM_Compress(benchmark::State& state, const char* name) {
+  const auto f = sz14::data::climate2d(256, 512);
+  const double eb = 1e-4 * sz14::bench::value_range(f.values);
+  auto codec = sz14::baselines::make_compressor(name);
+  for (auto _ : state) {
+    auto stream = codec->compress(f.values, f.dims, eb);
+    benchmark::DoNotOptimize(stream.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.values.size() * 4));
+}
+
+void BM_Decompress(benchmark::State& state, const char* name) {
+  const auto f = sz14::data::climate2d(256, 512);
+  const double eb = 1e-4 * sz14::bench::value_range(f.values);
+  auto codec = sz14::baselines::make_compressor(name);
+  const auto stream = codec->compress(f.values, f.dims, eb);
+  for (auto _ : state) {
+    auto out = codec->decompress(stream);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.values.size() * 4));
+}
+
+BENCHMARK_CAPTURE(BM_Compress, sz14, "sz14");
+BENCHMARK_CAPTURE(BM_Compress, zfp, "zfp");
+BENCHMARK_CAPTURE(BM_Compress, sz11, "sz11");
+BENCHMARK_CAPTURE(BM_Compress, fpzip, "fpzip");
+BENCHMARK_CAPTURE(BM_Compress, gzip, "gzip");
+BENCHMARK_CAPTURE(BM_Compress, isabela, "isabela");
+BENCHMARK_CAPTURE(BM_Decompress, sz14, "sz14");
+BENCHMARK_CAPTURE(BM_Decompress, zfp, "zfp");
+BENCHMARK_CAPTURE(BM_Decompress, sz11, "sz11");
+
+}  // namespace
+
+BENCHMARK_MAIN();

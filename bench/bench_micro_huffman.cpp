@@ -1,0 +1,59 @@
+// Micro-benchmark of the arbitrary-alphabet Huffman coder: encode/decode
+// throughput at the alphabet sizes the quantizer produces (2^m symbols).
+// Ablation for the "tailored variable-length encoding" design choice.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytebuffer.hpp"
+#include "common/rng.hpp"
+#include "encoding/huffman.hpp"
+
+namespace {
+
+std::vector<std::uint16_t> quant_like_symbols(std::size_t n,
+                                              std::size_t alphabet) {
+  sz14::Rng rng(alphabet);
+  std::vector<std::uint16_t> symbols(n);
+  const auto centre = static_cast<long>(alphabet / 2);
+  for (auto& s : symbols) {
+    const long code = centre + std::lround(rng.normal() * 4.0);
+    s = static_cast<std::uint16_t>(
+        std::clamp(code, long{0}, static_cast<long>(alphabet - 1)));
+  }
+  return symbols;
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  for (auto _ : state) {
+    sz14::ByteWriter w;
+    sz14::huffman_encode(symbols, alphabet, w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  sz14::ByteWriter w;
+  sz14::huffman_encode(symbols, alphabet, w);
+  const auto bytes = std::move(w).take();
+  for (auto _ : state) {
+    sz14::ByteReader r(bytes);
+    auto decoded = sz14::huffman_decode(r);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Ablation micro-benchmark: cost of the n-layer prediction pass as the
+// layer count grows (stencil is (n+1)^d - 1 taps), plus the full
+// prediction+quantization pass.  Informs the DESIGN.md note that deeper
+// layers cost more AND predict worse on the decompressed basis.
+#include <benchmark/benchmark.h>
+
+#include "core/compressor.hpp"
+#include "core/predictor.hpp"
+#include "data/generators.hpp"
+
+namespace {
+
+void BM_PredictOnly(benchmark::State& state) {
+  const auto layers = static_cast<unsigned>(state.range(0));
+  const auto f = sz14::data::climate2d(256, 256);
+  const sz14::LayerPredictor p(f.dims, layers);
+  for (auto _ : state) {
+    sz14::CoordWalker w(f.dims);
+    double acc = 0;
+    for (std::size_t i = 0; i < f.values.size(); ++i) {
+      acc += p.predict<float>(f.values, w.coord(), i);
+      w.advance();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.values.size()));
+}
+BENCHMARK(BM_PredictOnly)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FullPass(benchmark::State& state) {
+  const auto layers = static_cast<unsigned>(state.range(0));
+  const auto f = sz14::data::climate2d(256, 256);
+  const double eb = 0.01;
+  for (auto _ : state) {
+    auto pass =
+        sz14::prediction_quantization_pass(f.values, f.dims, layers, 8, eb);
+    benchmark::DoNotOptimize(pass.predictable);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.values.size() * 4));
+}
+BENCHMARK(BM_FullPass)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Micro-benchmark of the error-controlled quantizer and the binary-
+// representation codec for unpredictable values — the per-point costs
+// behind Algorithm 1's O(1) inner loop.
+#include <benchmark/benchmark.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+#include "core/quantizer.hpp"
+#include "core/unpredictable.hpp"
+
+namespace {
+
+void BM_Quantize(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  const sz14::LinearQuantizer q(m, 1e-4);
+  sz14::Rng rng(m);
+  std::vector<float> reals(1 << 16);
+  std::vector<double> preds(reals.size());
+  for (std::size_t i = 0; i < reals.size(); ++i) {
+    preds[i] = rng.uniform(-10, 10);
+    reals[i] = static_cast<float>(preds[i] + rng.normal() * 5e-4);
+  }
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < reals.size(); ++i)
+      hits += q.quantize(reals[i], preds[i]).predictable;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reals.size()));
+}
+BENCHMARK(BM_Quantize)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_UnpredictableEncode(benchmark::State& state) {
+  const sz14::UnpredictableCodec codec(1e-4);
+  sz14::Rng rng(99);
+  std::vector<float> values(1 << 14);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-1e6, 1e6));
+  for (auto _ : state) {
+    sz14::BitWriter bw;
+    for (float v : values) codec.encode(v, bw);
+    benchmark::DoNotOptimize(bw.bit_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_UnpredictableEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table V: maximum compression error (normalized to value range) realized
+// by SZ-1.4 vs ZFP for user-set relative bounds 1e-2 .. 1e-6, on the ATM-
+// and hurricane-class data.
+//
+// Paper shape: SZ-1.4's realized max error equals the requested bound
+// exactly (it uses the full budget); ZFP's sits ~4-40x below it
+// (over-conservative fixed-point alignment).
+#include "baselines/registry.hpp"
+#include "baselines/zfp_like.hpp"
+#include "bench_util.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+void run(const sz14::data::Field& f, const char* label) {
+  using namespace sz14;
+  const double range = bench::value_range(f.values);
+  baselines::Sz14Codec sz14c;
+  baselines::Zfp zfp;
+
+  bench::header(std::string("Table V: realized max relative error — ") + label);
+  std::printf("%-12s %14s %14s\n", "user eb_rel", "sz14", "zfp");
+  bench::rule();
+  for (const double eb_rel : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+    const double eb = eb_rel * range;
+    const auto s1 = error_summary(
+        f.values, sz14c.decompress(sz14c.compress(f.values, f.dims, eb)));
+    const auto s2 = error_summary(
+        f.values, zfp.decompress(zfp.compress(f.values, f.dims, eb)));
+    std::printf("%-12.0e %14.2e %14.2e\n", eb_rel, s1.max_rel_error,
+                s2.max_rel_error);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto atm = sz14::bench::atm();
+  const auto hur = sz14::bench::hurricane();
+  run(atm, "ATM");
+  run(hur, "hurricane");
+  std::printf("\npaper: sz14 == bound exactly; zfp 2.4e-3..2.9e-7 for bounds "
+              "1e-2..1e-6\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table VI: single-thread compression/decompression throughput (MB/s) of
+// SZ-1.4 and ZFP at relative bounds 1e-3 .. 1e-6, on the three data sets;
+// plus the paper's SZ-1.1 and ISABELA speed summary.
+//
+// Paper shape: both get slower as the bound tightens; SZ-1.4 is roughly
+// half ZFP's speed, ~2x SZ-1.1 and ~30-60x ISABELA.
+#include "baselines/isabela_like.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/sz11.hpp"
+#include "baselines/zfp_like.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+struct Speeds {
+  double comp_mbs;
+  double decomp_mbs;
+};
+
+template <typename Codec>
+Speeds measure(Codec& codec, const sz14::data::Field& f, double eb,
+               int reps = 3) {
+  using namespace sz14;
+  const std::size_t raw = f.values.size() * sizeof(float);
+  std::vector<std::uint8_t> stream;
+  Timer tc;
+  for (int r = 0; r < reps; ++r)
+    stream = codec.compress(f.values, f.dims, eb);
+  const double comp_s = tc.seconds() / reps;
+  std::vector<float> out;
+  Timer td;
+  for (int r = 0; r < reps; ++r) out = codec.decompress(stream);
+  const double decomp_s = td.seconds() / reps;
+  return {throughput_mbs(raw, comp_s), throughput_mbs(raw, decomp_s)};
+}
+
+void run(const sz14::data::Field& f, const char* label) {
+  using namespace sz14;
+  const double range = bench::value_range(f.values);
+  baselines::Sz14Codec sz14c;
+  baselines::Zfp zfp;
+
+  bench::header(std::string("Table VI: speed (MB/s) — ") + label);
+  std::printf("%-10s %12s %12s %12s %12s\n", "eb_rel", "sz14 comp",
+              "sz14 dec", "zfp comp", "zfp dec");
+  bench::rule();
+  for (const double eb_rel : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    const double eb = eb_rel * range;
+    const auto s = measure(sz14c, f, eb);
+    const auto z = measure(zfp, f, eb);
+    std::printf("%-10.0e %12.1f %12.1f %12.1f %12.1f\n", eb_rel, s.comp_mbs,
+                s.decomp_mbs, z.comp_mbs, z.decomp_mbs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sz14;
+  const auto atm = bench::atm();
+  const auto aps = bench::aps();
+  const auto hur = bench::hurricane();
+  run(atm, "ATM");
+  run(aps, "APS");
+  run(hur, "hurricane");
+
+  // Overall comparison vs the slower baselines at eb_rel 1e-4.
+  bench::header("Table VI addendum: SZ-1.1 / ISABELA overall speed (ATM)");
+  const double eb = 1e-4 * bench::value_range(atm.values);
+  baselines::Sz14Codec sz14c;
+  baselines::Sz11 sz11;
+  baselines::Isabela isabela;
+  const auto s14 = measure(sz14c, atm, eb, 2);
+  const auto s11 = measure(sz11, atm, eb, 2);
+  const auto isa = measure(isabela, atm, eb, 1);
+  std::printf("comp MB/s : sz14 %.1f, sz11 %.1f (%.1fx), isabela %.1f (%.0fx)\n",
+              s14.comp_mbs, s11.comp_mbs, s14.comp_mbs / s11.comp_mbs,
+              isa.comp_mbs, s14.comp_mbs / isa.comp_mbs);
+  std::printf("\npaper: sz14 ~0.5x zfp, ~2.2x sz11, ~32x isabela (2D)\n");
+  return 0;
+}

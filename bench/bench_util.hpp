@@ -1,0 +1,44 @@
+// Shared fixtures for the table/figure reproduction benches: the three
+// evaluation data sets at laptop scale, value-range helpers, and a tiny
+// table printer.  Every bench prints the same rows/series the paper
+// reports; absolute numbers differ (synthetic data, different machine) but
+// the qualitative shape must match the paper (see EXPERIMENTS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+
+namespace sz14::bench {
+
+/// ATM-class 2D field (paper: 1800x3600 CESM slices).
+inline data::Field atm() { return data::climate2d(450, 900); }
+
+/// APS-class 2D frame (paper: 2560x2560 detector frames).
+inline data::Field aps() { return data::xray2d(512, 512); }
+
+/// Hurricane-class 3D field (paper: 100x500x500).
+inline data::Field hurricane() { return data::hurricane3d(25, 125, 125); }
+
+inline double value_range(std::span<const float> values) {
+  double lo = values[0], hi = values[0];
+  for (float v : values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  return hi - lo;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("-----------------------------------------------------------------------\n");
+}
+
+}  // namespace sz14::bench

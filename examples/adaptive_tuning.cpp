@@ -1,0 +1,59 @@
+// Adaptive-tuning example (paper Secs. III-B and IV-B): given a data set
+// and target bound, pick the prediction layer count and the quantization
+// interval count automatically, then compress with the tuned parameters.
+//
+//   $ ./adaptive_tuning
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/adaptive.hpp"
+#include "core/analysis.hpp"
+#include "core/compressor.hpp"
+#include "data/generators.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  const auto f = sz14::data::xray2d(512, 512);
+  double lo = f.values[0], hi = f.values[0];
+  for (float v : f.values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  const double eb = 1e-4 * (hi - lo);
+
+  // Step 1: best layer by decompressed-basis hitting rate (Sec. III-B).
+  std::printf("layer sweep (eb = %.4g):\n", eb);
+  const auto rows = sz14::layer_sweep(f.values, f.dims, 4, eb);
+  for (const auto& r : rows)
+    std::printf("  n=%u  R_orig=%5.1f%%  R_decomp=%5.1f%%\n", r.layers,
+                100 * r.rate_original, 100 * r.rate_decompressed);
+  const unsigned best_n = sz14::best_layer(f.values, f.dims, 4, eb);
+  std::printf("  -> chosen layers: %u\n\n", best_n);
+
+  // Step 2: smallest interval count clearing theta (Sec. IV-B).
+  sz14::AdaptiveConfig cfg;
+  cfg.layers = best_n;
+  const auto suggestion = sz14::suggest_interval_bits(f.values, f.dims, eb, cfg);
+  std::printf("interval suggestion: m=%u (2^m-1 = %u intervals), "
+              "est. hit rate %.1f%%, theta %s\n\n",
+              suggestion.interval_bits,
+              (1u << suggestion.interval_bits) - 1,
+              100 * suggestion.hitting_rate,
+              suggestion.satisfied ? "satisfied" : "NOT satisfied");
+
+  // Step 3: compress with the tuned parameters.
+  sz14::Options opts;
+  opts.eb_abs = eb;
+  opts.layers = best_n;
+  opts.interval_bits = suggestion.interval_bits;
+  sz14::CompressStats stats;
+  const auto stream = sz14::compress(f.values, f.dims, opts, &stats);
+  const auto out = sz14::decompress(stream);
+  const auto s = sz14::error_summary(f.values, out.data);
+  std::printf("tuned compression: CF %.2f, hit rate %.1f%%, "
+              "max err %.3g <= eb %.3g, PSNR %.1f dB\n",
+              sz14::compression_factor(f.values.size() * 4, stream.size()),
+              100 * stats.hitting_rate(), s.max_abs_error, eb, s.psnr_db);
+  return s.max_abs_error <= eb ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Quickstart: compress a 2D float array with an absolute error bound,
+// decompress it, and verify the guarantee.
+//
+//   $ ./quickstart
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  // Any 2D float field; here a small analytic surface.
+  const std::size_t rows = 200, cols = 300;
+  const sz14::Dims dims{rows, cols};
+  std::vector<float> data(dims.count());
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      data[i * cols + j] =
+          static_cast<float>(std::sin(0.05 * static_cast<double>(i)) *
+                             std::cos(0.03 * static_cast<double>(j)));
+
+  // Compress under an absolute pointwise bound of 1e-4.
+  sz14::Options opts;
+  opts.eb_abs = 1e-4;              // |x - x~| <= 1e-4, guaranteed
+  opts.interval_bits = 8;          // 255 quantization intervals (default)
+  opts.layers = 1;                 // 1-layer (Lorenzo) prediction (default)
+  sz14::CompressStats stats;
+  const auto stream = sz14::compress(data, dims, opts, &stats);
+
+  // Decompress (the stream is self-describing).
+  const auto out = sz14::decompress(stream);
+
+  const auto summary = sz14::error_summary(data, out.data);
+  std::printf("elements            : %zu\n", stats.total);
+  std::printf("prediction hit rate : %.1f%%\n", 100.0 * stats.hitting_rate());
+  std::printf("compressed bytes    : %zu\n", stream.size());
+  std::printf("compression factor  : %.2f\n",
+              sz14::compression_factor(data.size() * sizeof(float),
+                                       stream.size()));
+  std::printf("bit rate            : %.3f bits/value\n",
+              sz14::bit_rate(stream.size(), data.size()));
+  std::printf("max abs error       : %.3g (bound %.3g)\n",
+              summary.max_abs_error, opts.eb_abs);
+  std::printf("PSNR                : %.1f dB\n", summary.psnr_db);
+  return summary.max_abs_error <= opts.eb_abs ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Snapshot workflow example: the shape real HPC output takes (paper
+// Sec. II — snapshots holding many variables, each with its own accuracy
+// requirement).  Bundles four variables into one container:
+//   * two smooth fields under value-range-based bounds,
+//   * a diagnostics field stored in double precision under a tight
+//     absolute bound,
+//   * a 14-decade field (the CDNUMC-style case) under a POINTWISE relative
+//     bound — the mode that makes huge-dynamic-range data compressible.
+//
+//   $ ./snapshot_workflow
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/pointwise.hpp"
+#include "core/snapshot.hpp"
+#include "data/generators.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace sz14;
+
+  const auto temp = data::climate2d(180, 360, 1);
+  const auto humidity = data::climate2d(180, 360, 2);
+  const auto cdnumc = data::huge_range2d(180, 360);
+  std::vector<double> energy(temp.values.size());
+  for (std::size_t i = 0; i < energy.size(); ++i)
+    energy[i] = 1.0e5 + 0.25 * static_cast<double>(temp.values[i]) +
+                1e-7 * std::sin(static_cast<double>(i));
+
+  // --- variables with range-relative / absolute bounds go in a snapshot.
+  SnapshotVariable t;
+  t.name = "T";
+  t.dims = temp.dims;
+  t.f32 = temp.values;
+  t.opts.eb_rel = 1e-4;
+
+  SnapshotVariable q = t;
+  q.name = "Q";
+  q.f32 = humidity.values;
+  q.opts.eb_rel = 1e-3;
+
+  SnapshotVariable e;
+  e.name = "ENERGY";
+  e.dims = temp.dims;
+  e.f64 = energy;
+  e.opts.eb_abs = 1e-6;  // far below float precision at this magnitude
+
+  const SnapshotVariable vars[] = {t, q, e};
+  const auto container = snapshot_compress(vars);
+
+  std::printf("snapshot container: %zu bytes for 3 variables\n",
+              container.size());
+  for (const auto& entry : snapshot_list(container))
+    std::printf("  %-8s %-10s %s  eb=%.3g  %zu bytes\n", entry.name.c_str(),
+                entry.dims.to_string().c_str(),
+                entry.dtype == StreamDtype::kF64 ? "f64" : "f32",
+                entry.eb_abs, entry.stream_bytes);
+
+  // Verify the double variable met its sub-float-precision bound.
+  const auto e_out = snapshot_extract_f64(container, "ENERGY");
+  double max_err = 0;
+  for (std::size_t i = 0; i < energy.size(); ++i)
+    max_err = std::max(max_err, std::fabs(e_out.data[i] - energy[i]));
+  std::printf("ENERGY max abs error: %.3g (bound 1e-06)\n\n", max_err);
+
+  // --- the huge-range variable needs a pointwise-relative bound.
+  const double pwrel = 1e-3;
+  const auto pw_stream =
+      compress_pointwise_rel(cdnumc.values, cdnumc.dims, pwrel);
+  const auto pw_out = decompress_pointwise_rel(pw_stream);
+  double max_rel = 0;
+  for (std::size_t i = 0; i < cdnumc.values.size(); ++i)
+    if (cdnumc.values[i] != 0.0f)
+      max_rel = std::max(
+          max_rel, std::fabs(static_cast<double>(pw_out.data[i]) -
+                             static_cast<double>(cdnumc.values[i])) /
+                       std::fabs(static_cast<double>(cdnumc.values[i])));
+  std::printf("CDNUMC-style field (values 1e-3..1e11), pointwise rel %.0e:\n",
+              pwrel);
+  std::printf("  CF %.2f, max pointwise rel error %.3g\n",
+              compression_factor(cdnumc.values.size() * 4, pw_stream.size()),
+              max_rel);
+  return (max_err <= 1e-6 && max_rel <= pwrel) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "baselines/fpzip_like.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/bytebuffer.hpp"
+#include "core/predictor.hpp"
+#include "encoding/intcodec.hpp"
+
+namespace sz14::baselines {
+
+namespace {
+
+// Map a float's bits to an integer that is monotone in the float ordering
+// (negative floats reverse): the classic trick that makes prediction
+// residuals small for numerically close values.
+inline std::int64_t float_to_ordered(float v) {
+  const auto bits = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t m =
+      (bits & 0x8000'0000u) ? ~bits : (bits | 0x8000'0000u);
+  return static_cast<std::int64_t>(m);
+}
+
+inline float ordered_to_float(std::int64_t m) {
+  const auto u = static_cast<std::uint32_t>(m);
+  const std::uint32_t bits = (u & 0x8000'0000u) ? (u & 0x7FFF'FFFFu) : ~u;
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Fpzip::compress(std::span<const float> data,
+                                          const Dims& dims,
+                                          double /*eb_abs*/) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("fpzip: data size does not match dims");
+  const LayerPredictor predictor(dims, 1);  // Lorenzo
+  CoordWalker walker(dims);
+  std::vector<std::int64_t> residuals(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Lossless: prediction basis is the original data itself.
+    const double pred = predictor.predict<float>(data, walker.coord(), i);
+    const std::int64_t pi = float_to_ordered(static_cast<float>(pred));
+    residuals[i] = float_to_ordered(data[i]) - pi;
+    walker.advance();
+  }
+  ByteWriter out;
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  intstream_encode(residuals, out);
+  return std::move(out).take();
+}
+
+std::vector<float> Fpzip::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto rank = in.get<std::uint8_t>();
+  std::array<std::size_t, kMaxDims> ext{};
+  if (rank == 0 || rank > kMaxDims)
+    throw std::runtime_error("fpzip: bad rank");
+  for (std::size_t a = 0; a < rank; ++a)
+    ext[a] = static_cast<std::size_t>(in.get_varint());
+  const Dims dims(std::span<const std::size_t>(ext.data(), rank));
+  const auto residuals = intstream_decode(in);
+  if (residuals.size() != dims.count())
+    throw std::runtime_error("fpzip: residual count mismatch");
+
+  std::vector<float> values(dims.count());
+  const LayerPredictor predictor(dims, 1);
+  CoordWalker walker(dims);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double pred = predictor.predict<float>(
+        {values.data(), values.size()}, walker.coord(), i);
+    const std::int64_t pi = float_to_ordered(static_cast<float>(pred));
+    values[i] = ordered_to_float(pi + residuals[i]);
+    walker.advance();
+  }
+  return values;
+}
+
+}  // namespace sz14::baselines

@@ -1,0 +1,40 @@
+#include "baselines/gzip_like.hpp"
+
+#include <cstring>
+
+#include "common/bytebuffer.hpp"
+#include "encoding/deflate_like.hpp"
+
+namespace sz14::baselines {
+
+std::vector<std::uint8_t> Gzip::compress(std::span<const float> data,
+                                         const Dims& dims, double /*eb_abs*/) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("gzip: data size does not match dims");
+  ByteWriter out;
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  const auto compressed = deflate_like_compress(
+      {reinterpret_cast<const std::uint8_t*>(data.data()),
+       data.size() * sizeof(float)});
+  out.put_varint(compressed.size());
+  out.put_bytes(compressed);
+  return std::move(out).take();
+}
+
+std::vector<float> Gzip::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto rank = in.get<std::uint8_t>();
+  std::size_t count = 1;
+  for (std::size_t a = 0; a < rank; ++a)
+    count *= static_cast<std::size_t>(in.get_varint());
+  const auto n = static_cast<std::size_t>(in.get_varint());
+  const auto bytes = deflate_like_decompress(in.get_bytes(n));
+  if (bytes.size() != count * sizeof(float))
+    throw std::runtime_error("gzip: decompressed size mismatch");
+  std::vector<float> values(count);
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+}  // namespace sz14::baselines

@@ -1,0 +1,180 @@
+#include "baselines/isabela_like.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+#include "encoding/intcodec.hpp"
+
+namespace sz14::baselines {
+
+namespace {
+
+/// Piecewise-linear interpolation of the sorted curve over `knots` samples.
+double interp_knots(std::span<const float> knots, std::size_t window_len,
+                    std::size_t i) {
+  if (knots.size() == 1) return knots[0];
+  const double t = static_cast<double>(i) /
+                   static_cast<double>(window_len - 1) *
+                   static_cast<double>(knots.size() - 1);
+  const auto k0 = static_cast<std::size_t>(t);
+  const std::size_t k1 = std::min(k0 + 1, knots.size() - 1);
+  const double frac = t - static_cast<double>(k0);
+  return static_cast<double>(knots[k0]) +
+         frac * (static_cast<double>(knots[k1]) - static_cast<double>(knots[k0]));
+}
+
+unsigned bits_for(std::size_t n) {
+  return n <= 1 ? 1u
+                : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Isabela::compress(std::span<const float> data,
+                                            const Dims& dims, double eb_abs) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("isabela: data size does not match dims");
+  if (!(eb_abs > 0.0))
+    throw std::invalid_argument("isabela: requires a positive error bound");
+
+  ByteWriter out;
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  out.put<double>(eb_abs);
+  out.put_varint(window_);
+  out.put_varint(knots_);
+
+  const std::size_t n = data.size();
+  BitWriter index_bits;
+  std::vector<float> knot_values;
+  std::vector<std::int64_t> residuals;
+  std::vector<std::pair<std::size_t, float>> exceptions;
+  residuals.reserve(n);
+
+  std::vector<std::size_t> perm;
+  std::vector<float> sorted;
+  for (std::size_t start = 0; start < n; start += window_) {
+    const std::size_t len = std::min(window_, n - start);
+    perm.resize(len);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return data[start + a] < data[start + b];
+    });
+    sorted.resize(len);
+    for (std::size_t i = 0; i < len; ++i) sorted[i] = data[start + perm[i]];
+
+    // Permutation index: bits_for(len) bits per element (the ISABELA cost).
+    const unsigned ib = bits_for(len);
+    for (std::size_t i = 0; i < len; ++i) index_bits.put(perm[i], ib);
+
+    // Knots: subsample the sorted curve (first/last always included).
+    const std::size_t k = std::min(knots_, len);
+    const std::size_t knot_base = knot_values.size();
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t pos =
+          (k == 1) ? 0
+                   : (j * (len - 1)) / (k - 1);
+      knot_values.push_back(sorted[pos]);
+    }
+    // Quantized residuals against the piecewise-linear fit keep the codec
+    // error-bounded: |recon - v| <= eb by the same interval argument as the
+    // core quantizer.  When eb is below the float ulp at the value's
+    // magnitude the cast can break the bound — those points are stored
+    // verbatim as exceptions.
+    const std::span<const float> kv{knot_values.data() + knot_base, k};
+    for (std::size_t i = 0; i < len; ++i) {
+      const double fit = interp_knots(kv, len, i);
+      const double diff = static_cast<double>(sorted[i]) - fit;
+      const std::int64_t q = std::llround(diff / (2.0 * eb_abs));
+      residuals.push_back(q);
+      const auto recon =
+          static_cast<float>(fit + 2.0 * eb_abs * static_cast<double>(q));
+      if (!(std::fabs(static_cast<double>(recon) -
+                      static_cast<double>(sorted[i])) <= eb_abs))
+        exceptions.emplace_back(start + perm[i], sorted[i]);
+    }
+  }
+
+  auto idx_payload = std::move(index_bits).finish();
+  out.put_varint(idx_payload.size());
+  out.put_bytes(idx_payload);
+  out.put_varint(knot_values.size());
+  out.put_bytes({reinterpret_cast<const std::uint8_t*>(knot_values.data()),
+                 knot_values.size() * sizeof(float)});
+  intstream_encode(residuals, out);
+  // Exceptions were collected in sorted-window order; delta-coding needs
+  // ascending indices.
+  std::sort(exceptions.begin(), exceptions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.put_varint(exceptions.size());
+  std::size_t prev_idx = 0;
+  for (const auto& [idx, value] : exceptions) {
+    out.put_varint(idx - prev_idx);
+    prev_idx = idx;
+    out.put<float>(value);
+  }
+  return std::move(out).take();
+}
+
+std::vector<float> Isabela::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > kMaxDims)
+    throw std::runtime_error("isabela: bad rank");
+  std::size_t count = 1;
+  for (std::size_t a = 0; a < rank; ++a)
+    count *= static_cast<std::size_t>(in.get_varint());
+  const double eb = in.get<double>();
+  const auto window = static_cast<std::size_t>(in.get_varint());
+  const auto knots = static_cast<std::size_t>(in.get_varint());
+  if (window == 0) throw std::runtime_error("isabela: zero window");
+
+  const auto idx_bytes_n = static_cast<std::size_t>(in.get_varint());
+  const auto idx_bytes = in.get_bytes(idx_bytes_n);
+  const auto knot_count = static_cast<std::size_t>(in.get_varint());
+  const auto knot_bytes = in.get_bytes(knot_count * sizeof(float));
+  std::vector<float> knot_values(knot_count);
+  std::memcpy(knot_values.data(), knot_bytes.data(), knot_bytes.size());
+  const auto residuals = intstream_decode(in);
+  if (residuals.size() != count)
+    throw std::runtime_error("isabela: residual count mismatch");
+
+  std::vector<float> result(count);
+  BitReader ib(idx_bytes);
+  std::size_t knot_base = 0;
+  std::size_t r = 0;
+  for (std::size_t start = 0; start < count; start += window) {
+    const std::size_t len = std::min(window, count - start);
+    const unsigned nbits = bits_for(len);
+    std::vector<std::size_t> perm(len);
+    for (auto& p : perm) {
+      p = static_cast<std::size_t>(ib.get(nbits));
+      if (p >= len) throw std::runtime_error("isabela: bad permutation entry");
+    }
+    const std::size_t k = std::min(knots, len);
+    if (knot_base + k > knot_values.size())
+      throw std::runtime_error("isabela: knot array truncated");
+    const std::span<const float> kv{knot_values.data() + knot_base, k};
+    knot_base += k;
+    for (std::size_t i = 0; i < len; ++i) {
+      const double fit = interp_knots(kv, len, i);
+      const double v = fit + 2.0 * eb * static_cast<double>(residuals[r++]);
+      result[start + perm[i]] = static_cast<float>(v);
+    }
+  }
+  const auto n_exceptions = static_cast<std::size_t>(in.get_varint());
+  std::size_t idx = 0;
+  for (std::size_t e = 0; e < n_exceptions; ++e) {
+    idx += static_cast<std::size_t>(in.get_varint());
+    if (idx >= count) throw std::runtime_error("isabela: bad exception index");
+    result[idx] = in.get<float>();
+  }
+  return result;
+}
+
+}  // namespace sz14::baselines

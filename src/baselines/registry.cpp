@@ -1,0 +1,50 @@
+#include "baselines/registry.hpp"
+
+#include <stdexcept>
+
+#include "baselines/fpzip_like.hpp"
+#include "baselines/gzip_like.hpp"
+#include "baselines/isabela_like.hpp"
+#include "baselines/sz11.hpp"
+#include "baselines/zfp_like.hpp"
+
+namespace sz14::baselines {
+
+std::vector<std::uint8_t> Sz14Codec::compress(std::span<const float> data,
+                                              const Dims& dims,
+                                              double eb_abs) {
+  Options opts;
+  opts.eb_abs = eb_abs;
+  opts.interval_bits = interval_bits_;
+  opts.layers = layers_;
+  return sz14::compress(data, dims, opts, &stats_);
+}
+
+std::vector<float> Sz14Codec::decompress(
+    std::span<const std::uint8_t> stream) {
+  return sz14::decompress(stream).data;
+}
+
+std::vector<std::unique_ptr<CompressorBase>> make_all_compressors() {
+  std::vector<std::unique_ptr<CompressorBase>> v;
+  v.push_back(std::make_unique<Sz14Codec>());
+  v.push_back(std::make_unique<Zfp>());
+  v.push_back(std::make_unique<Sz11>());
+  v.push_back(std::make_unique<Isabela>());
+  v.push_back(std::make_unique<Fpzip>());
+  v.push_back(std::make_unique<Gzip>());
+  return v;
+}
+
+std::unique_ptr<CompressorBase> make_compressor(const std::string& name) {
+  if (name == "sz14") return std::make_unique<Sz14Codec>();
+  if (name == "zfp") return std::make_unique<Zfp>();
+  if (name == "zfp-rate") return std::make_unique<Zfp>(Zfp::Mode::kFixedRate);
+  if (name == "sz11") return std::make_unique<Sz11>();
+  if (name == "isabela") return std::make_unique<Isabela>();
+  if (name == "fpzip") return std::make_unique<Fpzip>();
+  if (name == "gzip") return std::make_unique<Gzip>();
+  throw std::invalid_argument("unknown compressor: " + name);
+}
+
+}  // namespace sz14::baselines

@@ -1,0 +1,109 @@
+#include "baselines/sz11.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+#include "core/unpredictable.hpp"
+#include "encoding/huffman.hpp"
+
+namespace sz14::baselines {
+
+namespace {
+
+constexpr std::uint16_t kUnpredictable = 0;
+constexpr std::uint16_t kPreceding = 1;
+constexpr std::uint16_t kLinear = 2;
+constexpr std::uint16_t kQuadratic = 3;
+
+/// The three 1D curve-fitting predictions from reconstructed history.
+std::array<double, 3> fits(const float* recon, std::size_t i) {
+  const double v1 = (i >= 1) ? recon[i - 1] : 0.0;
+  const double v2 = (i >= 2) ? recon[i - 2] : 0.0;
+  const double v3 = (i >= 3) ? recon[i - 3] : 0.0;
+  return {v1, 2.0 * v1 - v2, 3.0 * v1 - 3.0 * v2 + v3};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Sz11::compress(std::span<const float> data,
+                                         const Dims& dims, double eb_abs) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("sz11: data size does not match dims");
+  const std::size_t n = data.size();
+  std::vector<float> recon(n);
+  std::vector<std::uint16_t> codes(n);
+  const UnpredictableCodec unpred(eb_abs);
+  BitWriter bw;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = fits(recon.data(), i);
+    // Best fit = smallest absolute error; hit iff within the bound.
+    std::uint16_t code = kUnpredictable;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint16_t c = 0; c < 3; ++c) {
+      const double err = std::fabs(p[c] - static_cast<double>(data[i]));
+      if (err < best) {
+        best = err;
+        code = static_cast<std::uint16_t>(kPreceding + c);
+      }
+    }
+    float candidate = 0.0f;
+    if (best <= eb_abs && std::isfinite(data[i])) {
+      candidate = static_cast<float>(p[code - kPreceding]);
+      // The float-cast reconstruction must itself respect the bound.
+      if (!(std::fabs(static_cast<double>(candidate) -
+                      static_cast<double>(data[i])) <= eb_abs))
+        code = kUnpredictable;
+    } else {
+      code = kUnpredictable;
+    }
+    if (code == kUnpredictable) {
+      recon[i] = unpred.encode(data[i], bw);
+    } else {
+      recon[i] = candidate;
+    }
+    codes[i] = code;
+  }
+
+  ByteWriter out;
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  out.put<double>(eb_abs);
+  huffman_encode(codes, 4, out);
+  auto bits = std::move(bw).finish();
+  out.put_varint(bits.size());
+  out.put_bytes(bits);
+  return std::move(out).take();
+}
+
+std::vector<float> Sz11::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > kMaxDims) throw std::runtime_error("sz11: bad rank");
+  std::size_t count = 1;
+  for (std::size_t a = 0; a < rank; ++a)
+    count *= static_cast<std::size_t>(in.get_varint());
+  const double eb = in.get<double>();
+  const auto codes = huffman_decode(in);
+  if (codes.size() != count)
+    throw std::runtime_error("sz11: code array size mismatch");
+  const auto n_bits = static_cast<std::size_t>(in.get_varint());
+  const auto bits = in.get_bytes(n_bits);
+
+  std::vector<float> recon(count);
+  const UnpredictableCodec unpred(eb);
+  BitReader br(bits);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (codes[i] == kUnpredictable) {
+      recon[i] = unpred.decode(br);
+    } else {
+      const auto p = fits(recon.data(), i);
+      recon[i] = static_cast<float>(p[codes[i] - kPreceding]);
+    }
+  }
+  return recon;
+}
+
+}  // namespace sz14::baselines

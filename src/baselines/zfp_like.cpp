@@ -1,0 +1,481 @@
+#include "baselines/zfp_like.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+
+namespace sz14::baselines {
+
+namespace {
+
+constexpr std::size_t kBlockSide = 4;
+
+/// Bit budget bookkeeping shared by the encoder and decoder so both stop
+/// at exactly the same bit in fixed-rate mode.  `limit == 0` means
+/// unlimited (accuracy mode).
+struct Budget {
+  std::uint64_t limit = 0;
+  std::uint64_t used = 0;
+  [[nodiscard]] bool can(std::uint64_t n) const {
+    return limit == 0 || used + n <= limit;
+  }
+  void spend(std::uint64_t n) { used += n; }
+};
+
+/// Reversible integer Haar lifting on a stride-s line of 4.
+void fwd_haar4(std::int64_t* p, std::size_t s) {
+  std::int64_t v0 = p[0], v1 = p[s], v2 = p[2 * s], v3 = p[3 * s];
+  const std::int64_t h0 = v0 - v1;
+  const std::int64_t l0 = v1 + (h0 >> 1);
+  const std::int64_t h1 = v2 - v3;
+  const std::int64_t l1 = v3 + (h1 >> 1);
+  const std::int64_t H = l0 - l1;
+  const std::int64_t L = l1 + (H >> 1);
+  p[0] = L;
+  p[s] = H;
+  p[2 * s] = h0;
+  p[3 * s] = h1;
+}
+
+void inv_haar4(std::int64_t* p, std::size_t s) {
+  const std::int64_t L = p[0], H = p[s], h0 = p[2 * s], h1 = p[3 * s];
+  const std::int64_t l1 = L - (H >> 1);
+  const std::int64_t l0 = l1 + H;
+  const std::int64_t v1 = l0 - (h0 >> 1);
+  const std::int64_t v0 = v1 + h0;
+  const std::int64_t v3 = l1 - (h1 >> 1);
+  const std::int64_t v2 = v3 + h1;
+  p[0] = v0;
+  p[s] = v1;
+  p[2 * s] = v2;
+  p[3 * s] = v3;
+}
+
+/// Sequency weight of a within-block position along one axis:
+/// position 0 holds the coarse average (weight 0), 1 the coarse detail,
+/// 2 and 3 the fine details.
+constexpr int kAxisWeight[kBlockSide] = {0, 1, 2, 2};
+
+struct BlockGeometry {
+  std::size_t rank;
+  std::size_t block_count;                 // 4^rank
+  std::vector<std::size_t> order;          // coefficient visit order
+  std::array<std::size_t, kMaxDims> blocks_per_axis{};
+  std::size_t total_blocks = 1;
+
+  BlockGeometry(const Dims& dims) : rank(dims.rank()) {
+    block_count = 1;
+    for (std::size_t a = 0; a < rank; ++a) block_count *= kBlockSide;
+    for (std::size_t a = 0; a < rank; ++a) {
+      blocks_per_axis[a] = (dims.extent(a) + kBlockSide - 1) / kBlockSide;
+      total_blocks *= blocks_per_axis[a];
+    }
+    // Sequency ordering: sort block-local indices by total weight.
+    order.resize(block_count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    auto weight = [this](std::size_t idx) {
+      int w = 0;
+      for (std::size_t a = rank; a-- > 0;) {
+        w += kAxisWeight[idx % kBlockSide];
+        idx /= kBlockSide;
+      }
+      return w;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return weight(x) < weight(y);
+                     });
+  }
+};
+
+/// Apply the separable transform to a gathered 4^rank block.
+void fwd_transform(std::int64_t* b, std::size_t rank) {
+  if (rank == 1) {
+    fwd_haar4(b, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t r = 0; r < 4; ++r) fwd_haar4(b + 4 * r, 1);   // rows
+    for (std::size_t c = 0; c < 4; ++c) fwd_haar4(b + c, 4);       // cols
+    return;
+  }
+  // rank == 3
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t r = 0; r < 4; ++r) fwd_haar4(b + 16 * k + 4 * r, 1);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t c = 0; c < 4; ++c) fwd_haar4(b + 16 * k + c, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) fwd_haar4(b + 4 * r + c, 16);
+}
+
+void inv_transform(std::int64_t* b, std::size_t rank) {
+  if (rank == 1) {
+    inv_haar4(b, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t c = 0; c < 4; ++c) inv_haar4(b + c, 4);
+    for (std::size_t r = 0; r < 4; ++r) inv_haar4(b + 4 * r, 1);
+    return;
+  }
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) inv_haar4(b + 4 * r + c, 16);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t c = 0; c < 4; ++c) inv_haar4(b + 16 * k + c, 4);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t r = 0; r < 4; ++r) inv_haar4(b + 16 * k + 4 * r, 1);
+}
+
+/// Guard bits against inverse-transform error amplification when choosing
+/// the stop plane from a tolerance (see header comment).  The inverse Haar
+/// lifting grows worst-case error by a small constant per axis; rank + 2
+/// bits keep the bound while leaving ZFP visibly over-conservative
+/// (Table V shape) without destroying its compression factor.
+int guard_bits(std::size_t rank) { return static_cast<int>(rank + 2); }
+
+/// Stop plane for accuracy mode: truncation error in lattice units must
+/// stay under tol * 2^(29 - emax) even after amplification.
+int stop_plane(double tol, int emax, std::size_t rank) {
+  if (!(tol > 0.0)) return 0;
+  const double tol_lattice = std::ldexp(tol, 29 - emax);
+  if (tol_lattice <= 1.0) return 0;
+  const int p = static_cast<int>(std::floor(std::log2(tol_lattice))) -
+                guard_bits(rank);
+  return std::max(0, p);
+}
+
+struct BitSink {
+  BitWriter* bw;
+  Budget* budget;
+  void put(std::uint64_t v, unsigned n) {
+    if (!budget->can(n)) return;  // silently drop once over budget
+    budget->spend(n);
+    bw->put(v, n);
+  }
+  [[nodiscard]] bool can(unsigned n) const { return budget->can(n); }
+};
+
+struct BitSource {
+  BitReader* br;
+  Budget* budget;
+  [[nodiscard]] std::uint64_t get(unsigned n) {
+    if (!budget->can(n)) return 0;  // mirrors the encoder's drop
+    budget->spend(n);
+    return br->get(n);
+  }
+  [[nodiscard]] bool can(unsigned n) const { return budget->can(n); }
+};
+
+/// Embedded sign-magnitude bit-plane encoder over ordered coefficients,
+/// with per-plane group testing: one bit says whether the plane carries any
+/// NEW significant coefficient, so high zero planes cost one bit instead of
+/// one per coefficient.
+void encode_planes(const std::int64_t* coeffs, const BlockGeometry& geo,
+                   int min_plane, BitSink& sink) {
+  const std::size_t n = geo.block_count;
+  std::vector<std::uint64_t> mag(n);
+  std::vector<std::uint8_t> neg(n), sig(n, 0);
+  std::uint64_t maxmag = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t c = coeffs[geo.order[i]];
+    mag[i] = static_cast<std::uint64_t>(c < 0 ? -c : c);
+    neg[i] = c < 0;
+    maxmag = std::max(maxmag, mag[i]);
+  }
+  const unsigned top = maxmag ? 64u - static_cast<unsigned>(
+                                          std::countl_zero(maxmag))
+                              : 0u;  // number of planes
+  if (!sink.can(6)) return;
+  sink.put(top, 6);
+  if (top == 0) return;
+  for (int plane = static_cast<int>(top) - 1; plane >= min_plane; --plane) {
+    // Refinement bits for coefficients already significant at plane start.
+    // (Each i is visited once per plane, and sig[i] flips only inside the
+    // significance branch of this same visit, so a single pass stays in
+    // lock-step with the decoder.)
+    bool newsig = false;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!sig[i] && ((mag[i] >> plane) & 1u)) newsig = true;
+    if (!sink.can(1)) return;
+    sink.put(newsig ? 1u : 0u, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bit = (mag[i] >> plane) & 1u;
+      if (sig[i]) {
+        if (!sink.can(1)) return;
+        sink.put(bit, 1);
+      } else if (newsig) {
+        if (!sink.can(1)) return;
+        sink.put(bit, 1);
+        if (bit) {
+          if (!sink.can(1)) return;
+          sink.put(neg[i], 1);
+          sig[i] = 1;
+        }
+      }
+    }
+  }
+}
+
+void decode_planes(std::int64_t* coeffs, const BlockGeometry& geo,
+                   int min_plane, BitSource& src) {
+  const std::size_t n = geo.block_count;
+  std::vector<std::uint64_t> mag(n, 0);
+  std::vector<std::uint8_t> neg(n, 0), sig(n, 0);
+  if (!src.can(6)) {
+    std::fill_n(coeffs, n, std::int64_t{0});
+    return;
+  }
+  const unsigned top = static_cast<unsigned>(src.get(6));
+  int last_full_plane = static_cast<int>(top);  // deepest fully decoded plane
+  if (top > 0) {
+    bool out_of_bits = false;
+    for (int plane = static_cast<int>(top) - 1;
+         plane >= min_plane && !out_of_bits; --plane) {
+      if (!src.can(1)) break;
+      const bool newsig = src.get(1) != 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sig[i]) {
+          if (!src.can(1)) {
+            out_of_bits = true;
+            break;
+          }
+          if (src.get(1)) mag[i] |= std::uint64_t{1} << plane;
+        } else if (newsig) {
+          if (!src.can(1)) {
+            out_of_bits = true;
+            break;
+          }
+          if (src.get(1)) {
+            if (!src.can(1)) {
+              out_of_bits = true;
+              break;
+            }
+            neg[i] = static_cast<std::uint8_t>(src.get(1));
+            sig[i] = 1;
+            mag[i] |= std::uint64_t{1} << plane;
+          }
+        }
+      }
+      if (!out_of_bits) last_full_plane = plane;
+    }
+  }
+  // Midpoint reconstruction: centre each significant coefficient within its
+  // undecoded tail.
+  if (last_full_plane > 0) {
+    const std::uint64_t half = std::uint64_t{1} << (last_full_plane - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      if (sig[i]) mag[i] |= half;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto m = static_cast<std::int64_t>(mag[i]);
+    coeffs[geo.order[i]] = neg[i] ? -m : m;
+  }
+}
+
+/// Gather one block with clamp-replication padding at the domain edge.
+void gather(std::span<const float> data, const Dims& dims,
+            std::span<const std::size_t> origin, float* block) {
+  const std::size_t rank = dims.rank();
+  std::array<std::size_t, kMaxDims> c{};
+  const std::size_t n = [&] {
+    std::size_t t = 1;
+    for (std::size_t a = 0; a < rank; ++a) t *= kBlockSide;
+    return t;
+  }();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lin = 0;
+    for (std::size_t a = 0; a < rank; ++a) {
+      const std::size_t coord =
+          std::min(origin[a] + c[a], dims.extent(a) - 1);
+      lin += coord * dims.stride(a);
+    }
+    block[i] = data[lin];
+    for (std::size_t a = rank; a-- > 0;) {
+      if (++c[a] < kBlockSide) break;
+      c[a] = 0;
+    }
+  }
+}
+
+/// Scatter one block, skipping padded cells.
+void scatter(std::span<float> data, const Dims& dims,
+             std::span<const std::size_t> origin, const float* block) {
+  const std::size_t rank = dims.rank();
+  std::array<std::size_t, kMaxDims> c{};
+  std::size_t n = 1;
+  for (std::size_t a = 0; a < rank; ++a) n *= kBlockSide;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool inside = true;
+    std::size_t lin = 0;
+    for (std::size_t a = 0; a < rank; ++a) {
+      const std::size_t coord = origin[a] + c[a];
+      if (coord >= dims.extent(a)) {
+        inside = false;
+        break;
+      }
+      lin += coord * dims.stride(a);
+    }
+    if (inside) data[lin] = block[i];
+    for (std::size_t a = rank; a-- > 0;) {
+      if (++c[a] < kBlockSide) break;
+      c[a] = 0;
+    }
+  }
+}
+
+constexpr std::uint8_t kModeAccuracy = 0;
+constexpr std::uint8_t kModeFixedRate = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> Zfp::compress(std::span<const float> data,
+                                        const Dims& dims, double eb_abs) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("zfp: data size does not match dims");
+  if (dims.rank() > 3)
+    throw std::invalid_argument("zfp: rank > 3 not supported");
+  const BlockGeometry geo(dims);
+  const double tol = (mode_ == Mode::kAccuracy) ? eb_abs : 0.0;
+
+  ByteWriter out;
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  out.put<std::uint8_t>(mode_ == Mode::kAccuracy ? kModeAccuracy
+                                                 : kModeFixedRate);
+  out.put<double>(tol);
+  out.put<double>(rate_);
+
+  const std::uint64_t block_budget =
+      (mode_ == Mode::kFixedRate)
+          ? static_cast<std::uint64_t>(std::llround(
+                rate_ * static_cast<double>(geo.block_count)))
+          : 0;
+  if (mode_ == Mode::kFixedRate && block_budget == 0)
+    throw std::invalid_argument("zfp: fixed-rate budget must be >= 1 bit");
+
+  BitWriter bw;
+  std::vector<float> fblock(geo.block_count);
+  std::vector<std::int64_t> iblock(geo.block_count);
+  std::array<std::size_t, kMaxDims> bidx{};
+  std::array<std::size_t, kMaxDims> origin{};
+
+  for (std::size_t b = 0; b < geo.total_blocks; ++b) {
+    for (std::size_t a = 0; a < dims.rank(); ++a)
+      origin[a] = bidx[a] * kBlockSide;
+    gather(data, dims, {origin.data(), dims.rank()}, fblock.data());
+
+    Budget budget{block_budget, 0};
+    BitSink sink{&bw, &budget};
+
+    double maxabs = 0;
+    for (float v : fblock)
+      maxabs = std::max(maxabs, std::fabs(static_cast<double>(v)));
+    const bool skip =
+        maxabs == 0.0 || (mode_ == Mode::kAccuracy && maxabs <= tol);
+    sink.put(skip ? 0u : 1u, 1);
+    if (!skip) {
+      // Clamp so the biased 8-bit field cannot wrap for denormal blocks.
+      const int emax = std::max(std::ilogb(maxabs), -126);
+      sink.put(static_cast<std::uint32_t>(emax + 127) & 0xFFu, 8);
+      const double scale = std::ldexp(1.0, 29 - emax);
+      for (std::size_t i = 0; i < geo.block_count; ++i)
+        iblock[i] = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(fblock[i]) * scale));
+      fwd_transform(iblock.data(), dims.rank());
+      const int min_plane =
+          (mode_ == Mode::kAccuracy) ? stop_plane(tol, emax, dims.rank()) : 0;
+      encode_planes(iblock.data(), geo, min_plane, sink);
+    }
+    // Fixed-rate: pad to exactly the block budget so every block occupies
+    // rate * 4^d bits.
+    if (mode_ == Mode::kFixedRate) {
+      while (budget.used < block_budget) {
+        const auto chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(block_budget - budget.used, 32));
+        bw.put(0, chunk);
+        budget.spend(chunk);
+      }
+    }
+    for (std::size_t a = dims.rank(); a-- > 0;) {
+      if (++bidx[a] < geo.blocks_per_axis[a]) break;
+      bidx[a] = 0;
+    }
+  }
+  auto payload = std::move(bw).finish();
+  out.put_varint(payload.size());
+  out.put_bytes(payload);
+  return std::move(out).take();
+}
+
+std::vector<float> Zfp::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > 3) throw std::runtime_error("zfp: bad rank");
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < rank; ++a)
+    ext[a] = static_cast<std::size_t>(in.get_varint());
+  const Dims dims(std::span<const std::size_t>(ext.data(), rank));
+  const auto mode_byte = in.get<std::uint8_t>();
+  const double tol = in.get<double>();
+  const double rate = in.get<double>();
+  const bool fixed_rate = mode_byte == kModeFixedRate;
+  const BlockGeometry geo(dims);
+  const std::uint64_t block_budget =
+      fixed_rate ? static_cast<std::uint64_t>(std::llround(
+                       rate * static_cast<double>(geo.block_count)))
+                 : 0;
+
+  const auto n_payload = static_cast<std::size_t>(in.get_varint());
+  const auto payload = in.get_bytes(n_payload);
+  BitReader br(payload);
+
+  std::vector<float> result(dims.count(), 0.0f);
+  std::vector<float> fblock(geo.block_count);
+  std::vector<std::int64_t> iblock(geo.block_count);
+  std::array<std::size_t, kMaxDims> bidx{};
+  std::array<std::size_t, kMaxDims> origin{};
+
+  for (std::size_t b = 0; b < geo.total_blocks; ++b) {
+    for (std::size_t a = 0; a < rank; ++a) origin[a] = bidx[a] * kBlockSide;
+
+    Budget budget{block_budget, 0};
+    BitSource src{&br, &budget};
+    const bool nonzero = src.get(1) != 0;
+    if (nonzero) {
+      const int emax = static_cast<int>(src.get(8)) - 127;
+      const int min_plane =
+          fixed_rate ? 0 : stop_plane(tol, emax, rank);
+      decode_planes(iblock.data(), geo, min_plane, src);
+      inv_transform(iblock.data(), rank);
+      const double inv_scale = std::ldexp(1.0, emax - 29);
+      for (std::size_t i = 0; i < geo.block_count; ++i)
+        fblock[i] =
+            static_cast<float>(static_cast<double>(iblock[i]) * inv_scale);
+    } else {
+      std::fill(fblock.begin(), fblock.end(), 0.0f);
+    }
+    // Skip the block's padding in fixed-rate mode.
+    if (fixed_rate && budget.used < block_budget) {
+      std::uint64_t rest = block_budget - budget.used;
+      while (rest > 0) {
+        const auto chunk = static_cast<unsigned>(std::min<std::uint64_t>(rest, 64));
+        (void)br.get(chunk);
+        rest -= chunk;
+      }
+    }
+    scatter(result, dims, {origin.data(), rank}, fblock.data());
+    for (std::size_t a = rank; a-- > 0;) {
+      if (++bidx[a] < geo.blocks_per_axis[a]) break;
+      bidx[a] = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace sz14::baselines

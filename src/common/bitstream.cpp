@@ -1,0 +1,58 @@
+#include "common/bitstream.hpp"
+
+namespace sz14 {
+
+void BitWriter::put(std::uint64_t value, unsigned nbits) {
+  if (nbits > 64) throw std::invalid_argument("BitWriter::put: nbits > 64");
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
+  nbits_ += nbits;
+  // Feed bits MSB-first into the accumulator, flushing whole bytes.
+  unsigned left = nbits;
+  while (left > 0) {
+    const unsigned take = std::min(8u - fill_, left);
+    const std::uint64_t chunk = (value >> (left - take)) &
+                                ((std::uint64_t{1} << take) - 1);
+    acc_ = (acc_ << take) | chunk;
+    fill_ += take;
+    left -= take;
+    if (fill_ == 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() && {
+  if (fill_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+    acc_ = 0;
+    fill_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::get(unsigned nbits) {
+  if (nbits > 64) throw std::invalid_argument("BitReader::get: nbits > 64");
+  if (pos_ + nbits > bit_size())
+    throw std::runtime_error("BitReader: read past end of stream");
+  std::uint64_t v = 0;
+  unsigned left = nbits;
+  while (left > 0) {
+    const std::size_t byte = static_cast<std::size_t>(pos_ >> 3);
+    const unsigned bit_off = static_cast<unsigned>(pos_ & 7);
+    const unsigned avail = 8 - bit_off;
+    const unsigned take = std::min(avail, left);
+    const std::uint8_t cur = data_[byte];
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((cur >> (avail - take)) &
+                                  ((1u << take) - 1));
+    v = (v << take) | chunk;
+    pos_ += take;
+    left -= take;
+  }
+  return v;
+}
+
+}  // namespace sz14

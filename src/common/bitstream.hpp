@@ -1,0 +1,61 @@
+// MSB-first bit-level I/O used by the Huffman coder, the unpredictable-value
+// codec (binary-representation analysis), and the ZFP-class baseline's
+// bit-plane coder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sz14 {
+
+/// Append-only MSB-first bit writer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `nbits` bits of `value`, most significant first.
+  /// nbits may be 0 (no-op) up to 64.
+  void put(std::uint64_t value, unsigned nbits);
+
+  /// Append a single bit.
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Pad to a byte boundary with zero bits and return the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() &&;
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return nbits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;  // pending bits, left-aligned within `fill_` count
+  unsigned fill_ = 0;      // number of pending bits in acc_ (always < 8)
+  std::uint64_t nbits_ = 0;
+};
+
+/// Bounds-checked MSB-first bit reader over a borrowed span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `nbits` (0..64) bits, MSB-first.
+  [[nodiscard]] std::uint64_t get(unsigned nbits);
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::uint64_t bit_position() const noexcept { return pos_; }
+
+  /// Total bits available.
+  [[nodiscard]] std::uint64_t bit_size() const noexcept {
+    return static_cast<std::uint64_t>(data_.size()) * 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace sz14

@@ -1,0 +1,3 @@
+// ByteWriter/ByteReader are header-only; this TU exists so the build graph
+// has a stable home for any future out-of-line serialization helpers.
+#include "common/bytebuffer.hpp"

@@ -1,0 +1,31 @@
+// Simple wall-clock timer for the speed and scalability experiments.
+#pragma once
+
+#include <chrono>
+
+namespace sz14 {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in MB/s for `bytes` processed in `seconds` (MB = 1e6 bytes,
+/// matching the paper's Table VI units).
+inline double throughput_mbs(std::size_t bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+}  // namespace sz14

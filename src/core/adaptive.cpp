@@ -1,0 +1,94 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace sz14 {
+
+namespace {
+
+/// Cut a contiguous sub-block with at most `max_sample` elements, shrinking
+/// the slowest dimensions first so local spatial structure survives.
+struct Sample {
+  std::vector<float> data;
+  Dims dims;
+};
+
+Sample sample_block(std::span<const float> data, const Dims& dims,
+                    std::size_t max_sample) {
+  if (dims.count() <= max_sample)
+    return {std::vector<float>(data.begin(), data.end()), dims};
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < dims.rank(); ++a) ext[a] = dims.extent(a);
+  // Shrink the slowest axis until the block fits.
+  for (std::size_t a = 0; a < dims.rank(); ++a) {
+    std::size_t rest = 1;
+    for (std::size_t b = a + 1; b < dims.rank(); ++b) rest *= ext[b];
+    const std::size_t budget = std::max<std::size_t>(1, max_sample / rest);
+    ext[a] = std::min(ext[a], budget);
+  }
+  const Dims sub(std::span<const std::size_t>(ext.data(), dims.rank()));
+  Sample s;
+  s.dims = sub;
+  s.data.resize(sub.count());
+  // Copy the leading corner of the array (contiguous rows).
+  std::array<std::size_t, kMaxDims> coord{};
+  const std::size_t row = sub.extent(sub.rank() - 1);
+  const std::size_t rows = sub.count() / row;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // coord holds the sub-block coordinate of the row start.
+    std::size_t src = 0;
+    for (std::size_t a = 0; a + 1 < dims.rank(); ++a)
+      src += coord[a] * dims.stride(a);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(src), row,
+                s.data.begin() + static_cast<std::ptrdiff_t>(r * row));
+    for (std::size_t a = sub.rank() - 1; a-- > 0;) {
+      if (++coord[a] < sub.extent(a)) break;
+      coord[a] = 0;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+double estimate_hitting_rate(std::span<const float> data, const Dims& dims,
+                             double eb, unsigned interval_bits, unsigned layers,
+                             std::size_t max_sample) {
+  const Sample s = sample_block(data, dims, max_sample);
+  const PassResult pass = prediction_quantization_pass(
+      s.data, s.dims, layers, interval_bits, eb);
+  return s.data.empty() ? 0.0
+                        : static_cast<double>(pass.predictable) /
+                              static_cast<double>(s.data.size());
+}
+
+AdaptiveResult suggest_interval_bits(std::span<const float> data,
+                                     const Dims& dims, double eb,
+                                     const AdaptiveConfig& cfg) {
+  if (cfg.min_bits < 2 || cfg.max_bits > 16 || cfg.min_bits > cfg.max_bits)
+    throw std::invalid_argument("suggest_interval_bits: bad bit range");
+  const Sample s = sample_block(data, dims, cfg.max_sample);
+  AdaptiveResult result;
+  for (unsigned m = cfg.min_bits; m <= cfg.max_bits; ++m) {
+    const PassResult pass =
+        prediction_quantization_pass(s.data, s.dims, cfg.layers, m, eb);
+    const double rate = s.data.empty()
+                            ? 0.0
+                            : static_cast<double>(pass.predictable) /
+                                  static_cast<double>(s.data.size());
+    result.interval_bits = m;
+    result.hitting_rate = rate;
+    if (rate >= cfg.theta) {
+      result.satisfied = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sz14

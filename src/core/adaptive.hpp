@@ -1,0 +1,46 @@
+// Adaptive scheme for the number of quantization intervals (paper Sec. IV-B).
+//
+// Storing an unpredictable point costs far more than a quantization code, so
+// the right m is the *smallest* one whose prediction hitting rate still
+// clears a threshold theta (default 0.9 — the paper's "sufficient" rate;
+// Fig. 4 shows rates collapsing from >90% once intervals stop covering the
+// bound).  The probe runs the real prediction+quantization pass on a
+// strided sample of the data, because the rate must be measured on the
+// decompressed basis.
+#pragma once
+
+#include <span>
+
+#include "common/dims.hpp"
+
+namespace sz14 {
+
+struct AdaptiveConfig {
+  double theta = 0.9;          // required hitting rate
+  unsigned min_bits = 2;       // smallest m probed (3 intervals)
+  unsigned max_bits = 16;      // largest m probed (65535 intervals)
+  unsigned layers = 1;
+  /// Probe at most this many elements (strided block sampling keeps the
+  /// spatial structure the predictor relies on).
+  std::size_t max_sample = 1u << 20;
+};
+
+struct AdaptiveResult {
+  unsigned interval_bits = 8;  // suggested m
+  double hitting_rate = 0.0;   // estimated rate at that m
+  bool satisfied = false;      // false => even max_bits missed theta
+};
+
+/// Suggest m for a given absolute error bound.
+AdaptiveResult suggest_interval_bits(std::span<const float> data,
+                                     const Dims& dims, double eb,
+                                     const AdaptiveConfig& cfg = {});
+
+/// Estimated hitting rate for one specific m (decompressed basis, sampled).
+/// Exposed for the Fig. 4 sweep.
+double estimate_hitting_rate(std::span<const float> data, const Dims& dims,
+                             double eb, unsigned interval_bits,
+                             unsigned layers = 1,
+                             std::size_t max_sample = 1u << 20);
+
+}  // namespace sz14

@@ -1,0 +1,69 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+
+#include "core/compressor.hpp"
+#include "core/predictor.hpp"
+
+namespace sz14 {
+
+double hitting_rate_original(std::span<const float> data, const Dims& dims,
+                             unsigned layers, double eb) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("hitting_rate_original: size mismatch");
+  const LayerPredictor predictor(dims, layers);
+  CoordWalker walker(dims);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double pred = predictor.predict<float>(data, walker.coord(), i);
+    if (std::fabs(pred - static_cast<double>(data[i])) <= eb) ++hits;
+    walker.advance();
+  }
+  return data.empty() ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(data.size());
+}
+
+double hitting_rate_decompressed(std::span<const float> data, const Dims& dims,
+                                 unsigned layers, double eb,
+                                 unsigned interval_bits) {
+  // Strict Sec. III-B hits (|f(x) - V(x)| <= eb), measured inside the real
+  // compression loop so the prediction basis is the decompressed data.
+  const PassResult pass =
+      prediction_quantization_pass(data, dims, layers, interval_bits, eb);
+  return data.empty() ? 0.0
+                      : static_cast<double>(pass.strict_hits) /
+                            static_cast<double>(data.size());
+}
+
+std::vector<LayerSweepRow> layer_sweep(std::span<const float> data,
+                                       const Dims& dims, unsigned max_layers,
+                                       double eb, unsigned interval_bits) {
+  std::vector<LayerSweepRow> rows;
+  for (unsigned n = 1; n <= max_layers; ++n) {
+    LayerSweepRow row;
+    row.layers = n;
+    row.rate_original = hitting_rate_original(data, dims, n, eb);
+    row.rate_decompressed =
+        hitting_rate_decompressed(data, dims, n, eb, interval_bits);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+unsigned best_layer(std::span<const float> data, const Dims& dims,
+                    unsigned max_layers, double eb, unsigned interval_bits) {
+  unsigned best = 1;
+  double best_rate = -1.0;
+  for (unsigned n = 1; n <= max_layers; ++n) {
+    const double rate =
+        hitting_rate_decompressed(data, dims, n, eb, interval_bits);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace sz14

@@ -1,0 +1,45 @@
+// Best-layer analysis (paper Sec. III-B, Table II).
+//
+// The paper's key observation: ranked by hitting rate on *original* values,
+// 2-layer prediction wins; ranked on *preceding decompressed* values — the
+// basis a bound-guaranteeing compressor must use — 1-layer wins.  These
+// helpers compute both rates so the inversion can be reproduced.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace sz14 {
+
+/// Hitting rate when predicting every point from the ORIGINAL values of its
+/// neighbours (the hypothetical upper bound, Table II column 2).
+/// A point is a hit iff |f(x) - V(x)| <= eb.
+double hitting_rate_original(std::span<const float> data, const Dims& dims,
+                             unsigned layers, double eb);
+
+/// Hitting rate when predicting from preceding DECOMPRESSED values, i.e.
+/// inside the real compression loop (Table II column 3).  `interval_bits`
+/// is the quantizer's m.
+double hitting_rate_decompressed(std::span<const float> data, const Dims& dims,
+                                 unsigned layers, double eb,
+                                 unsigned interval_bits = 8);
+
+/// Sweep layers 1..max_layers and return both columns of Table II.
+struct LayerSweepRow {
+  unsigned layers = 0;
+  double rate_original = 0.0;
+  double rate_decompressed = 0.0;
+};
+std::vector<LayerSweepRow> layer_sweep(std::span<const float> data,
+                                       const Dims& dims, unsigned max_layers,
+                                       double eb, unsigned interval_bits = 8);
+
+/// Pick the best layer count for a data set by decompressed-basis hitting
+/// rate (the criterion the paper argues for; default in SZ-1.4 is n = 1).
+unsigned best_layer(std::span<const float> data, const Dims& dims,
+                    unsigned max_layers, double eb,
+                    unsigned interval_bits = 8);
+
+}  // namespace sz14

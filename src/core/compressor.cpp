@@ -1,0 +1,228 @@
+#include "core/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+#include "core/format.hpp"
+#include "core/predictor.hpp"
+#include "core/quantizer.hpp"
+#include "core/unpredictable.hpp"
+#include "encoding/huffman.hpp"
+
+namespace sz14 {
+
+namespace {
+
+/// Min/max over finite elements (non-finite values take the raw escape path
+/// and do not influence the relative bound).
+template <typename T>
+std::pair<double, double> finite_range(std::span<const T> data) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T v : data) {
+    if (!std::isfinite(static_cast<double>(v))) continue;
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  if (lo > hi) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+/// Deterministic per-index dither in (-eb, eb) for the decorrelation mode.
+/// Both sides derive it from the linear index, so no extra bits are stored.
+double dither_for(std::size_t index, double eb) {
+  std::uint64_t z = static_cast<std::uint64_t>(index) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return (2.0 * u - 1.0) * eb;
+}
+
+template <typename T>
+constexpr std::uint8_t dtype_of() {
+  return sizeof(T) == 4 ? kDtypeF32 : kDtypeF64;
+}
+
+}  // namespace
+
+double resolve_error_bound(const Options& opts, double value_range) {
+  double eb = std::numeric_limits<double>::infinity();
+  bool any = false;
+  if (std::isfinite(opts.eb_abs)) {
+    eb = std::min(eb, opts.eb_abs);
+    any = true;
+  }
+  if (std::isfinite(opts.eb_rel)) {
+    eb = std::min(eb, opts.eb_rel * value_range);
+    any = true;
+  }
+  if (!any || !std::isfinite(eb) || eb < 0.0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return eb;  // may be 0 (e.g. relative bound on zero-range data)
+}
+
+template <typename T>
+PassResultT<T> prediction_quantization_pass(std::span<const T> data,
+                                            const Dims& dims, unsigned layers,
+                                            unsigned interval_bits, double eb,
+                                            bool decorrelate) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("sz14: data size does not match dims");
+  const std::size_t n = data.size();
+  PassResultT<T> r;
+  r.codes.resize(n);
+  r.reconstructed.resize(n);
+
+  const LayerPredictor predictor(dims, layers);
+  // Decorrelation dithers the quantization grid by a per-index offset; the
+  // rounding guarantee is unaffected, but the error loses its spatial
+  // structure (the paper's future-work item for high-CF data).
+  const LinearQuantizer quantizer(interval_bits, eb);
+  const UnpredictableCodecT<T> unpred(eb);
+  BitWriter bw;
+  CoordWalker walker(dims);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = predictor.predict<T>(
+        {r.reconstructed.data(), n}, walker.coord(), i);
+    if (std::fabs(pred - static_cast<double>(data[i])) <= eb) ++r.strict_hits;
+    const double grid_pred =
+        decorrelate ? pred + dither_for(i, eb) : pred;
+    const QuantResultT<T> q = quantizer.quantize<T>(data[i], grid_pred);
+    if (q.predictable) {
+      r.codes[i] = q.code;
+      r.reconstructed[i] = q.reconstructed;
+      ++r.predictable;
+    } else {
+      r.codes[i] = 0;
+      // encode() returns the decoder-side reconstruction; predicting later
+      // points from it keeps compressor and decompressor in lock-step.
+      r.reconstructed[i] = unpred.encode(data[i], bw);
+    }
+    walker.advance();
+  }
+  r.unpred_bits = std::move(bw).finish();
+  return r;
+}
+
+template PassResultT<float> prediction_quantization_pass<float>(
+    std::span<const float>, const Dims&, unsigned, unsigned, double, bool);
+template PassResultT<double> prediction_quantization_pass<double>(
+    std::span<const double>, const Dims&, unsigned, unsigned, double, bool);
+
+namespace {
+
+template <typename T>
+std::vector<std::uint8_t> compress_impl(std::span<const T> data,
+                                        const Dims& dims, const Options& opts,
+                                        CompressStats* stats) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("sz14: data size does not match dims");
+  const auto [lo, hi] = finite_range(data);
+  const double eb = resolve_error_bound(opts, hi - lo);
+  if (std::isnan(eb))
+    throw std::invalid_argument(
+        "sz14: no usable error bound (set eb_abs and/or eb_rel)");
+
+  PassResultT<T> pass = prediction_quantization_pass<T>(
+      data, dims, opts.layers, opts.interval_bits, eb, opts.decorrelate);
+
+  ByteWriter out;
+  StreamHeader h;
+  h.dims = dims;
+  h.eb_abs = eb;
+  h.dtype = dtype_of<T>();
+  h.interval_bits = static_cast<std::uint8_t>(opts.interval_bits);
+  h.layers = static_cast<std::uint8_t>(opts.layers);
+  h.decorrelate = opts.decorrelate;
+  write_header(h, out);
+
+  const LinearQuantizer quantizer(opts.interval_bits, eb);
+  huffman_encode(pass.codes, quantizer.alphabet_size(), out);
+  out.put_varint(pass.unpred_bits.size());
+  out.put_bytes(pass.unpred_bits);
+
+  if (stats) {
+    stats->total = data.size();
+    stats->predictable = pass.predictable;
+    stats->resolved_eb = eb;
+    stats->compressed_bytes = out.size();
+  }
+  return std::move(out).take();
+}
+
+template <typename T, typename Result>
+Result decompress_impl(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const StreamHeader h = read_header(in);
+  if (h.dtype != dtype_of<T>())
+    throw std::runtime_error("sz14: stream dtype mismatch (use decompress" +
+                             std::string(h.dtype == kDtypeF64 ? "64" : "") +
+                             ")");
+
+  const auto codes = huffman_decode(in);
+  if (codes.size() != h.dims.count())
+    throw std::runtime_error("sz14: quantization array size mismatch");
+  const auto n_unpred_bytes = static_cast<std::size_t>(in.get_varint());
+  const auto unpred_bytes = in.get_bytes(n_unpred_bytes);
+
+  Result r;
+  r.dims = h.dims;
+  r.eb_abs = h.eb_abs;
+  r.data.resize(h.dims.count());
+
+  const LayerPredictor predictor(h.dims, h.layers);
+  const LinearQuantizer quantizer(h.interval_bits, h.eb_abs);
+  const UnpredictableCodecT<T> unpred(h.eb_abs);
+  BitReader br(unpred_bytes);
+  CoordWalker walker(h.dims);
+
+  const std::size_t n = r.data.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (codes[i] == 0) {
+      r.data[i] = unpred.decode(br);
+    } else {
+      const double pred = predictor.predict<T>(
+          {r.data.data(), n}, walker.coord(), i);
+      const double grid_pred =
+          h.decorrelate ? pred + dither_for(i, h.eb_abs) : pred;
+      r.data[i] = quantizer.reconstruct<T>(codes[i], grid_pred);
+    }
+    walker.advance();
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   const Dims& dims, const Options& opts,
+                                   CompressStats* stats) {
+  return compress_impl<float>(data, dims, opts, stats);
+}
+
+std::vector<std::uint8_t> compress(std::span<const double> data,
+                                   const Dims& dims, const Options& opts,
+                                   CompressStats* stats) {
+  return compress_impl<double>(data, dims, opts, stats);
+}
+
+StreamDtype stream_dtype(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const StreamHeader h = read_header(in);
+  return h.dtype == kDtypeF64 ? StreamDtype::kF64 : StreamDtype::kF32;
+}
+
+DecompressResult decompress(std::span<const std::uint8_t> stream) {
+  return decompress_impl<float, DecompressResult>(stream);
+}
+
+DecompressResult64 decompress64(std::span<const std::uint8_t> stream) {
+  return decompress_impl<double, DecompressResult64>(stream);
+}
+
+}  // namespace sz14

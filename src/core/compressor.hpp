@@ -1,0 +1,142 @@
+// Public entry points of the SZ-1.4 codec: error-bounded lossy compression
+// of d-dimensional float32/float64 arrays (1 <= d <= 4).
+//
+// Pipeline (paper Algorithm 1):
+//   1. n-layer multidimensional prediction from *preceding reconstructed*
+//      values (core/predictor),
+//   2. error-controlled quantization into 2^m - 1 intervals
+//      (core/quantizer); misses take the binary-representation path
+//      (core/unpredictable),
+//   3. variable-length (Huffman) encoding of the quantization codes
+//      (encoding/huffman).
+//
+// The guarantee: for every element, |x - x~| <= eb, where eb is the
+// resolved absolute bound (min of the absolute bound and the value-range-
+// based relative bound, whichever are set).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace sz14 {
+
+/// User-facing compression options (paper Sec. II, Metric 1: set either or
+/// both error bounds).
+struct Options {
+  /// Absolute pointwise error bound (NaN = unset).
+  double eb_abs = std::numeric_limits<double>::quiet_NaN();
+  /// Value-range-based relative bound: eb = eb_rel * (max - min).
+  double eb_rel = std::numeric_limits<double>::quiet_NaN();
+  /// m: the quantizer uses 2^m - 1 intervals (default 255, m = 8).
+  unsigned interval_bits = 8;
+  /// n: prediction layers (default 1 = Lorenzo; data-dependent, Sec. III-B).
+  unsigned layers = 1;
+  /// Error-decorrelation mode (the paper's future-work item on improving
+  /// the autocorrelation of compression errors on high-CF data): quantize
+  /// against half-width intervals and add a deterministic +-eb/2 dither to
+  /// the reconstruction.  The pointwise bound still holds; the compression
+  /// factor drops slightly (one extra bit of interval resolution is spent).
+  bool decorrelate = false;
+};
+
+/// Per-call statistics, optionally returned by compress().
+struct CompressStats {
+  std::size_t total = 0;
+  std::size_t predictable = 0;
+  double resolved_eb = 0.0;
+  std::size_t compressed_bytes = 0;
+
+  /// The paper's prediction hitting rate R_PH.
+  [[nodiscard]] double hitting_rate() const {
+    return total ? static_cast<double>(predictable) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Resolve the effective absolute bound from options + data value range.
+/// Returns NaN when neither bound is set (compress() then throws); a
+/// resolved bound of 0 selects the lossless raw-escape fallback.
+double resolve_error_bound(const Options& opts, double value_range);
+
+/// Compress single-precision `data` shaped `dims`.  Throws
+/// std::invalid_argument when the element count mismatches dims or no
+/// usable error bound results.
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   const Dims& dims, const Options& opts,
+                                   CompressStats* stats = nullptr);
+
+/// Compress double-precision data (the paper's 64 bits/value case).
+std::vector<std::uint8_t> compress(std::span<const double> data,
+                                   const Dims& dims, const Options& opts,
+                                   CompressStats* stats = nullptr);
+
+/// Data type stored in a stream (peeks at the header without decoding).
+enum class StreamDtype : std::uint8_t { kF32 = 0, kF64 = 1 };
+StreamDtype stream_dtype(std::span<const std::uint8_t> stream);
+
+struct DecompressResult {
+  std::vector<float> data;
+  Dims dims;
+  double eb_abs = 0.0;
+};
+
+struct DecompressResult64 {
+  std::vector<double> data;
+  Dims dims;
+  double eb_abs = 0.0;
+};
+
+/// Decompress a float32 stream.  Throws std::runtime_error on malformed
+/// input or dtype mismatch.
+DecompressResult decompress(std::span<const std::uint8_t> stream);
+
+/// Decompress a float64 stream.
+DecompressResult64 decompress64(std::span<const std::uint8_t> stream);
+
+/// Intermediate products of the prediction + quantization pass — the shared
+/// kernel behind compress(), the best-layer analysis (Sec. III-B), and the
+/// adaptive interval scheme (Sec. IV-B).
+template <typename T>
+struct PassResultT {
+  std::vector<std::uint16_t> codes;        // one per element; 0=unpredictable
+  std::vector<T> reconstructed;            // decompressed values
+  std::vector<std::uint8_t> unpred_bits;   // bit-packed unpredictable payload
+  std::size_t predictable = 0;             // hit ANY quantization interval
+  /// Points whose prediction itself was within eb (|f(x) - V(x)| <= eb) —
+  /// the stricter Sec. III-B definition used by the Table II layer study;
+  /// `predictable` uses the Sec. IV-A interval definition (Fig. 4).
+  std::size_t strict_hits = 0;
+};
+
+using PassResult = PassResultT<float>;
+
+/// Run the pass on its own (codes + reconstruction, no entropy stage).
+template <typename T>
+PassResultT<T> prediction_quantization_pass(std::span<const T> data,
+                                            const Dims& dims, unsigned layers,
+                                            unsigned interval_bits, double eb,
+                                            bool decorrelate = false);
+
+/// Convenience overload so float callers keep working without explicit
+/// template arguments.
+inline PassResult prediction_quantization_pass(std::span<const float> data,
+                                               const Dims& dims,
+                                               unsigned layers,
+                                               unsigned interval_bits,
+                                               double eb,
+                                               bool decorrelate = false) {
+  return prediction_quantization_pass<float>(data, dims, layers,
+                                             interval_bits, eb, decorrelate);
+}
+
+extern template PassResultT<float> prediction_quantization_pass<float>(
+    std::span<const float>, const Dims&, unsigned, unsigned, double, bool);
+extern template PassResultT<double> prediction_quantization_pass<double>(
+    std::span<const double>, const Dims&, unsigned, unsigned, double, bool);
+
+}  // namespace sz14

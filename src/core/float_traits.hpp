@@ -1,0 +1,35 @@
+// IEEE-754 layout traits for the single- and double-precision pipelines.
+#pragma once
+
+#include <cstdint>
+
+namespace sz14 {
+
+template <typename T>
+struct FloatTraits;
+
+template <>
+struct FloatTraits<float> {
+  using Bits = std::uint32_t;
+  static constexpr unsigned kExpBits = 8;
+  static constexpr unsigned kMantBits = 23;
+  static constexpr int kBias = 127;
+  static constexpr Bits kSignMask = 0x8000'0000u;
+  static constexpr Bits kExpMask = 0x7F80'0000u;
+  static constexpr Bits kMantMask = 0x007F'FFFFu;
+  static constexpr unsigned kTotalBits = 32;
+};
+
+template <>
+struct FloatTraits<double> {
+  using Bits = std::uint64_t;
+  static constexpr unsigned kExpBits = 11;
+  static constexpr unsigned kMantBits = 52;
+  static constexpr int kBias = 1023;
+  static constexpr Bits kSignMask = 0x8000'0000'0000'0000ULL;
+  static constexpr Bits kExpMask = 0x7FF0'0000'0000'0000ULL;
+  static constexpr Bits kMantMask = 0x000F'FFFF'FFFF'FFFFULL;
+  static constexpr unsigned kTotalBits = 64;
+};
+
+}  // namespace sz14

@@ -1,0 +1,50 @@
+#include "core/format.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace sz14 {
+
+void write_header(const StreamHeader& h, ByteWriter& out) {
+  out.put<std::uint32_t>(kMagic);
+  out.put<std::uint8_t>(kFormatVersion);
+  out.put<std::uint8_t>(h.dtype);
+  out.put<std::uint8_t>(h.decorrelate ? kFlagDecorrelate : 0);
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(h.dims.rank()));
+  for (std::size_t a = 0; a < h.dims.rank(); ++a)
+    out.put_varint(h.dims.extent(a));
+  out.put<double>(h.eb_abs);
+  out.put<std::uint8_t>(h.interval_bits);
+  out.put<std::uint8_t>(h.layers);
+}
+
+StreamHeader read_header(ByteReader& in) {
+  if (in.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("sz14: bad magic (not an SZ14 stream)");
+  const auto version = in.get<std::uint8_t>();
+  if (version != kFormatVersion)
+    throw std::runtime_error("sz14: unsupported format version " +
+                             std::to_string(version));
+  StreamHeader h;
+  h.dtype = in.get<std::uint8_t>();
+  if (h.dtype != kDtypeF32 && h.dtype != kDtypeF64)
+    throw std::runtime_error("sz14: unsupported dtype " +
+                             std::to_string(h.dtype));
+  const auto flags = in.get<std::uint8_t>();
+  if (flags & ~kFlagDecorrelate)
+    throw std::runtime_error("sz14: unknown header flags");
+  h.decorrelate = (flags & kFlagDecorrelate) != 0;
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > kMaxDims)
+    throw std::runtime_error("sz14: bad rank " + std::to_string(rank));
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < rank; ++a)
+    ext[a] = static_cast<std::size_t>(in.get_varint());
+  h.dims = Dims(std::span<const std::size_t>(ext.data(), rank));
+  h.eb_abs = in.get<double>();
+  h.interval_bits = in.get<std::uint8_t>();
+  h.layers = in.get<std::uint8_t>();
+  return h;
+}
+
+}  // namespace sz14

@@ -1,0 +1,38 @@
+// On-stream container format for the SZ-1.4 codec.
+//
+//   magic 'SZ14' | version u8 | dtype u8 (0 = f32, 1 = f64) | flags u8 |
+//   rank u8 | extents varint * rank | eb_abs f64 | interval_bits u8 |
+//   layers u8
+//
+// followed by the Huffman-coded quantization array and the bit-packed
+// unpredictable payload (see compressor.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytebuffer.hpp"
+#include "common/dims.hpp"
+
+namespace sz14 {
+
+inline constexpr std::uint32_t kMagic = 0x53'5A'31'34u;  // "SZ14"
+inline constexpr std::uint8_t kFormatVersion = 2;
+inline constexpr std::uint8_t kDtypeF32 = 0;
+inline constexpr std::uint8_t kDtypeF64 = 1;
+inline constexpr std::uint8_t kFlagDecorrelate = 1;
+
+struct StreamHeader {
+  Dims dims;
+  double eb_abs = 0.0;
+  std::uint8_t dtype = kDtypeF32;
+  std::uint8_t interval_bits = 8;
+  std::uint8_t layers = 1;
+  bool decorrelate = false;
+};
+
+void write_header(const StreamHeader& h, ByteWriter& out);
+
+/// Throws std::runtime_error on bad magic/version/dtype or malformed dims.
+StreamHeader read_header(ByteReader& in);
+
+}  // namespace sz14

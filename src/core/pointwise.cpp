@@ -1,0 +1,127 @@
+#include "core/pointwise.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bytebuffer.hpp"
+
+namespace sz14 {
+
+namespace {
+
+constexpr std::uint32_t kPwMagic = 0x53'5A'50'52u;  // "SZPR"
+constexpr std::uint8_t kPwVersion = 1;
+
+/// Values the log transform cannot represent: zeros, denormals (their log
+/// is far off the field's scale and would poison prediction), non-finite.
+bool exceptional(float v) {
+  if (!std::isfinite(v)) return true;
+  const auto bits = std::bit_cast<std::uint32_t>(v);
+  return (bits & 0x7F80'0000u) == 0;  // zero or denormal
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_pointwise_rel(std::span<const float> data,
+                                                 const Dims& dims,
+                                                 double pwrel,
+                                                 const Options& opts,
+                                                 CompressStats* stats) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("pointwise: data size does not match dims");
+  if (!(pwrel > 0.0) || !(pwrel < 1.0))
+    throw std::invalid_argument("pointwise: pwrel must be in (0, 1)");
+
+  // Bound in the log2 domain.  Reconstructing v~ = v * 2^delta with
+  // |delta| <= log2(1 + p) keeps v~/v within [1/(1+p), 1+p] which is inside
+  // [1-p, 1+p].  A small margin absorbs the final double->float cast.
+  const double eb_log = std::log2(1.0 + pwrel) * 0.995;
+
+  const std::size_t n = data.size();
+  std::vector<double> logs(n, 0.0);
+  std::vector<std::uint8_t> signs((n + 7) / 8, 0);
+  std::vector<std::pair<std::size_t, std::uint32_t>> exceptions;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    if (exceptional(v)) {
+      exceptions.emplace_back(i, std::bit_cast<std::uint32_t>(v));
+      // Leave logs[i] = 0 — a neutral filler the predictor can work with;
+      // the decoder overwrites the value anyway.
+      continue;
+    }
+    if (v < 0) signs[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    logs[i] = std::log2(std::fabs(static_cast<double>(v)));
+  }
+
+  Options inner = opts;
+  inner.eb_abs = eb_log;
+  inner.eb_rel = std::numeric_limits<double>::quiet_NaN();
+  const auto inner_stream =
+      compress(std::span<const double>(logs), dims, inner, stats);
+
+  ByteWriter out;
+  out.put<std::uint32_t>(kPwMagic);
+  out.put<std::uint8_t>(kPwVersion);
+  out.put<double>(pwrel);
+  out.put_varint(n);
+  out.put_varint(signs.size());
+  out.put_bytes(signs);
+  out.put_varint(exceptions.size());
+  std::size_t prev = 0;
+  for (const auto& [idx, raw] : exceptions) {
+    out.put_varint(idx - prev);
+    prev = idx;
+    out.put<std::uint32_t>(raw);
+  }
+  out.put_varint(inner_stream.size());
+  out.put_bytes(inner_stream);
+  if (stats) stats->compressed_bytes = out.size();
+  return std::move(out).take();
+}
+
+PointwiseDecompressResult decompress_pointwise_rel(
+    std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kPwMagic)
+    throw std::runtime_error("pointwise: bad magic");
+  if (in.get<std::uint8_t>() != kPwVersion)
+    throw std::runtime_error("pointwise: unsupported version");
+  PointwiseDecompressResult r;
+  r.pwrel = in.get<double>();
+  const auto n = static_cast<std::size_t>(in.get_varint());
+  const auto sign_bytes = static_cast<std::size_t>(in.get_varint());
+  if (sign_bytes != (n + 7) / 8)
+    throw std::runtime_error("pointwise: sign bitset size mismatch");
+  const auto signs = in.get_bytes(sign_bytes);
+  const auto n_exceptions = static_cast<std::size_t>(in.get_varint());
+  if (n_exceptions > n)
+    throw std::runtime_error("pointwise: exception count exceeds size");
+  std::vector<std::pair<std::size_t, std::uint32_t>> exceptions;
+  exceptions.reserve(n_exceptions);
+  std::size_t idx = 0;
+  for (std::size_t e = 0; e < n_exceptions; ++e) {
+    idx += static_cast<std::size_t>(in.get_varint());
+    const auto raw = in.get<std::uint32_t>();
+    if (idx >= n) throw std::runtime_error("pointwise: bad exception index");
+    exceptions.emplace_back(idx, raw);
+  }
+  const auto inner_len = static_cast<std::size_t>(in.get_varint());
+  const auto inner = in.get_bytes(inner_len);
+
+  const auto logs = decompress64(inner);
+  if (logs.data.size() != n)
+    throw std::runtime_error("pointwise: inner stream size mismatch");
+  r.dims = logs.dims;
+  r.data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::exp2(logs.data[i]);
+    const bool neg = (signs[i / 8] >> (i % 8)) & 1u;
+    r.data[i] = static_cast<float>(neg ? -mag : mag);
+  }
+  for (const auto& [pos, raw] : exceptions)
+    r.data[pos] = std::bit_cast<float>(raw);
+  return r;
+}
+
+}  // namespace sz14

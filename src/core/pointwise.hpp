@@ -1,0 +1,49 @@
+// Pointwise-relative-error compression mode.
+//
+// The paper's Metric 1 footnote distinguishes the value-range-based
+// relative bound (eb = eb_rel * R_X, what Sec. V evaluates) from the
+// *pointwise* relative bound |x - x~| <= p * |x|, which later SZ-1.4.x
+// releases added.  This module implements that mode the way the reference
+// line does: compress log2|x| under an absolute bound of log2(1 + p)
+// (a multiplicative error of at most (1+p) in either direction), with the
+// signs bit-packed separately and zeros/denormals/non-finite values stored
+// verbatim behind an exception list.  The log array is compressed with the
+// double-precision core pipeline so the transform itself never eats into
+// the bound.
+//
+// Container layout:
+//   magic 'SZPR' | version u8 | pwrel f64 | varint n_values |
+//   varint sign_bytes | sign bitset | varint n_exceptions |
+//   (varint delta_index, u32 raw_bits)* | inner f64 SZ14 stream
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+#include "core/compressor.hpp"
+
+namespace sz14 {
+
+/// Compress under |x - x~| <= pwrel * |x| for every element (exact for
+/// zeros and non-finite values).  `opts.interval_bits`/`layers`/
+/// `decorrelate` apply to the inner log-domain stream; its error-bound
+/// fields are ignored.  Throws std::invalid_argument unless
+/// 0 < pwrel < 1.
+std::vector<std::uint8_t> compress_pointwise_rel(std::span<const float> data,
+                                                 const Dims& dims,
+                                                 double pwrel,
+                                                 const Options& opts = {},
+                                                 CompressStats* stats = nullptr);
+
+struct PointwiseDecompressResult {
+  std::vector<float> data;
+  Dims dims;
+  double pwrel = 0.0;
+};
+
+PointwiseDecompressResult decompress_pointwise_rel(
+    std::span<const std::uint8_t> stream);
+
+}  // namespace sz14

@@ -1,0 +1,122 @@
+// Multilayer multidimensional prediction (the paper's Section III).
+//
+// For an n-layer predictor over a d-dimensional grid, Theorem 1 gives the
+// predicted value at x as
+//
+//   f(x) = sum_{k in [0,n]^d, k != 0}  -prod_j (-1)^{k_j} C(n, k_j) * V(x - k)
+//
+// i.e. a fixed stencil of (n+1)^d - 1 taps over already-processed points.
+// n = 1 recovers the Lorenzo predictor.  Out-of-domain neighbours read as
+// 0.0 (zero extension); this affects only border hitting rate, never
+// correctness, because the quantizer checks the actual prediction error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace sz14 {
+
+/// Maximum supported prediction layer count.  Stencil size grows as
+/// (n+1)^d - 1; beyond a few layers prediction degrades anyway (Table II).
+inline constexpr unsigned kMaxLayers = 8;
+
+/// One stencil tap: integer offsets per axis (all >= 0, meaning "behind"),
+/// the equivalent linear-index offset, and the Theorem-1 coefficient.
+struct PredictorTap {
+  std::array<std::uint32_t, kMaxDims> back{};  // back[i] = k_i
+  std::size_t linear_back = 0;                 // sum back[i] * stride[i]
+  double coeff = 0.0;
+};
+
+/// Precomputed n-layer stencil for a fixed shape.
+class LayerPredictor {
+ public:
+  /// Throws std::invalid_argument for layers == 0 or layers > kMaxLayers.
+  LayerPredictor(const Dims& dims, unsigned layers);
+
+  /// Predict the value at linear index `idx` with coordinate `coord`
+  /// (slowest-first, matching Dims).  `values` is the basis array —
+  /// original data for analysis, preceding reconstructed data during
+  /// compression.  Handles borders via zero extension.
+  template <typename T>
+  [[nodiscard]] double predict(std::span<const T> values,
+                               std::span<const std::size_t> coord,
+                               std::size_t idx) const {
+    if (interior(coord)) {
+      double acc = 0.0;
+      for (const auto& t : taps_)
+        acc += t.coeff * static_cast<double>(values[idx - t.linear_back]);
+      return acc;
+    }
+    return predict_border(values, coord, idx);
+  }
+
+  /// True when every tap of the stencil lies inside the domain.
+  [[nodiscard]] bool interior(std::span<const std::size_t> coord) const {
+    for (std::size_t a = 0; a < dims_.rank(); ++a)
+      if (coord[a] < layers_) return false;
+    return true;
+  }
+
+  [[nodiscard]] unsigned layers() const noexcept { return layers_; }
+  [[nodiscard]] const Dims& dims() const noexcept { return dims_; }
+  [[nodiscard]] std::span<const PredictorTap> taps() const noexcept {
+    return taps_;
+  }
+
+  /// Theorem-1 coefficient for back-offset k (any rank), exposed for the
+  /// formula tests against Table I.
+  static double coefficient(std::span<const std::uint32_t> k, unsigned layers);
+
+ private:
+  template <typename T>
+  double predict_border(std::span<const T> values,
+                        std::span<const std::size_t> coord,
+                        std::size_t idx) const {
+    double acc = 0.0;
+    for (const auto& t : taps_) {
+      bool inside = true;
+      for (std::size_t a = 0; a < dims_.rank(); ++a) {
+        if (coord[a] < t.back[a]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside)
+        acc += t.coeff * static_cast<double>(values[idx - t.linear_back]);
+    }
+    return acc;
+  }
+
+  Dims dims_;
+  unsigned layers_;
+  std::vector<PredictorTap> taps_;
+};
+
+/// Odometer-style coordinate walker over a Dims in linear (row-major) order;
+/// avoids a full unravel per element in the hot loop.
+class CoordWalker {
+ public:
+  explicit CoordWalker(const Dims& dims) : dims_(dims), coord_{} {}
+
+  [[nodiscard]] std::span<const std::size_t> coord() const noexcept {
+    return {coord_.data(), dims_.rank()};
+  }
+
+  /// Advance to the next linear index.
+  void advance() noexcept {
+    for (std::size_t a = dims_.rank(); a-- > 0;) {
+      if (++coord_[a] < dims_.extent(a)) return;
+      coord_[a] = 0;
+    }
+  }
+
+ private:
+  const Dims& dims_;
+  std::array<std::size_t, kMaxDims> coord_;
+};
+
+}  // namespace sz14

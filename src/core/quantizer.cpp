@@ -1,0 +1,3 @@
+// LinearQuantizer is header-only (hot path, must inline); this TU anchors
+// the target in the build graph.
+#include "core/quantizer.hpp"

@@ -1,0 +1,109 @@
+#include "core/snapshot.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/bytebuffer.hpp"
+#include "core/format.hpp"
+
+namespace sz14 {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x53'5A'53'4Eu;  // "SZSN"
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Find one variable's stream span by name.
+std::span<const std::uint8_t> find_stream(
+    std::span<const std::uint8_t> container, const std::string& name) {
+  ByteReader in(container);
+  if (in.get<std::uint32_t>() != kSnapshotMagic)
+    throw std::runtime_error("snapshot: bad magic");
+  if (in.get<std::uint8_t>() != kSnapshotVersion)
+    throw std::runtime_error("snapshot: unsupported version");
+  const auto n = static_cast<std::size_t>(in.get_varint());
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto name_len = static_cast<std::size_t>(in.get_varint());
+    const auto name_bytes = in.get_bytes(name_len);
+    const auto stream_len = static_cast<std::size_t>(in.get_varint());
+    const auto stream = in.get_bytes(stream_len);
+    if (std::string(name_bytes.begin(), name_bytes.end()) == name)
+      return stream;
+  }
+  throw std::runtime_error("snapshot: no variable named '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> snapshot_compress(
+    std::span<const SnapshotVariable> variables) {
+  std::set<std::string> seen;
+  ByteWriter out;
+  out.put<std::uint32_t>(kSnapshotMagic);
+  out.put<std::uint8_t>(kSnapshotVersion);
+  out.put_varint(variables.size());
+  for (const auto& var : variables) {
+    if (var.name.empty())
+      throw std::invalid_argument("snapshot: empty variable name");
+    if (!seen.insert(var.name).second)
+      throw std::invalid_argument("snapshot: duplicate variable '" +
+                                  var.name + "'");
+    const bool has32 = !var.f32.empty();
+    const bool has64 = !var.f64.empty();
+    if (has32 == has64)
+      throw std::invalid_argument("snapshot: variable '" + var.name +
+                                  "' must provide exactly one of f32/f64");
+    const auto stream = has32 ? compress(var.f32, var.dims, var.opts)
+                              : compress(var.f64, var.dims, var.opts);
+    out.put_varint(var.name.size());
+    out.put_bytes({reinterpret_cast<const std::uint8_t*>(var.name.data()),
+                   var.name.size()});
+    out.put_varint(stream.size());
+    out.put_bytes(stream);
+  }
+  return std::move(out).take();
+}
+
+std::vector<SnapshotEntry> snapshot_list(
+    std::span<const std::uint8_t> container) {
+  ByteReader in(container);
+  if (in.get<std::uint32_t>() != kSnapshotMagic)
+    throw std::runtime_error("snapshot: bad magic");
+  if (in.get<std::uint8_t>() != kSnapshotVersion)
+    throw std::runtime_error("snapshot: unsupported version");
+  const auto n = static_cast<std::size_t>(in.get_varint());
+  // Each variable occupies at least 3 bytes (name len + stream len + one
+  // byte of name); reject corrupt counts before reserving.
+  if (n > container.size())
+    throw std::runtime_error("snapshot: variable count exceeds container");
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    SnapshotEntry e;
+    const auto name_len = static_cast<std::size_t>(in.get_varint());
+    const auto name_bytes = in.get_bytes(name_len);
+    e.name.assign(name_bytes.begin(), name_bytes.end());
+    const auto stream_len = static_cast<std::size_t>(in.get_varint());
+    const auto stream = in.get_bytes(stream_len);
+    e.stream_bytes = stream.size();
+    ByteReader sr(stream);
+    const StreamHeader h = read_header(sr);
+    e.dtype = h.dtype == kDtypeF64 ? StreamDtype::kF64 : StreamDtype::kF32;
+    e.dims = h.dims;
+    e.eb_abs = h.eb_abs;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+DecompressResult snapshot_extract_f32(std::span<const std::uint8_t> container,
+                                      const std::string& name) {
+  return decompress(find_stream(container, name));
+}
+
+DecompressResult64 snapshot_extract_f64(
+    std::span<const std::uint8_t> container, const std::string& name) {
+  return decompress64(find_stream(container, name));
+}
+
+}  // namespace sz14

@@ -1,0 +1,58 @@
+// Multi-variable snapshot container.
+//
+// HPC outputs (paper Sec. II: "multiple snapshots that will contain many
+// variables") bundle many named arrays per time step, each with its own
+// shape and accuracy requirement.  This container compresses each variable
+// independently with the SZ-1.4 codec — mirroring how the paper's off-line
+// compression treats the 11400 ATM files — and lets readers decompress a
+// single variable without touching the rest.
+//
+// Layout:
+//   magic 'SZSN' | version u8 | varint n_vars |
+//   per var: varint name_len | name bytes | varint stream_len | stream
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace sz14 {
+
+/// One variable queued for snapshot compression.  Exactly one of
+/// `f32`/`f64` must be non-empty.
+struct SnapshotVariable {
+  std::string name;
+  Dims dims;
+  std::span<const float> f32;
+  std::span<const double> f64;
+  Options opts;
+};
+
+/// Compress all variables into one self-describing container.
+/// Throws std::invalid_argument on duplicate/empty names or bad payloads.
+std::vector<std::uint8_t> snapshot_compress(
+    std::span<const SnapshotVariable> variables);
+
+struct SnapshotEntry {
+  std::string name;
+  StreamDtype dtype;
+  Dims dims;
+  double eb_abs = 0.0;
+  std::size_t stream_bytes = 0;
+};
+
+/// List the variables in a container without decompressing anything.
+std::vector<SnapshotEntry> snapshot_list(
+    std::span<const std::uint8_t> container);
+
+/// Decompress one variable by name (f32 / f64 accessor must match the
+/// stored dtype).  Throws std::runtime_error if absent or wrong dtype.
+DecompressResult snapshot_extract_f32(std::span<const std::uint8_t> container,
+                                      const std::string& name);
+DecompressResult64 snapshot_extract_f64(
+    std::span<const std::uint8_t> container, const std::string& name);
+
+}  // namespace sz14

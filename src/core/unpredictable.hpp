@@ -1,0 +1,54 @@
+// Binary-representation analysis for unpredictable points (paper Sec. IV,
+// following SZ-1.1 [Di & Cappello, IPDPS'16]).
+//
+// A value that misses every quantization interval is stored as a truncated
+// IEEE-754 number: sign + exponent + only as many mantissa bits as the
+// error bound requires.  Reconstruction uses the midpoint of the truncated
+// range, which halves the worst-case truncation error.  Three tag values
+// cover the edge cases:
+//   kTiny  — |v| <= eb: store nothing, reconstruct 0
+//   kTrunc — normal value: sign(1) + exponent + kept mantissa bits
+//   kRaw   — non-finite, denormal, or eb <= 0: verbatim bits (lossless)
+//
+// Instantiated for float (the paper's evaluation dtype) and double (the
+// paper's Sec. II notes 64 bits/value uncompressed for double data).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitstream.hpp"
+#include "core/float_traits.hpp"
+
+namespace sz14 {
+
+template <typename T>
+class UnpredictableCodecT {
+ public:
+  explicit UnpredictableCodecT(double eb);
+
+  /// Encode one value and return the value the decoder will reconstruct
+  /// (the compressor must continue predicting from exactly that value).
+  /// Guarantees |encode(v) - v| <= eb for finite v (exact on the kRaw path).
+  T encode(T v, BitWriter& bw) const;
+
+  [[nodiscard]] T decode(BitReader& br) const;
+
+  /// Mantissa bits kept for a value with unbiased exponent `e` — exposed
+  /// for tests.  Returns 0..kMantBits.
+  [[nodiscard]] unsigned kept_bits(int e) const;
+
+ private:
+  enum Tag : unsigned { kTrunc = 0, kTiny = 1, kRaw = 2 };
+
+  double eb_;
+  int eb_log2_ = 0;  // floor(log2(eb)) when eb > 0
+  bool raw_only_ = false;
+};
+
+using UnpredictableCodec = UnpredictableCodecT<float>;
+using UnpredictableCodec64 = UnpredictableCodecT<double>;
+
+extern template class UnpredictableCodecT<float>;
+extern template class UnpredictableCodecT<double>;
+
+}  // namespace sz14

@@ -1,0 +1,253 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sz14::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Value-noise octave: smooth pseudo-random bumps with wavelength ~1/freq,
+/// built from a deterministic lattice hash + bicubic-ish smoothstep blend.
+class ValueNoise2D {
+ public:
+  ValueNoise2D(std::uint64_t seed, double freq) : seed_(seed), freq_(freq) {}
+
+  double operator()(double x, double y) const {
+    const double fx = x * freq_;
+    const double fy = y * freq_;
+    const auto ix = static_cast<std::int64_t>(std::floor(fx));
+    const auto iy = static_cast<std::int64_t>(std::floor(fy));
+    const double tx = smooth(fx - static_cast<double>(ix));
+    const double ty = smooth(fy - static_cast<double>(iy));
+    const double v00 = lattice(ix, iy);
+    const double v10 = lattice(ix + 1, iy);
+    const double v01 = lattice(ix, iy + 1);
+    const double v11 = lattice(ix + 1, iy + 1);
+    const double a = v00 + (v10 - v00) * tx;
+    const double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+  }
+
+ private:
+  static double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+
+  double lattice(std::int64_t x, std::int64_t y) const {
+    std::uint64_t h = seed_;
+    h ^= static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ULL;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;  // [-1, 1)
+  }
+
+  std::uint64_t seed_;
+  double freq_;
+};
+
+}  // namespace
+
+Field climate2d(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "climate2d(ATM)";
+  Rng rng(seed);
+  const ValueNoise2D octave1(seed + 1, 3.0), octave2(seed + 2, 11.0),
+      octave3(seed + 3, 37.0);
+  // A handful of random spike centres (storm cells).
+  constexpr int kSpikes = 24;
+  double sx[kSpikes], sy[kSpikes], samp[kSpikes];
+  for (int s = 0; s < kSpikes; ++s) {
+    sx[s] = rng.uniform();
+    sy[s] = rng.uniform();
+    samp[s] = rng.uniform(4.0, 12.0) * (rng.uniform() < 0.5 ? -1.0 : 1.0);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double y = static_cast<double>(i) / static_cast<double>(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(cols);
+      // Planetary-scale waves (latitude banding + zonal waves).
+      double v = 12.0 * std::sin(kPi * y) * std::cos(4.0 * kPi * x) +
+                 6.0 * std::sin(2.0 * kPi * (x + 0.3 * y)) +
+                 3.0 * octave1(x, y) + 1.5 * octave2(x, y) +
+                 0.6 * octave3(x, y);
+      // A sharp weather front: tanh step across a tilted line.
+      v += 8.0 * std::tanh(80.0 * (y - 0.45 - 0.2 * std::sin(2 * kPi * x)));
+      // Storm-cell spikes with small support.
+      for (int s = 0; s < kSpikes; ++s) {
+        const double dx = x - sx[s], dy = y - sy[s];
+        const double r2 = dx * dx + dy * dy;
+        v += samp[s] * std::exp(-r2 * 4000.0);
+      }
+      f.values[i * cols + j] = static_cast<float>(v);
+    }
+  }
+  return f;
+}
+
+Field xray2d(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "xray2d(APS)";
+  Rng rng(seed);
+  const double cx = 0.5 + rng.uniform(-0.05, 0.05);
+  const double cy = 0.5 + rng.uniform(-0.05, 0.05);
+  const ValueNoise2D background(seed + 9, 5.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double y = static_cast<double>(i) / static_cast<double>(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(cols);
+      const double r = std::hypot(x - cx, y - cy);
+      // Diffraction rings: damped oscillation in radius, plus a beam-stop
+      // hole in the centre.
+      double intensity = 900.0 * std::exp(-3.0 * r) *
+                             (1.0 + std::cos(90.0 * r)) * 0.5 +
+                         40.0 * (1.0 + background(x, y));
+      if (r < 0.03) intensity = 2.0;  // beam stop
+      // Shot noise ~ sqrt(signal); Gaussian approximation of Poisson,
+      // scaled down as if frames were exposure-averaged (real APS frames
+      // keep enough smoothness for prediction to work at tight bounds).
+      intensity += 0.4 * std::sqrt(std::max(intensity, 1.0)) * rng.normal();
+      // Dead pixels (detector defects) — rare hard zeros.
+      if (rng.uniform() < 0.0002) intensity = 0.0;
+      f.values[i * cols + j] = static_cast<float>(std::max(intensity, 0.0));
+    }
+  }
+  return f;
+}
+
+Field hurricane3d(std::size_t levels, std::size_t rows, std::size_t cols,
+                  std::uint64_t seed, unsigned variable) {
+  Field f;
+  f.dims = Dims{levels, rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "hurricane3d";
+  Rng rng(seed + variable * 1000003ULL);
+  const double cx = 0.5 + rng.uniform(-0.1, 0.1);
+  const double cy = 0.5 + rng.uniform(-0.1, 0.1);
+  const double rmax = 0.12;  // radius of maximum wind
+  const ValueNoise2D turb1(seed + 11, 13.0), turb2(seed + 12, 41.0);
+  for (std::size_t k = 0; k < levels; ++k) {
+    const double z = static_cast<double>(k) / static_cast<double>(levels);
+    // Vortex weakens and the eye tilts with height.
+    const double strength = 60.0 * (1.0 - 0.6 * z);
+    const double ex = cx + 0.05 * z;  // eye track tilt
+    const double ey = cy + 0.03 * std::sin(4.0 * z);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double y = static_cast<double>(i) / static_cast<double>(rows);
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double x = static_cast<double>(j) / static_cast<double>(cols);
+        const double dx = x - ex, dy = y - ey;
+        const double r = std::hypot(dx, dy);
+        // Rankine-style tangential wind profile.
+        const double wind = (r < rmax)
+                                ? strength * (r / rmax)
+                                : strength * (rmax / std::max(r, 1e-6));
+        double v;
+        switch (variable % 3) {
+          case 0:  // wind speed + turbulence
+            v = wind + 1.2 * turb1(x + z, y) + 0.4 * turb2(x, y + z);
+            break;
+          case 1:  // pressure deviation (smooth well)
+            v = -55.0 * std::exp(-r * r / (2.0 * rmax * rmax)) *
+                    (1.0 - 0.5 * z) +
+                0.8 * turb1(x, y + 2 * z);
+            break;
+          default:  // moisture: banded spiral arms
+            v = 20.0 * std::exp(-r / 0.25) *
+                    (1.0 + std::sin(12.0 * std::atan2(dy, dx) + 40.0 * r -
+                                    6.0 * z)) +
+                1.2 * turb2(x + z, y);
+            break;
+        }
+        f.values[(k * rows + i) * cols + j] = static_cast<float>(v);
+      }
+    }
+  }
+  return f;
+}
+
+Field huge_range2d(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "huge_range2d(CDNUMC)";
+  const ValueNoise2D octave(seed + 21, 7.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double y = static_cast<double>(i) / static_cast<double>(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(cols);
+      // log10(value) varies smoothly across ~14 decades: 1e-3 .. 1e11.
+      const double log10v = -3.0 + 14.0 * (0.5 + 0.5 * std::sin(2 * kPi * x) *
+                                                     std::cos(2 * kPi * y)) +
+                            0.8 * octave(x, y);
+      f.values[i * cols + j] = static_cast<float>(std::pow(10.0, log10v));
+    }
+  }
+  return f;
+}
+
+Field freqsh_like(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "freqsh_like";
+  Rng rng(seed);
+  const ValueNoise2D o1(seed + 31, 17.0), o2(seed + 32, 53.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double y = static_cast<double>(i) / static_cast<double>(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(cols);
+      // Fraction-like field in [0,1] with dense high-frequency structure.
+      double v = 0.5 + 0.25 * o1(x, y) + 0.15 * o2(x, y) +
+                 0.05 * rng.normal() * 0.3;
+      v = std::min(1.0, std::max(0.0, v));
+      f.values[i * cols + j] = static_cast<float>(v);
+    }
+  }
+  return f;
+}
+
+Field snowhlnd_like(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{rows, cols};
+  f.values.resize(f.dims.count());
+  f.name = "snowhlnd_like";
+  const ValueNoise2D mask(seed + 41, 4.0), amount(seed + 42, 9.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double y = static_cast<double>(i) / static_cast<double>(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(cols);
+      // Mostly zero (ocean / snow-free), sparse smooth patches where the
+      // "land + snow" mask is positive — the high-CF regime of Fig. 9(c).
+      const double m = mask(x, y) - 0.35;
+      double v = 0.0;
+      if (m > 0.0) v = 120.0 * m * (1.0 + 0.5 * amount(x, y));
+      f.values[i * cols + j] = static_cast<float>(v);
+    }
+  }
+  return f;
+}
+
+Field smooth1d(std::size_t n, std::uint64_t seed) {
+  Field f;
+  f.dims = Dims{n};
+  f.values.resize(n);
+  f.name = "smooth1d";
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    f.values[i] = static_cast<float>(std::sin(6.0 * kPi * t) +
+                                     0.3 * std::sin(40.0 * kPi * t) +
+                                     0.02 * rng.normal());
+  }
+  return f;
+}
+
+}  // namespace sz14::data

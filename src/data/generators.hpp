@@ -1,0 +1,58 @@
+// Deterministic synthetic stand-ins for the paper's three evaluation data
+// sets (see DESIGN.md §3 for the substitution rationale):
+//
+//   climate2d  — ATM-class CESM field: multi-scale smooth waves, a sharp
+//                front, and localized spikes ("fairly sharp or spiky data
+//                changes in small data regions", Sec. I).
+//   xray2d     — APS-class detector frame: diffraction rings + shot noise +
+//                dead pixels; the pointwise noise floor limits prediction.
+//   hurricane3d— NCAR-hurricane-class field: 3D vortex with vertical shear
+//                and turbulence octaves; correlated along all three axes.
+//   huge_range2d — CDNUMC-style field spanning ~14 decades, the case where
+//                ZFP's exponent alignment violates the user bound (Sec. V-A).
+//
+// All generators are pure functions of (shape, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace sz14::data {
+
+struct Field {
+  std::vector<float> values;
+  Dims dims;
+  const char* name = "";
+};
+
+/// ATM-class 2D climate field (rows x cols).
+Field climate2d(std::size_t rows, std::size_t cols, std::uint64_t seed = 42);
+
+/// APS-class 2D X-ray detector frame.
+Field xray2d(std::size_t rows, std::size_t cols, std::uint64_t seed = 43);
+
+/// Hurricane-class 3D field (levels x rows x cols); `variable` selects one
+/// of the simulated physical variables (0 = wind speed, 1 = pressure
+/// deviation, 2 = moisture).
+Field hurricane3d(std::size_t levels, std::size_t rows, std::size_t cols,
+                  std::uint64_t seed = 44, unsigned variable = 0);
+
+/// Smooth but huge-dynamic-range field (values 1e-3 .. 1e11), modeled on the
+/// ATM variable CDNUMC that breaks ZFP's bound.
+Field huge_range2d(std::size_t rows, std::size_t cols,
+                   std::uint64_t seed = 45);
+
+/// A smooth low-CF-style variable (FREQSH-like: dense high-frequency
+/// content, compresses ~6x) and a high-CF-style variable (SNOWHLND-like:
+/// mostly-constant with sparse features, compresses ~50x) for the Fig. 9
+/// autocorrelation study.
+Field freqsh_like(std::size_t rows, std::size_t cols, std::uint64_t seed = 46);
+Field snowhlnd_like(std::size_t rows, std::size_t cols,
+                    std::uint64_t seed = 47);
+
+/// 1D sine + noise helper for unit tests and the quickstart example.
+Field smooth1d(std::size_t n, std::uint64_t seed = 48);
+
+}  // namespace sz14::data

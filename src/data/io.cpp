@@ -1,0 +1,45 @@
+#include "data/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sz14::data {
+
+void write_bytes(const std::string& path,
+                 std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("read failed: " + path);
+  return bytes;
+}
+
+void write_f32(const std::string& path, std::span<const float> values) {
+  write_bytes(path,
+              {reinterpret_cast<const std::uint8_t*>(values.data()),
+               values.size() * sizeof(float)});
+}
+
+std::vector<float> read_f32(const std::string& path) {
+  const auto bytes = read_bytes(path);
+  if (bytes.size() % sizeof(float) != 0)
+    throw std::runtime_error("f32 file size not divisible by 4: " + path);
+  std::vector<float> values(bytes.size() / sizeof(float));
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+}  // namespace sz14::data

@@ -1,0 +1,26 @@
+// Raw float32 file I/O (the format scientific data sets ship in: flat
+// little-endian arrays with shape metadata carried out of band).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sz14::data {
+
+/// Write a flat little-endian float32 file.  Throws std::runtime_error on
+/// I/O failure.
+void write_f32(const std::string& path, std::span<const float> values);
+
+/// Read a whole float32 file.  Throws on I/O failure or size not divisible
+/// by 4.
+std::vector<float> read_f32(const std::string& path);
+
+/// Write raw bytes.
+void write_bytes(const std::string& path,
+                 std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> read_bytes(const std::string& path);
+
+}  // namespace sz14::data

@@ -1,0 +1,170 @@
+#include "encoding/deflate_like.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+#include "encoding/huffman.hpp"
+#include "encoding/lz77.hpp"
+
+namespace sz14 {
+
+namespace {
+
+// Alphabet layout (deflate-inspired, simplified):
+//   0..255   literal bytes
+//   256      end-of-block
+//   257..285 length bucket (length = base + extra bits)
+// Distances use their own 30-bucket alphabet.
+constexpr std::uint16_t kEob = 256;
+constexpr std::size_t kLitLenAlphabet = 286;
+constexpr std::size_t kDistAlphabet = 30;
+
+struct Bucket {
+  std::uint16_t base;
+  std::uint8_t extra_bits;
+};
+
+// Deflate's length buckets (3..258), index 0 => symbol 257.
+constexpr Bucket kLenBuckets[29] = {
+    {3, 0},  {4, 0},  {5, 0},  {6, 0},   {7, 0},   {8, 0},   {9, 0},
+    {10, 0}, {11, 1}, {13, 1}, {15, 1},  {17, 1},  {19, 2},  {23, 2},
+    {27, 2}, {31, 2}, {35, 3}, {43, 3},  {51, 3},  {59, 3},  {67, 4},
+    {83, 4}, {99, 4}, {115, 4}, {131, 5}, {163, 5}, {195, 5}, {227, 5},
+    {258, 0}};
+
+// Deflate's distance buckets (1..32768).
+constexpr Bucket kDistBuckets[30] = {
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},    {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},   {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13}};
+
+template <std::size_t N>
+std::size_t bucket_for(const Bucket (&buckets)[N], std::uint32_t value) {
+  // Buckets are sorted by base; linear scan from the top is fine for N<=30.
+  for (std::size_t i = N; i-- > 0;) {
+    if (value >= buckets[i].base) return i;
+  }
+  throw std::runtime_error("deflate_like: value below smallest bucket");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> deflate_like_compress(
+    std::span<const std::uint8_t> data) {
+  const auto tokens = lz77_tokenize(data);
+
+  // Pass 1: histograms.
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  for (const auto& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[257 + bucket_for(kLenBuckets, t.length)];
+      ++dist_freq[bucket_for(kDistBuckets, t.distance)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const auto lit_lens = huffman_code_lengths(lit_freq);
+  const auto lit_codes = huffman_canonical_codes(lit_lens);
+  const auto dist_lens = huffman_code_lengths(dist_freq);
+  const auto dist_codes = huffman_canonical_codes(dist_lens);
+
+  ByteWriter out;
+  out.put_varint(data.size());
+  // Serialize both code-length tables.
+  auto put_table = [&out](std::span<const std::uint8_t> lens) {
+    out.put_varint(lens.size());
+    for (auto l : lens) out.put<std::uint8_t>(l);
+  };
+  put_table(lit_lens);
+  put_table(dist_lens);
+
+  BitWriter bw;
+  for (const auto& t : tokens) {
+    if (!t.is_match) {
+      bw.put(lit_codes[t.literal], lit_lens[t.literal]);
+      continue;
+    }
+    const std::size_t lb = bucket_for(kLenBuckets, t.length);
+    const std::uint16_t lsym = static_cast<std::uint16_t>(257 + lb);
+    bw.put(lit_codes[lsym], lit_lens[lsym]);
+    bw.put(t.length - kLenBuckets[lb].base, kLenBuckets[lb].extra_bits);
+    const std::size_t db = bucket_for(kDistBuckets, t.distance);
+    bw.put(dist_codes[db], dist_lens[db]);
+    bw.put(t.distance - kDistBuckets[db].base, kDistBuckets[db].extra_bits);
+  }
+  bw.put(lit_codes[kEob], lit_lens[kEob]);
+  auto payload = std::move(bw).finish();
+  out.put_varint(payload.size());
+  out.put_bytes(payload);
+  return std::move(out).take();
+}
+
+std::vector<std::uint8_t> deflate_like_decompress(
+    std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const auto orig_size = static_cast<std::size_t>(in.get_varint());
+  auto get_table = [&in] {
+    const auto n = static_cast<std::size_t>(in.get_varint());
+    if (n > 4096) throw std::runtime_error("deflate_like: bad table size");
+    std::vector<std::uint8_t> lens(n);
+    for (auto& l : lens) l = in.get<std::uint8_t>();
+    return lens;
+  };
+  const auto lit_lens = get_table();
+  const auto dist_lens = get_table();
+  if (lit_lens.size() != kLitLenAlphabet || dist_lens.size() != kDistAlphabet)
+    throw std::runtime_error("deflate_like: unexpected alphabet sizes");
+  const auto n_payload = static_cast<std::size_t>(in.get_varint());
+  const auto payload = in.get_bytes(n_payload);
+
+  HuffmanDecoder lit_dec(lit_lens);
+  // The distance table may be empty (no matches at all).
+  const bool has_dist = [&] {
+    for (auto l : dist_lens)
+      if (l) return true;
+    return false;
+  }();
+  std::optional<HuffmanDecoder> dist_dec;
+  if (has_dist) dist_dec.emplace(dist_lens);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(orig_size);
+  BitReader br(payload);
+  for (;;) {
+    const std::uint16_t sym = lit_dec.decode(br);
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    if (sym == kEob) break;
+    const std::size_t lb = sym - 257;
+    if (lb >= 29) throw std::runtime_error("deflate_like: bad length symbol");
+    const std::uint32_t length =
+        kLenBuckets[lb].base +
+        static_cast<std::uint32_t>(br.get(kLenBuckets[lb].extra_bits));
+    if (!dist_dec)
+      throw std::runtime_error("deflate_like: match without distance table");
+    const std::uint16_t dsym = dist_dec->decode(br);
+    if (dsym >= kDistAlphabet)
+      throw std::runtime_error("deflate_like: bad distance symbol");
+    const std::uint32_t dist =
+        kDistBuckets[dsym].base +
+        static_cast<std::uint32_t>(br.get(kDistBuckets[dsym].extra_bits));
+    if (dist == 0 || dist > out.size())
+      throw std::runtime_error("deflate_like: invalid back-reference");
+    const std::size_t src = out.size() - dist;
+    for (std::uint32_t k = 0; k < length; ++k) out.push_back(out[src + k]);
+  }
+  if (out.size() != orig_size)
+    throw std::runtime_error("deflate_like: size mismatch after decode");
+  return out;
+}
+
+}  // namespace sz14

@@ -1,0 +1,23 @@
+// Deflate-style lossless byte codec: LZ77 tokens entropy-coded with a
+// canonical Huffman code over a merged literal/length alphabet plus a
+// distance alphabet.  Not bit-compatible with RFC 1951, but the same
+// algorithm class — it is the substrate of the GZIP-class baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sz14 {
+
+/// Compress arbitrary bytes.  Always succeeds; incompressible input grows by
+/// a small header only (the token stream degenerates to literals).
+std::vector<std::uint8_t> deflate_like_compress(
+    std::span<const std::uint8_t> data);
+
+/// Inverse of deflate_like_compress.  Throws std::runtime_error on malformed
+/// streams.
+std::vector<std::uint8_t> deflate_like_decompress(
+    std::span<const std::uint8_t> stream);
+
+}  // namespace sz14

@@ -1,0 +1,265 @@
+#include "encoding/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "common/bitstream.hpp"
+
+namespace sz14 {
+
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  std::int32_t left;    // node index or -1
+  std::int32_t right;   // node index or -1
+  std::uint32_t symbol; // leaf only
+  std::uint32_t order;  // tie-breaker for deterministic trees
+};
+
+struct NodeCmp {
+  const std::vector<Node>* nodes;
+  bool operator()(std::int32_t a, std::int32_t b) const {
+    const Node& na = (*nodes)[static_cast<std::size_t>(a)];
+    const Node& nb = (*nodes)[static_cast<std::size_t>(b)];
+    if (na.freq != nb.freq) return na.freq > nb.freq;  // min-heap by freq
+    return na.order > nb.order;
+  }
+};
+
+void assign_depths(const std::vector<Node>& nodes, std::int32_t root,
+                   std::vector<std::uint8_t>& lengths) {
+  // Iterative DFS; depth of a leaf = code length.
+  std::vector<std::pair<std::int32_t, unsigned>> stack;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.left < 0 && n.right < 0) {
+      lengths[n.symbol] =
+          static_cast<std::uint8_t>(std::max(1u, std::min(depth, 255u)));
+      continue;
+    }
+    if (n.left >= 0) stack.emplace_back(n.left, depth + 1);
+    if (n.right >= 0) stack.emplace_back(n.right, depth + 1);
+  }
+}
+
+// Enforce the Kraft inequality after clamping overlong codes to max_bits.
+void limit_lengths(std::vector<std::uint8_t>& lengths, unsigned max_bits) {
+  // Collect symbols with nonzero length.
+  bool overflow = false;
+  for (auto& l : lengths)
+    if (l > max_bits) {
+      l = static_cast<std::uint8_t>(max_bits);
+      overflow = true;
+    }
+  if (!overflow) return;
+  // Standard repair: compute Kraft sum K = sum 2^-l; while K > 1, lengthen
+  // the shortest-saving candidates (increase some length < max_bits by 1).
+  const double unit = std::ldexp(1.0, -static_cast<int>(max_bits));
+  auto kraft = [&] {
+    double k = 0;
+    for (auto l : lengths)
+      if (l) k += std::ldexp(1.0, -static_cast<int>(l));
+    return k;
+  };
+  double k = kraft();
+  while (k > 1.0 + 1e-12) {
+    // Find the longest length < max_bits and bump it (cheapest Kraft
+    // reduction), deterministic by symbol order.
+    std::size_t best = lengths.size();
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] == 0 || lengths[s] >= max_bits) continue;
+      if (best == lengths.size() || lengths[s] > lengths[best]) best = s;
+    }
+    if (best == lengths.size())
+      throw std::runtime_error("huffman: cannot satisfy Kraft inequality");
+    k -= std::ldexp(1.0, -static_cast<int>(lengths[best]));
+    ++lengths[best];
+    k += std::ldexp(1.0, -static_cast<int>(lengths[best]));
+  }
+  (void)unit;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits) {
+  if (max_bits == 0 || max_bits > kMaxHuffmanBits)
+    throw std::invalid_argument("huffman: bad max_bits");
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  std::vector<Node> nodes;
+  nodes.reserve(freqs.size() * 2);
+  std::priority_queue<std::int32_t, std::vector<std::int32_t>, NodeCmp> heap{
+      NodeCmp{&nodes}};
+  std::uint32_t order = 0;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    nodes.push_back(Node{freqs[s], -1, -1, static_cast<std::uint32_t>(s),
+                         order++});
+    heap.push(static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[nodes[0].symbol] = 1;  // single-symbol stream: 1-bit code
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const std::int32_t a = heap.top();
+    heap.pop();
+    const std::int32_t b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{nodes[static_cast<std::size_t>(a)].freq +
+                             nodes[static_cast<std::size_t>(b)].freq,
+                         a, b, 0, order++});
+    heap.push(static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  assign_depths(nodes, heap.top(), lengths);
+  limit_lengths(lengths, max_bits);
+  return lengths;
+}
+
+std::vector<std::uint32_t> huffman_canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  unsigned max_len = 0;
+  for (auto l : lengths) max_len = std::max<unsigned>(max_len, l);
+  if (max_len == 0) return codes;
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  for (auto l : lengths)
+    if (l) ++bl_count[l];
+  std::vector<std::uint32_t> next_code(max_len + 2, 0);
+  std::uint32_t code = 0;
+  for (unsigned bits = 1; bits <= max_len; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s]) codes[s] = next_code[lengths[s]]++;
+  return codes;
+}
+
+void huffman_encode(std::span<const std::uint16_t> symbols,
+                    std::size_t alphabet_size, ByteWriter& out) {
+  if (alphabet_size == 0 || alphabet_size > (1u << 16))
+    throw std::invalid_argument("huffman_encode: bad alphabet size");
+  std::vector<std::uint64_t> freqs(alphabet_size, 0);
+  for (auto s : symbols) {
+    if (s >= alphabet_size)
+      throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+    ++freqs[s];
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lengths);
+
+  out.put_varint(alphabet_size);
+  std::size_t present = 0;
+  for (auto l : lengths)
+    if (l) ++present;
+  out.put_varint(present);
+  // Delta-coded symbol ids keep the table small when codes cluster.
+  std::uint64_t prev = 0;
+  for (std::size_t s = 0; s < alphabet_size; ++s) {
+    if (!lengths[s]) continue;
+    out.put_varint(s - prev);
+    prev = s;
+    out.put<std::uint8_t>(lengths[s]);
+  }
+  out.put_varint(symbols.size());
+
+  BitWriter bw;
+  for (auto s : symbols) bw.put(codes[s], lengths[s]);
+  auto payload = std::move(bw).finish();
+  out.put_varint(payload.size());
+  out.put_bytes(payload);
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (auto l : lengths) max_len_ = std::max<unsigned>(max_len_, l);
+  if (max_len_ > kMaxHuffmanBits)
+    throw std::runtime_error("HuffmanDecoder: code length too large");
+  count_.assign(max_len_ + 1, 0);
+  for (auto l : lengths)
+    if (l) ++count_[l];
+  first_code_.assign(max_len_ + 2, 0);
+  offset_.assign(max_len_ + 2, 0);
+  std::uint32_t code = 0, idx = 0;
+  for (unsigned bits = 1; bits <= max_len_; ++bits) {
+    code = (code + (bits > 1 ? count_[bits - 1] : 0)) << 1;
+    first_code_[bits] = code;
+    offset_[bits] = idx;
+    idx += count_[bits];
+  }
+  sorted_.resize(idx);
+  std::vector<std::uint32_t> fill(max_len_ + 1, 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned l = lengths[s];
+    if (!l) continue;
+    sorted_[offset_[l] + fill[l]] = static_cast<std::uint16_t>(s);
+    ++fill[l];
+  }
+}
+
+std::uint16_t HuffmanDecoder::decode(BitReader& br) const {
+  if (max_len_ == 0)
+    throw std::runtime_error("HuffmanDecoder: empty code table");
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | static_cast<std::uint32_t>(br.get(1));
+    if (count_[len] && code - first_code_[len] < count_[len])
+      return sorted_[offset_[len] + (code - first_code_[len])];
+  }
+  throw std::runtime_error("HuffmanDecoder: invalid codeword");
+}
+
+std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
+  const auto alphabet_size = static_cast<std::size_t>(in.get_varint());
+  if (alphabet_size == 0 || alphabet_size > (1u << 16))
+    throw std::runtime_error("huffman_decode: bad alphabet size");
+  const auto present = static_cast<std::size_t>(in.get_varint());
+  std::vector<std::uint8_t> lengths(alphabet_size, 0);
+  std::uint64_t sym = 0;
+  for (std::size_t i = 0; i < present; ++i) {
+    sym += in.get_varint();
+    if (sym >= alphabet_size)
+      throw std::runtime_error("huffman_decode: symbol out of range");
+    lengths[sym] = in.get<std::uint8_t>();
+  }
+  const auto n_symbols = static_cast<std::size_t>(in.get_varint());
+  const auto n_payload = static_cast<std::size_t>(in.get_varint());
+  const auto payload = in.get_bytes(n_payload);
+  // Sanity: every symbol costs at least one payload bit, so a declared
+  // count beyond 8 * payload bytes is corruption — reject before reserving.
+  if (n_symbols > 0 && n_symbols > n_payload * 8)
+    throw std::runtime_error("huffman_decode: symbol count exceeds payload");
+
+  std::vector<std::uint16_t> out;
+  out.reserve(n_symbols);
+  if (n_symbols == 0) return out;
+  HuffmanDecoder dec(lengths);
+  BitReader br(payload);
+  for (std::size_t i = 0; i < n_symbols; ++i) out.push_back(dec.decode(br));
+  return out;
+}
+
+double shannon_entropy_bits(std::span<const std::uint16_t> symbols,
+                            std::size_t alphabet_size) {
+  if (symbols.empty()) return 0.0;
+  std::vector<std::uint64_t> freqs(alphabet_size, 0);
+  for (auto s : symbols) ++freqs.at(s);
+  const double n = static_cast<double>(symbols.size());
+  double h = 0;
+  for (auto f : freqs) {
+    if (!f) continue;
+    const double p = static_cast<double>(f) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace sz14

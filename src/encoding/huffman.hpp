@@ -1,0 +1,72 @@
+// Canonical Huffman coder for arbitrary alphabet sizes.
+//
+// The paper (Sec. IV-A) notes that off-the-shelf Huffman implementations
+// handle byte alphabets only (256 symbols), while SZ-1.4 needs up to
+// 2^16 quantization codes; its authors "implement a highly efficient Huffman
+// coding algorithm that can handle a source with any number of quantization
+// codes".  This module is that substrate: it builds length-limited canonical
+// codes over alphabets up to 2^16 symbols, serializes the code table
+// compactly, and decodes with a canonical first-code table (no pointer tree).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytebuffer.hpp"
+
+namespace sz14 {
+
+/// Maximum code length produced by the encoder.  Lengths are limited with
+/// the standard heuristic (rebalancing overflowed leaves), so decoding
+/// tables stay small and the bit reader never sees pathological depths.
+inline constexpr unsigned kMaxHuffmanBits = 32;
+
+/// Compute canonical Huffman code lengths for `freqs` (one entry per symbol;
+/// zero-frequency symbols get length 0).  Lengths are limited to
+/// `max_bits`.  Handles the degenerate 0- and 1-distinct-symbol cases.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits = kMaxHuffmanBits);
+
+/// Assign canonical codewords from lengths: symbols sorted by (length,
+/// symbol); returns per-symbol codes (valid where length > 0).
+std::vector<std::uint32_t> huffman_canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// One-shot encoder: histogram -> canonical table -> serialized
+/// (table + bit-packed payload).  `alphabet_size` must be > every symbol.
+/// Layout:
+///   varint alphabet_size | varint n_present | (varint sym, u8 len)* |
+///   varint n_symbols | varint n_payload_bytes | payload bytes
+void huffman_encode(std::span<const std::uint16_t> symbols,
+                    std::size_t alphabet_size, ByteWriter& out);
+
+/// Inverse of huffman_encode().  Throws std::runtime_error on malformed
+/// input.
+std::vector<std::uint16_t> huffman_decode(ByteReader& in);
+
+/// Decoder table reusable across blocks (canonical first-code method).
+class HuffmanDecoder {
+ public:
+  /// Build from per-symbol code lengths.
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol from an MSB-first bit reader.
+  [[nodiscard]] std::uint16_t decode(class BitReader& br) const;
+
+ private:
+  // first_code_[l] = canonical code value of the first length-l symbol,
+  // offset_[l] = index into sorted_ of that symbol.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> offset_;
+  std::vector<std::uint16_t> sorted_;
+  unsigned max_len_ = 0;
+};
+
+/// Shannon entropy (bits/symbol) of a symbol stream — used by tests and the
+/// adaptive-interval analysis to sanity-check Huffman efficiency.
+double shannon_entropy_bits(std::span<const std::uint16_t> symbols,
+                            std::size_t alphabet_size);
+
+}  // namespace sz14

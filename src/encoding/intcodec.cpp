@@ -1,0 +1,68 @@
+#include "encoding/intcodec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bitstream.hpp"
+#include "encoding/huffman.hpp"
+
+namespace sz14 {
+
+namespace {
+
+// Class of a zigzag value = number of significant bits (0 for value 0).
+// A class-c value carries c-1 extra raw bits (the leading 1 is implicit).
+inline unsigned bit_class(std::uint64_t z) {
+  return z == 0 ? 0u : static_cast<unsigned>(64 - std::countl_zero(z));
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t z) {
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+}  // namespace
+
+void intstream_encode(std::span<const std::int64_t> values, ByteWriter& out) {
+  std::vector<std::uint16_t> classes;
+  classes.reserve(values.size());
+  for (auto v : values)
+    classes.push_back(static_cast<std::uint16_t>(bit_class(zigzag(v))));
+  huffman_encode(classes, 65, out);  // classes 0..64
+
+  BitWriter bw;
+  for (auto v : values) {
+    const std::uint64_t z = zigzag(v);
+    const unsigned c = bit_class(z);
+    if (c > 1) bw.put(z, c - 1);  // drop the implicit leading 1
+  }
+  auto payload = std::move(bw).finish();
+  out.put_varint(payload.size());
+  out.put_bytes(payload);
+}
+
+std::vector<std::int64_t> intstream_decode(ByteReader& in) {
+  const auto classes = huffman_decode(in);
+  const auto payload_bytes = static_cast<std::size_t>(in.get_varint());
+  const auto payload = in.get_bytes(payload_bytes);
+  BitReader br(payload);
+  std::vector<std::int64_t> values;
+  values.reserve(classes.size());
+  for (auto c : classes) {
+    if (c > 64) throw std::runtime_error("intstream: bad class");
+    std::uint64_t z = 0;
+    if (c == 1) {
+      z = 1;
+    } else if (c > 1) {
+      z = (std::uint64_t{1} << (c - 1)) | br.get(c - 1);
+    }
+    values.push_back(unzigzag(z));
+  }
+  return values;
+}
+
+}  // namespace sz14

@@ -1,0 +1,23 @@
+// Entropy codec for signed integer residual streams: each value is split
+// into a bit-length class (Huffman-coded — residual magnitudes are heavily
+// skewed toward zero) plus that many raw magnitude bits.  Shared by the
+// FPZIP-class baseline (prediction residuals) and the ISABELA-class
+// baseline (quantized spline residuals).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytebuffer.hpp"
+
+namespace sz14 {
+
+/// Encode a signed 64-bit integer stream.  Layout:
+///   huffman(classes) | varint payload_bytes | raw magnitude bits
+void intstream_encode(std::span<const std::int64_t> values, ByteWriter& out);
+
+/// Inverse of intstream_encode.
+std::vector<std::int64_t> intstream_decode(ByteReader& in);
+
+}  // namespace sz14

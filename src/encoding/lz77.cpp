@@ -1,0 +1,98 @@
+#include "encoding/lz77.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sz14 {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  // 4-byte multiplicative hash (we always have >= 4 bytes when called).
+  std::uint32_t v;
+  __builtin_memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> data,
+                                     const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  const std::size_t n = data.size();
+  tokens.reserve(n / 4 + 16);
+  if (params.min_match < 4)
+    throw std::invalid_argument("lz77: min_match must be >= 4");
+
+  // head[h]: most recent position with hash h; prev[i]: previous position
+  // in the same chain.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0, best_dist = 0;
+    if (i + 4 <= n) {
+      const std::uint32_t h = hash4(data.data() + i);
+      std::int64_t cand = head[h];
+      std::size_t probes = 0;
+      while (cand >= 0 && probes < params.max_chain) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t dist = i - c;
+        if (dist > params.window) break;
+        // Extend the match.
+        const std::size_t limit = std::min(params.max_match, n - i);
+        std::size_t len = 0;
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len >= params.max_match) break;
+        }
+        cand = prev[c];
+        ++probes;
+      }
+      // Insert current position into the chain.
+      prev[i] = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+    }
+    if (best_len >= params.min_match) {
+      tokens.push_back(Lz77Token{true, 0, static_cast<std::uint32_t>(best_len),
+                                 static_cast<std::uint32_t>(best_dist)});
+      // Insert skipped positions so later matches can reference them.
+      const std::size_t end = i + best_len;
+      for (std::size_t j = i + 1; j < end && j + 4 <= n; ++j) {
+        const std::uint32_t h = hash4(data.data() + j);
+        prev[j] = head[h];
+        head[h] = static_cast<std::int64_t>(j);
+      }
+      i = end;
+    } else {
+      tokens.push_back(Lz77Token{false, data[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lz77_expand(std::span<const Lz77Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const auto& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+      continue;
+    }
+    if (t.distance == 0 || t.distance > out.size())
+      throw std::runtime_error("lz77_expand: invalid back-reference");
+    // Byte-by-byte copy: overlapping references (dist < len) are legal and
+    // replicate the run, exactly as in deflate.
+    std::size_t src = out.size() - t.distance;
+    for (std::uint32_t k = 0; k < t.length; ++k) out.push_back(out[src + k]);
+  }
+  return out;
+}
+
+}  // namespace sz14

@@ -1,0 +1,33 @@
+// Hash-chain LZ77 matcher producing (literal | match) token streams.
+// Substrate for the GZIP-class baseline compressor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sz14 {
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Lz77Token {
+  bool is_match = false;
+  std::uint8_t literal = 0;     // valid when !is_match
+  std::uint32_t length = 0;     // valid when is_match (>= kMinMatch)
+  std::uint32_t distance = 0;   // valid when is_match (1..window)
+};
+
+struct Lz77Params {
+  std::size_t window = 32 * 1024;   // max back-reference distance
+  std::size_t min_match = 4;        // shortest match worth a token
+  std::size_t max_match = 258;      // deflate-compatible cap
+  std::size_t max_chain = 64;       // hash-chain probes per position
+};
+
+/// Greedy hash-chain tokenizer.
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> data,
+                                     const Lz77Params& params = {});
+
+/// Expand a token stream back to bytes.  Throws on malformed references.
+std::vector<std::uint8_t> lz77_expand(std::span<const Lz77Token> tokens);
+
+}  // namespace sz14

@@ -1,0 +1,134 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sz14 {
+
+ErrorSummary error_summary(std::span<const float> original,
+                           std::span<const float> reconstructed) {
+  if (original.size() != reconstructed.size())
+    throw std::invalid_argument("error_summary: size mismatch");
+  if (original.empty())
+    throw std::invalid_argument("error_summary: empty input");
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sq_sum = 0.0;
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double x = original[i];
+    const double y = reconstructed[i];
+    if (std::isfinite(x)) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    double e;
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      // Non-finite values must round-trip exactly (raw escape path).
+      const bool same = (std::isnan(x) && std::isnan(y)) || (x == y);
+      e = same ? 0.0 : std::numeric_limits<double>::infinity();
+    } else {
+      e = std::fabs(x - y);
+    }
+    max_abs = std::max(max_abs, e);
+    sq_sum += e * e;
+  }
+  ErrorSummary s;
+  s.value_range = (lo <= hi) ? (hi - lo) : 0.0;
+  s.max_abs_error = max_abs;
+  s.rmse = std::sqrt(sq_sum / static_cast<double>(original.size()));
+  if (s.value_range > 0.0) {
+    s.max_rel_error = max_abs / s.value_range;
+    s.nrmse = s.rmse / s.value_range;
+    s.psnr_db = (s.rmse > 0.0)
+                    ? 20.0 * std::log10(s.value_range / s.rmse)
+                    : std::numeric_limits<double>::infinity();
+  } else {
+    s.max_rel_error = (max_abs > 0.0)
+                          ? std::numeric_limits<double>::infinity()
+                          : 0.0;
+    s.nrmse = s.max_rel_error;
+    s.psnr_db = (s.rmse > 0.0) ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+  }
+  return s;
+}
+
+double pearson_correlation(std::span<const float> a,
+                           std::span<const float> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  if (a.size() < 2)
+    throw std::invalid_argument("pearson_correlation: need >= 2 samples");
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return (va == vb) ? 1.0 : 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double compression_factor(std::size_t original_bytes,
+                          std::size_t compressed_bytes) {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(compressed_bytes);
+}
+
+double bit_rate(std::size_t compressed_bytes, std::size_t value_count) {
+  if (value_count == 0) return 0.0;
+  return 8.0 * static_cast<double>(compressed_bytes) /
+         static_cast<double>(value_count);
+}
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t lags) {
+  if (series.size() < 2)
+    throw std::invalid_argument("autocorrelation: need >= 2 samples");
+  const std::size_t n = series.size();
+  double mean = 0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double v : series) var += (v - mean) * (v - mean);
+  std::vector<double> acf;
+  acf.reserve(lags);
+  for (std::size_t k = 1; k <= lags && k < n; ++k) {
+    double c = 0;
+    for (std::size_t i = 0; i + k < n; ++i)
+      c += (series[i] - mean) * (series[i + k] - mean);
+    acf.push_back(var > 0 ? c / var : 0.0);
+  }
+  return acf;
+}
+
+std::vector<double> error_autocorrelation(std::span<const float> original,
+                                          std::span<const float> reconstructed,
+                                          std::size_t lags) {
+  if (original.size() != reconstructed.size())
+    throw std::invalid_argument("error_autocorrelation: size mismatch");
+  std::vector<double> err(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double x = original[i];
+    const double y = reconstructed[i];
+    err[i] = (std::isfinite(x) && std::isfinite(y)) ? (x - y) : 0.0;
+  }
+  return autocorrelation(err, lags);
+}
+
+}  // namespace sz14

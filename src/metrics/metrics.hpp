@@ -1,0 +1,49 @@
+// Compression-quality metrics (paper Sec. II, Metrics 1-4, plus the
+// autocorrelation analysis of Sec. V-E).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sz14 {
+
+/// Pointwise + average error summary between an original and a
+/// reconstructed array.
+struct ErrorSummary {
+  double max_abs_error = 0.0;    // max |x - x~|
+  double max_rel_error = 0.0;    // max |x - x~| / range(X)
+  double rmse = 0.0;             // eq. (1)
+  double nrmse = 0.0;            // eq. (2)
+  double psnr_db = 0.0;          // eq. (3)
+  double value_range = 0.0;      // R_X
+};
+
+/// Compute the full summary.  Throws std::invalid_argument on size mismatch
+/// or empty input.  Non-finite elements participate only when both sides
+/// are equal (exact raw round-trip); otherwise they count into max error as
+/// infinity — surfacing a genuinely broken codec.
+ErrorSummary error_summary(std::span<const float> original,
+                           std::span<const float> reconstructed);
+
+/// Pearson correlation coefficient rho between the two arrays (eq. (4)).
+double pearson_correlation(std::span<const float> a, std::span<const float> b);
+
+/// Compression factor (eq. (5)): original bytes / compressed bytes.
+double compression_factor(std::size_t original_bytes,
+                          std::size_t compressed_bytes);
+
+/// Bit-rate in bits/value (eq. (6)).
+double bit_rate(std::size_t compressed_bytes, std::size_t value_count);
+
+/// First `lags` autocorrelation coefficients of the pointwise error series
+/// e_i = x_i - x~_i, lag 1..lags (paper Fig. 9).
+std::vector<double> error_autocorrelation(std::span<const float> original,
+                                          std::span<const float> reconstructed,
+                                          std::size_t lags);
+
+/// Autocorrelation of an arbitrary series (lags 1..lags).
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t lags);
+
+}  // namespace sz14

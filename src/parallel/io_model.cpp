@@ -1,0 +1,16 @@
+#include "parallel/io_model.hpp"
+
+#include <algorithm>
+
+namespace sz14 {
+
+double IoModel::aggregate_bw(std::size_t procs) const {
+  if (procs == 0) procs = 1;
+  return std::min(p_.per_process_bw * static_cast<double>(procs), p_.peak_bw);
+}
+
+double IoModel::transfer_seconds(std::size_t bytes, std::size_t procs) const {
+  return p_.latency + static_cast<double>(bytes) / aggregate_bw(procs);
+}
+
+}  // namespace sz14

@@ -1,0 +1,123 @@
+#include "parallel/parallel_codec.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytebuffer.hpp"
+#include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sz14 {
+
+namespace {
+
+constexpr std::uint32_t kParallelMagic = 0x535A'5043u;  // "SZPC"
+
+/// Slab extents along axis 0 for chunk c of n.
+struct Slab {
+  std::size_t row_lo, row_hi;  // [lo, hi) along axis 0
+};
+
+Slab slab_of(std::size_t rows, std::size_t chunks, std::size_t c) {
+  return {rows * c / chunks, rows * (c + 1) / chunks};
+}
+
+Dims slab_dims(const Dims& dims, const Slab& s) {
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < dims.rank(); ++a) ext[a] = dims.extent(a);
+  ext[0] = s.row_hi - s.row_lo;
+  return Dims(std::span<const std::size_t>(ext.data(), dims.rank()));
+}
+
+}  // namespace
+
+ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
+                                 const Options& opts, std::size_t threads,
+                                 std::size_t chunks) {
+  if (data.size() != dims.count())
+    throw std::invalid_argument("parallel_compress: size mismatch");
+  if (threads == 0) threads = 1;
+  if (chunks == 0) chunks = threads;
+  chunks = std::min(chunks, dims.extent(0));
+
+  const std::size_t slab_stride = dims.count() / dims.extent(0);
+  std::vector<std::vector<std::uint8_t>> streams(chunks);
+  std::vector<std::size_t> predictable(chunks, 0);
+
+  Timer timer;
+  parallel_for(chunks, threads, [&](std::size_t c) {
+    const Slab s = slab_of(dims.extent(0), chunks, c);
+    const Dims sub = slab_dims(dims, s);
+    CompressStats stats;
+    streams[c] = compress(
+        data.subspan(s.row_lo * slab_stride, sub.count()), sub, opts, &stats);
+    predictable[c] = stats.predictable;
+  });
+  ParallelResult r;
+  r.seconds = timer.seconds();
+  r.chunks = chunks;
+  for (auto p : predictable) r.predictable += p;
+
+  ByteWriter out;
+  out.put<std::uint32_t>(kParallelMagic);
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
+  out.put_varint(chunks);
+  for (const auto& s : streams) {
+    out.put_varint(s.size());
+    out.put_bytes(s);
+  }
+  r.stream = std::move(out).take();
+  return r;
+}
+
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, std::size_t threads) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kParallelMagic)
+    throw std::runtime_error("parallel_decompress: bad magic");
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > kMaxDims)
+    throw std::runtime_error("parallel_decompress: bad rank");
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < rank; ++a)
+    ext[a] = static_cast<std::size_t>(in.get_varint());
+  const Dims dims(std::span<const std::size_t>(ext.data(), rank));
+  const auto chunks = static_cast<std::size_t>(in.get_varint());
+  if (chunks == 0 || chunks > dims.extent(0))
+    throw std::runtime_error("parallel_decompress: bad chunk count");
+
+  std::vector<std::span<const std::uint8_t>> spans(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto n = static_cast<std::size_t>(in.get_varint());
+    spans[c] = in.get_bytes(n);
+  }
+
+  ParallelDecompressResult r;
+  r.dims = dims;
+  r.data.resize(dims.count());
+  const std::size_t slab_stride = dims.count() / dims.extent(0);
+  std::atomic<bool> failed{false};
+
+  Timer timer;
+  parallel_for(chunks, threads == 0 ? 1 : threads, [&](std::size_t c) {
+    try {
+      const Slab s = slab_of(dims.extent(0), chunks, c);
+      DecompressResult d = decompress(spans[c]);
+      const Dims expect = slab_dims(dims, s);
+      if (!(d.dims == expect)) throw std::runtime_error("slab shape mismatch");
+      std::memcpy(r.data.data() + s.row_lo * slab_stride, d.data.data(),
+                  d.data.size() * sizeof(float));
+    } catch (...) {
+      failed.store(true);
+    }
+  });
+  r.seconds = timer.seconds();
+  if (failed.load())
+    throw std::runtime_error("parallel_decompress: chunk decode failed");
+  return r;
+}
+
+}  // namespace sz14

@@ -1,0 +1,43 @@
+// Chunked parallel compression (paper Sec. VI).
+//
+// The paper's off-line parallelism is embarrassingly parallel: each MPI
+// process compresses whole files independently, with no inter-process
+// communication.  Here each "process" is a worker compressing one chunk of
+// the domain (a contiguous slab along the slowest axis, so every chunk is
+// itself a valid d-dimensional array).  The container stores one complete
+// SZ-1.4 stream per chunk; decompression parallelizes identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+#include "core/compressor.hpp"
+
+namespace sz14 {
+
+struct ParallelResult {
+  std::vector<std::uint8_t> stream;
+  std::size_t chunks = 0;
+  double seconds = 0.0;       // wall-clock of the parallel region
+  std::size_t predictable = 0;
+};
+
+/// Compress with `threads` workers over `chunks` slabs (chunks == 0 picks
+/// one slab per worker).  Bit-exact with respect to chunk count, not with
+/// the sequential single-stream codec (chunk borders reset prediction).
+ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
+                                 const Options& opts, std::size_t threads,
+                                 std::size_t chunks = 0);
+
+struct ParallelDecompressResult {
+  std::vector<float> data;
+  Dims dims;
+  double seconds = 0.0;
+};
+
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, std::size_t threads);
+
+}  // namespace sz14

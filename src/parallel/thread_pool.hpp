@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool for the parallel codec and the
+// scalability study (Tables VII/VIII).  Tasks are void() closures; wait()
+// blocks until the queue drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sz14 {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) over `threads` workers, static block split.
+/// Simpler than the pool for embarrassingly parallel loops and has no
+/// queue overhead; used by the strong-scaling benchmark.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sz14

@@ -1,0 +1,108 @@
+#include "common/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) w.put_bit(b);
+  auto bytes = std::move(w).finish();
+  EXPECT_EQ(bytes.size(), 1u);
+  BitReader r(bytes);
+  for (bool b : pattern) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitStream, MsbFirstLayout) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0b01, 2);
+  auto bytes = std::move(w).finish();
+  // 10101 padded with zeros -> 1010'1000.
+  EXPECT_EQ(bytes[0], 0b1010'1000);
+}
+
+TEST(BitStream, ZeroBitPutIsNoop) {
+  BitWriter w;
+  w.put(0xFFFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put(1, 1);
+  auto bytes = std::move(w).finish();
+  EXPECT_EQ(bytes[0], 0x80);
+}
+
+TEST(BitStream, Full64BitValue) {
+  BitWriter w;
+  const std::uint64_t v = 0xDEAD'BEEF'CAFE'F00DULL;
+  w.put(v, 64);
+  auto bytes = std::move(w).finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(64), v);
+}
+
+TEST(BitStream, ValueMaskedToWidth) {
+  BitWriter w;
+  w.put(0xFF, 4);  // only low 4 bits (0xF) should be written
+  auto bytes = std::move(w).finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(4), 0xFu);
+}
+
+TEST(BitStream, MixedWidthRoundTripProperty) {
+  Rng rng(21);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned nbits = 1 + static_cast<unsigned>(rng.below(64));
+    std::uint64_t v = rng.next();
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    items.emplace_back(v, nbits);
+    w.put(v, nbits);
+  }
+  auto bytes = std::move(w).finish();
+  BitReader r(bytes);
+  for (const auto& [v, nbits] : items) ASSERT_EQ(r.get(nbits), v);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter w;
+  w.put(1, 3);
+  w.put(1, 11);
+  EXPECT_EQ(w.bit_count(), 14u);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.put(1, 4);
+  auto bytes = std::move(w).finish();  // 1 byte
+  BitReader r(bytes);
+  (void)r.get(8);
+  EXPECT_THROW((void)r.get(1), std::runtime_error);
+}
+
+TEST(BitStream, TooWidePutThrows) {
+  BitWriter w;
+  EXPECT_THROW(w.put(0, 65), std::invalid_argument);
+}
+
+TEST(BitStream, TooWideGetThrows) {
+  const std::uint8_t b[16] = {};
+  BitReader r({b, 16});
+  EXPECT_THROW((void)r.get(65), std::invalid_argument);
+}
+
+TEST(BitStream, EmptyFinish) {
+  BitWriter w;
+  auto bytes = std::move(w).finish();
+  EXPECT_TRUE(bytes.empty());
+}
+
+}  // namespace
+}  // namespace sz14

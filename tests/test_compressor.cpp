@@ -1,0 +1,287 @@
+#include "core/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace sz14 {
+namespace {
+
+void expect_bound(std::span<const float> orig, std::span<const float> recon,
+                  double eb, const std::string& what) {
+  ASSERT_EQ(orig.size(), recon.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    const double x = orig[i];
+    const double y = recon[i];
+    if (!std::isfinite(x)) {
+      const bool same = (std::isnan(x) && std::isnan(static_cast<float>(y))) ||
+                        (x == y);
+      ASSERT_TRUE(same) << what << ": non-finite mismatch at " << i;
+      continue;
+    }
+    ASSERT_LE(std::fabs(x - y), eb)
+        << what << ": bound violated at " << i << " (" << x << " vs " << y
+        << ")";
+  }
+}
+
+TEST(Compressor, RoundTripSmall2D) {
+  const auto f = data::climate2d(40, 50);
+  Options opts;
+  opts.eb_abs = 0.01;
+  CompressStats stats;
+  const auto stream = compress(f.values, f.dims, opts, &stats);
+  const auto out = decompress(stream);
+  EXPECT_EQ(out.dims, f.dims);
+  EXPECT_DOUBLE_EQ(out.eb_abs, 0.01);
+  expect_bound(f.values, out.data, 0.01, "small2d");
+  EXPECT_EQ(stats.total, f.values.size());
+  EXPECT_GT(stats.predictable, stats.total / 2);
+  EXPECT_EQ(stats.compressed_bytes, stream.size());
+}
+
+TEST(Compressor, RelativeBoundResolvesAgainstRange) {
+  const auto f = data::climate2d(32, 32);
+  double lo = f.values[0], hi = f.values[0];
+  for (float v : f.values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  Options opts;
+  opts.eb_rel = 1e-3;
+  CompressStats stats;
+  const auto stream = compress(f.values, f.dims, opts, &stats);
+  EXPECT_NEAR(stats.resolved_eb, (hi - lo) * 1e-3, 1e-12);
+  const auto out = decompress(stream);
+  expect_bound(f.values, out.data, stats.resolved_eb, "rel-bound");
+}
+
+TEST(Compressor, BothBoundsTakeMinimum) {
+  const auto f = data::climate2d(32, 32);
+  Options opts;
+  opts.eb_abs = 1e-5;
+  opts.eb_rel = 1.0;  // would be much looser
+  CompressStats stats;
+  (void)compress(f.values, f.dims, opts, &stats);
+  EXPECT_DOUBLE_EQ(stats.resolved_eb, 1e-5);
+}
+
+TEST(Compressor, NoBoundThrows) {
+  const auto f = data::smooth1d(64);
+  Options opts;  // both bounds unset
+  EXPECT_THROW((void)compress(f.values, f.dims, opts), std::invalid_argument);
+}
+
+TEST(Compressor, SizeMismatchThrows) {
+  const auto f = data::smooth1d(64);
+  Options opts;
+  opts.eb_abs = 0.1;
+  EXPECT_THROW((void)compress(f.values, Dims{63}, opts),
+               std::invalid_argument);
+}
+
+TEST(Compressor, ConstantFieldCompressesExtremely) {
+  const Dims dims{64, 64};
+  std::vector<float> flat(dims.count(), 7.25f);
+  Options opts;
+  opts.eb_abs = 1e-6;
+  CompressStats stats;
+  const auto stream = compress(flat, dims, opts, &stats);
+  const auto out = decompress(stream);
+  expect_bound(flat, out.data, 1e-6, "constant");
+  // Constant data: everything after the first (unpredictable) point is
+  // predictable, so the stream approaches the ~1 bit/value Huffman floor.
+  EXPECT_GT(compression_factor(dims.count() * sizeof(float), stream.size()),
+            20.0);
+  EXPECT_GE(stats.predictable, stats.total - 1);
+}
+
+TEST(Compressor, SingleElementArray) {
+  const std::vector<float> one = {42.0f};
+  Options opts;
+  opts.eb_abs = 0.5;
+  const auto stream = compress(one, Dims{1}, opts);
+  const auto out = decompress(stream);
+  ASSERT_EQ(out.data.size(), 1u);
+  EXPECT_NEAR(out.data[0], 42.0f, 0.5);
+}
+
+TEST(Compressor, ZeroRangeWithRelativeBoundFallsBackToLossless) {
+  // Constant data + relative bound -> eb resolves to 0 -> raw escapes.
+  const std::vector<float> flat(100, 3.0f);
+  Options opts;
+  opts.eb_rel = 1e-4;
+  const auto stream = compress(flat, Dims{100}, opts);
+  const auto out = decompress(stream);
+  for (float v : out.data) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Compressor, NonFiniteValuesSurviveExactly) {
+  std::vector<float> values(256);
+  Rng rng(71);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-5, 5));
+  values[17] = std::numeric_limits<float>::quiet_NaN();
+  values[100] = std::numeric_limits<float>::infinity();
+  values[200] = -std::numeric_limits<float>::infinity();
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto stream = compress(values, Dims{16, 16}, opts);
+  const auto out = decompress(stream);
+  expect_bound(values, out.data, 0.01, "nonfinite");
+}
+
+TEST(Compressor, HugeRangeFieldStillRespectsBound) {
+  // The CDNUMC case that breaks ZFP must NOT break SZ-1.4 (Sec. V-A).
+  const auto f = data::huge_range2d(64, 64);
+  double lo = f.values[0], hi = f.values[0];
+  for (float v : f.values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  Options opts;
+  opts.eb_rel = 1e-7;
+  CompressStats stats;
+  const auto stream = compress(f.values, f.dims, opts, &stats);
+  const auto out = decompress(stream);
+  expect_bound(f.values, out.data, stats.resolved_eb, "huge-range");
+}
+
+TEST(Compressor, MalformedStreamsThrow) {
+  EXPECT_THROW((void)decompress(std::vector<std::uint8_t>{}),
+               std::runtime_error);
+  const std::vector<std::uint8_t> junk = {'n', 'o', 'p', 'e', 0, 0, 0, 0};
+  EXPECT_THROW((void)decompress(junk), std::runtime_error);
+  // Corrupt a valid stream's magic.
+  const auto f = data::smooth1d(64);
+  Options opts;
+  opts.eb_abs = 0.1;
+  auto stream = compress(f.values, f.dims, opts);
+  stream[0] ^= 0xFF;
+  EXPECT_THROW((void)decompress(stream), std::runtime_error);
+}
+
+TEST(Compressor, TruncatedStreamThrows) {
+  const auto f = data::climate2d(16, 16);
+  Options opts;
+  opts.eb_abs = 0.01;
+  auto stream = compress(f.values, f.dims, opts);
+  stream.resize(stream.size() / 2);
+  EXPECT_THROW((void)decompress(stream), std::runtime_error);
+}
+
+TEST(Compressor, FourDimensionalData) {
+  const Dims dims{3, 4, 5, 6};
+  std::vector<float> values(dims.count());
+  Rng rng(73);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<float>(
+        std::sin(static_cast<double>(i) * 0.05) + 0.01 * rng.normal());
+  Options opts;
+  opts.eb_abs = 1e-3;
+  const auto stream = compress(values, dims, opts);
+  const auto out = decompress(stream);
+  EXPECT_EQ(out.dims, dims);
+  expect_bound(values, out.data, 1e-3, "4d");
+}
+
+TEST(Compressor, TighterBoundNeverShrinksStream) {
+  const auto f = data::climate2d(64, 64);
+  Options loose, tight;
+  loose.eb_rel = 1e-2;
+  tight.eb_rel = 1e-6;
+  const auto s_loose = compress(f.values, f.dims, loose);
+  const auto s_tight = compress(f.values, f.dims, tight);
+  EXPECT_LE(s_loose.size(), s_tight.size());
+}
+
+TEST(Compressor, PassResultCountsMatchStats) {
+  const auto f = data::climate2d(32, 32);
+  const double eb = 0.05;
+  const auto pass = prediction_quantization_pass(f.values, f.dims, 1, 8, eb);
+  std::size_t zero_codes = 0;
+  for (auto c : pass.codes)
+    if (c == 0) ++zero_codes;
+  EXPECT_EQ(pass.predictable + zero_codes, f.values.size());
+  // Reconstruction respects the bound for finite data.
+  expect_bound(f.values, pass.reconstructed, eb, "pass");
+}
+
+TEST(Compressor, RecompressionIsIdempotent) {
+  // Compressing already-decompressed data at the same settings must
+  // reproduce it exactly: every reconstruction value is a fixed point of
+  // the quantizer (diff 0 -> centre code) and of the mantissa truncation.
+  const auto f = data::climate2d(48, 64);
+  Options opts;
+  opts.eb_rel = 1e-3;
+  const auto once = decompress(compress(f.values, f.dims, opts));
+  opts.eb_rel = std::numeric_limits<double>::quiet_NaN();
+  opts.eb_abs = once.eb_abs;  // same absolute bound the first pass resolved
+  const auto twice = decompress(compress(once.data, once.dims, opts));
+  EXPECT_EQ(once.data, twice.data);
+}
+
+TEST(Compressor, DecorrelatedRecompressionIsIdempotent) {
+  const auto f = data::climate2d(32, 32);
+  Options opts;
+  opts.eb_abs = 0.01;
+  opts.decorrelate = true;
+  const auto once = decompress(compress(f.values, f.dims, opts));
+  const auto twice = decompress(compress(once.data, once.dims, opts));
+  EXPECT_EQ(once.data, twice.data);
+}
+
+// Full matrix sweep: data set x error bound x interval bits x layers.
+// This is the central invariant of the paper: the bound ALWAYS holds.
+class RoundTripSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, double, unsigned, unsigned>> {
+ protected:
+  static data::Field field(int id) {
+    switch (id) {
+      case 0:
+        return data::climate2d(48, 64);
+      case 1:
+        return data::xray2d(48, 48);
+      case 2:
+        return data::hurricane3d(8, 24, 24);
+      case 3:
+        return data::huge_range2d(32, 32);
+      default:
+        return data::smooth1d(2000);
+    }
+  }
+};
+
+TEST_P(RoundTripSweep, ErrorBoundAlwaysHolds) {
+  const auto [id, eb_rel, m, layers] = GetParam();
+  const auto f = field(id);
+  Options opts;
+  opts.eb_rel = eb_rel;
+  opts.interval_bits = m;
+  opts.layers = layers;
+  CompressStats stats;
+  const auto stream = compress(f.values, f.dims, opts, &stats);
+  const auto out = decompress(stream);
+  EXPECT_EQ(out.dims, f.dims);
+  expect_bound(f.values, out.data, stats.resolved_eb, f.name);
+  // And the advertised metric agrees.
+  const auto summary = error_summary(f.values, out.data);
+  EXPECT_LE(summary.max_abs_error, stats.resolved_eb * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RoundTripSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1e-2, 1e-4, 1e-6),
+                       ::testing::Values(4u, 8u, 12u),
+                       ::testing::Values(1u, 2u)));
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,152 @@
+// Double-precision pipeline tests (the paper's 64 bits/value case).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/compressor.hpp"
+#include "common/rng.hpp"
+#include "core/unpredictable.hpp"
+#include "data/generators.hpp"
+
+namespace sz14 {
+namespace {
+
+std::vector<double> widen(const std::vector<float>& v) {
+  return {v.begin(), v.end()};
+}
+
+void expect_bound64(std::span<const double> orig,
+                    std::span<const double> recon, double eb) {
+  ASSERT_EQ(orig.size(), recon.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (!std::isfinite(orig[i])) {
+      const bool same = (std::isnan(orig[i]) && std::isnan(recon[i])) ||
+                        (orig[i] == recon[i]);
+      ASSERT_TRUE(same) << "non-finite mismatch at " << i;
+      continue;
+    }
+    ASSERT_LE(std::fabs(orig[i] - recon[i]), eb) << "at " << i;
+  }
+}
+
+TEST(Compressor64, RoundTrip2D) {
+  const auto f = data::climate2d(48, 64);
+  const auto d = widen(f.values);
+  Options opts;
+  opts.eb_abs = 1e-3;
+  CompressStats stats;
+  const auto stream = compress(std::span<const double>(d), f.dims, opts,
+                               &stats);
+  const auto out = decompress64(stream);
+  EXPECT_EQ(out.dims, f.dims);
+  expect_bound64(d, out.data, 1e-3);
+  EXPECT_GT(stats.predictable, stats.total / 2);
+}
+
+TEST(Compressor64, TightBoundBelowFloatUlp) {
+  // The point of the double pipeline: bounds far below float precision.
+  const Dims dims{64, 64};
+  std::vector<double> d(dims.count());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    d[i] = 1000.0 + std::sin(static_cast<double>(i) * 0.01) * 1e-4;
+  Options opts;
+  opts.eb_abs = 1e-9;  // << float ulp at magnitude 1000 (~6e-5)
+  const auto stream = compress(std::span<const double>(d), dims, opts);
+  const auto out = decompress64(stream);
+  expect_bound64(d, out.data, 1e-9);
+}
+
+TEST(Compressor64, DtypeMismatchThrows) {
+  const auto f = data::smooth1d(128);
+  const auto d = widen(f.values);
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto s64 = compress(std::span<const double>(d), f.dims, opts);
+  const auto s32 = compress(std::span<const float>(f.values), f.dims, opts);
+  EXPECT_EQ(stream_dtype(s64), StreamDtype::kF64);
+  EXPECT_EQ(stream_dtype(s32), StreamDtype::kF32);
+  EXPECT_THROW((void)decompress(s64), std::runtime_error);
+  EXPECT_THROW((void)decompress64(s32), std::runtime_error);
+}
+
+TEST(Compressor64, NonFiniteSurviveExactly) {
+  std::vector<double> d(100, 1.5);
+  d[3] = std::numeric_limits<double>::quiet_NaN();
+  d[50] = std::numeric_limits<double>::infinity();
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto out = decompress64(compress(std::span<const double>(d),
+                                         Dims{100}, opts));
+  expect_bound64(d, out.data, 0.01);
+}
+
+TEST(Compressor64, CompressionBeatsFloatBitRateAtEqualRelativeBound) {
+  // 64-bit values at the same relative bound should reach a higher CF than
+  // 32-bit (more raw bits to shed, same quantization code cost).
+  const auto f = data::climate2d(96, 96);
+  const auto d = widen(f.values);
+  Options opts;
+  opts.eb_rel = 1e-4;
+  const auto s64 = compress(std::span<const double>(d), f.dims, opts);
+  const auto s32 = compress(std::span<const float>(f.values), f.dims, opts);
+  const double cf64 =
+      static_cast<double>(d.size() * 8) / static_cast<double>(s64.size());
+  const double cf32 = static_cast<double>(f.values.size() * 4) /
+                      static_cast<double>(s32.size());
+  EXPECT_GT(cf64, cf32);
+}
+
+TEST(Unpredictable64, BoundHoldsAcrossMagnitudes) {
+  for (const double eb : {1e-3, 1e-9, 1e-14}) {
+    const UnpredictableCodec64 codec(eb);
+    Rng rng(101);
+    BitWriter bw;
+    std::vector<double> values, expected;
+    for (int i = 0; i < 5000; ++i) {
+      const double mag = std::pow(10.0, rng.uniform(-12.0, 15.0));
+      values.push_back(mag * (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    }
+    for (double v : values) expected.push_back(codec.encode(v, bw));
+    auto bytes = std::move(bw).finish();
+    BitReader br(bytes);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double r = codec.decode(br);
+      ASSERT_EQ(r, expected[i]);
+      ASSERT_LE(std::fabs(r - values[i]), eb) << values[i] << " eb=" << eb;
+    }
+  }
+}
+
+TEST(Unpredictable64, KeptBitsScaleWithDoubleMantissa) {
+  const UnpredictableCodec64 codec(1e-10);
+  // At large exponents the full 52-bit mantissa is needed.
+  EXPECT_EQ(codec.kept_bits(1023), 52u);
+  // At the bound's own scale (floor(log2(1e-10)) = -34) nothing is kept.
+  EXPECT_EQ(codec.kept_bits(-34), 0u);
+}
+
+class RoundTrip64Sweep
+    : public ::testing::TestWithParam<std::tuple<double, unsigned>> {};
+
+TEST_P(RoundTrip64Sweep, BoundHolds) {
+  const auto [eb_rel, m] = GetParam();
+  const auto f = data::hurricane3d(6, 24, 24);
+  const auto d = widen(f.values);
+  Options opts;
+  opts.eb_rel = eb_rel;
+  opts.interval_bits = m;
+  CompressStats stats;
+  const auto stream =
+      compress(std::span<const double>(d), f.dims, opts, &stats);
+  const auto out = decompress64(stream);
+  expect_bound64(d, out.data, stats.resolved_eb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RoundTrip64Sweep,
+    ::testing::Combine(::testing::Values(1e-3, 1e-6, 1e-9),
+                       ::testing::Values(4u, 8u, 14u)));
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "data/generators.hpp"
+#include "data/io.hpp"
+
+namespace sz14::data {
+namespace {
+
+TEST(Generators, ShapesMatchRequest) {
+  EXPECT_EQ(climate2d(10, 20).dims, Dims({10, 20}));
+  EXPECT_EQ(xray2d(8, 8).dims, Dims({8, 8}));
+  EXPECT_EQ(hurricane3d(3, 5, 7).dims, Dims({3, 5, 7}));
+  EXPECT_EQ(huge_range2d(4, 4).dims, Dims({4, 4}));
+  EXPECT_EQ(smooth1d(100).dims, Dims({100}));
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  const auto a = climate2d(16, 16, 7);
+  const auto b = climate2d(16, 16, 7);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const auto a = climate2d(16, 16, 7);
+  const auto b = climate2d(16, 16, 8);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(Generators, AllFiniteValues) {
+  for (const auto& f :
+       {climate2d(24, 24), xray2d(24, 24), hurricane3d(4, 12, 12),
+        huge_range2d(16, 16), freqsh_like(16, 16), snowhlnd_like(16, 16),
+        smooth1d(500)}) {
+    for (float v : f.values) ASSERT_TRUE(std::isfinite(v)) << f.name;
+  }
+}
+
+TEST(Generators, HugeRangeSpansManyDecades) {
+  const auto f = huge_range2d(64, 64);
+  double lo = f.values[0], hi = f.values[0];
+  for (float v : f.values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi / lo, 1e10);
+}
+
+TEST(Generators, SnowhlndIsMostlyZero) {
+  const auto f = snowhlnd_like(64, 64);
+  std::size_t zeros = 0;
+  for (float v : f.values)
+    if (v == 0.0f) ++zeros;
+  EXPECT_GT(zeros, f.values.size() / 3);
+}
+
+TEST(Generators, HurricaneVariablesDiffer) {
+  const auto wind = hurricane3d(4, 16, 16, 44, 0);
+  const auto pressure = hurricane3d(4, 16, 16, 44, 1);
+  EXPECT_NE(wind.values, pressure.values);
+}
+
+TEST(Generators, ClimateHasSharpFront) {
+  // The tanh front must create large neighbour-to-neighbour jumps relative
+  // to the background gradient (the "spiky changes" the paper motivates).
+  const auto f = climate2d(64, 64);
+  double max_jump = 0;
+  for (std::size_t i = 1; i < f.values.size(); ++i)
+    max_jump = std::max(max_jump,
+                        std::fabs(static_cast<double>(f.values[i]) -
+                                  static_cast<double>(f.values[i - 1])));
+  EXPECT_GT(max_jump, 1.0);
+}
+
+class IoFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("sz14_io_test_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(IoFixture, FloatRoundTrip) {
+  const auto f = smooth1d(777);
+  write_f32(path_, f.values);
+  EXPECT_EQ(read_f32(path_), f.values);
+}
+
+TEST_F(IoFixture, ByteRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0, 1, 255, 42, 7};
+  write_bytes(path_, bytes);
+  EXPECT_EQ(read_bytes(path_), bytes);
+}
+
+TEST_F(IoFixture, MisalignedFloatFileThrows) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3};  // not divisible by 4
+  write_bytes(path_, bytes);
+  EXPECT_THROW((void)read_f32(path_), std::runtime_error);
+}
+
+TEST(IoErrors, MissingFileThrows) {
+  EXPECT_THROW((void)read_f32("/nonexistent/dir/file.bin"),
+               std::runtime_error);
+  const std::vector<float> v = {1.0f};
+  EXPECT_THROW(write_f32("/nonexistent/dir/file.bin", v), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sz14::data

@@ -1,0 +1,106 @@
+#include "common/dims.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace sz14 {
+namespace {
+
+TEST(Dims, Rank1Basics) {
+  const Dims d{7};
+  EXPECT_EQ(d.rank(), 1u);
+  EXPECT_EQ(d.extent(0), 7u);
+  EXPECT_EQ(d.stride(0), 1u);
+  EXPECT_EQ(d.count(), 7u);
+}
+
+TEST(Dims, Rank2RowMajorStrides) {
+  const Dims d{3, 5};
+  EXPECT_EQ(d.stride(0), 5u);
+  EXPECT_EQ(d.stride(1), 1u);
+  EXPECT_EQ(d.count(), 15u);
+}
+
+TEST(Dims, Rank3Strides) {
+  const Dims d{2, 3, 4};
+  EXPECT_EQ(d.stride(0), 12u);
+  EXPECT_EQ(d.stride(1), 4u);
+  EXPECT_EQ(d.stride(2), 1u);
+  EXPECT_EQ(d.count(), 24u);
+}
+
+TEST(Dims, Rank4Strides) {
+  const Dims d{2, 3, 4, 5};
+  EXPECT_EQ(d.stride(0), 60u);
+  EXPECT_EQ(d.stride(3), 1u);
+  EXPECT_EQ(d.count(), 120u);
+}
+
+TEST(Dims, LinearAndUnravelAreInverse) {
+  const Dims d{3, 4, 5};
+  std::array<std::size_t, 3> coord{};
+  for (std::size_t i = 0; i < d.count(); ++i) {
+    d.unravel(i, coord);
+    EXPECT_EQ(d.linear(coord), i);
+  }
+}
+
+TEST(Dims, LinearMatchesManualFormula) {
+  const Dims d{4, 6};
+  const std::array<std::size_t, 2> c{2, 3};
+  EXPECT_EQ(d.linear(c), 2u * 6u + 3u);
+}
+
+TEST(Dims, DefaultConstructedIsEmpty) {
+  const Dims d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.rank(), 0u);
+  EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Dims, Equality) {
+  EXPECT_EQ(Dims({2, 3}), Dims({2, 3}));
+  EXPECT_FALSE(Dims({2, 3}) == Dims({3, 2}));
+  EXPECT_FALSE(Dims({2, 3}) == Dims({2, 3, 1}));
+}
+
+TEST(Dims, ToString) { EXPECT_EQ(Dims({2, 3}).to_string(), "[2x3]"); }
+
+TEST(Dims, ZeroExtentThrows) {
+  EXPECT_THROW(Dims({0}), std::invalid_argument);
+  EXPECT_THROW(Dims({3, 0}), std::invalid_argument);
+}
+
+TEST(Dims, RankZeroThrows) {
+  EXPECT_THROW(Dims(std::span<const std::size_t>{}), std::invalid_argument);
+}
+
+TEST(Dims, RankTooLargeThrows) {
+  const std::array<std::size_t, 5> e{1, 1, 1, 1, 1};
+  EXPECT_THROW(Dims(std::span<const std::size_t>(e)), std::invalid_argument);
+}
+
+TEST(Dims, OverflowThrows) {
+  const std::size_t big = std::size_t{1} << 40;
+  EXPECT_THROW(Dims({big, big}), std::invalid_argument);
+}
+
+TEST(Dims, OutOfRangeAccessThrows) {
+  const Dims d{2, 2};
+  EXPECT_THROW((void)d.extent(2), std::out_of_range);
+  EXPECT_THROW((void)d.stride(2), std::out_of_range);
+  const std::array<std::size_t, 2> bad{2, 0};
+  EXPECT_THROW((void)d.linear(bad), std::out_of_range);
+  std::array<std::size_t, 2> c{};
+  EXPECT_THROW(d.unravel(4, c), std::out_of_range);
+}
+
+TEST(Dims, CoordRankMismatchThrows) {
+  const Dims d{2, 2};
+  const std::array<std::size_t, 1> c1{0};
+  EXPECT_THROW((void)d.linear(c1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,104 @@
+// Stream-format tests: header round trip, field validation, and a golden
+// pin of the serialized header bytes so accidental format changes are
+// caught (bump kFormatVersion intentionally when the layout changes).
+#include "core/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "data/generators.hpp"
+
+namespace sz14 {
+namespace {
+
+TEST(Format, HeaderRoundTrip) {
+  StreamHeader h;
+  h.dims = Dims{7, 9, 11};
+  h.eb_abs = 3.5e-4;
+  h.dtype = kDtypeF64;
+  h.interval_bits = 12;
+  h.layers = 3;
+  h.decorrelate = true;
+  ByteWriter w;
+  write_header(h, w);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  const StreamHeader back = read_header(r);
+  EXPECT_EQ(back.dims, h.dims);
+  EXPECT_DOUBLE_EQ(back.eb_abs, h.eb_abs);
+  EXPECT_EQ(back.dtype, kDtypeF64);
+  EXPECT_EQ(back.interval_bits, 12);
+  EXPECT_EQ(back.layers, 3);
+  EXPECT_TRUE(back.decorrelate);
+}
+
+TEST(Format, GoldenHeaderBytes) {
+  StreamHeader h;
+  h.dims = Dims{2, 3};
+  h.eb_abs = 0.5;
+  ByteWriter w;
+  write_header(h, w);
+  const auto bytes = std::move(w).take();
+  const std::uint8_t expected[] = {
+      0x34, 0x31, 0x5A, 0x53,  // magic "SZ14" little-endian
+      0x02,                    // version
+      0x00,                    // dtype f32
+      0x00,                    // flags
+      0x02,                    // rank
+      0x02, 0x03,              // extents
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,  // 0.5 as f64 LE
+      0x08,                    // interval bits
+      0x01,                    // layers
+  };
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i)
+    EXPECT_EQ(bytes[i], expected[i]) << "header byte " << i;
+}
+
+TEST(Format, UnknownFlagRejected) {
+  StreamHeader h;
+  h.dims = Dims{4};
+  ByteWriter w;
+  write_header(h, w);
+  auto bytes = std::move(w).take();
+  bytes[6] = 0x80;  // set an undefined flag bit
+  ByteReader r(bytes);
+  EXPECT_THROW((void)read_header(r), std::runtime_error);
+}
+
+TEST(Format, BadDtypeRejected) {
+  StreamHeader h;
+  h.dims = Dims{4};
+  ByteWriter w;
+  write_header(h, w);
+  auto bytes = std::move(w).take();
+  bytes[5] = 7;
+  ByteReader r(bytes);
+  EXPECT_THROW((void)read_header(r), std::runtime_error);
+}
+
+TEST(Format, WrongVersionRejected) {
+  StreamHeader h;
+  h.dims = Dims{4};
+  ByteWriter w;
+  write_header(h, w);
+  auto bytes = std::move(w).take();
+  bytes[4] = kFormatVersion + 1;
+  ByteReader r(bytes);
+  EXPECT_THROW((void)read_header(r), std::runtime_error);
+}
+
+TEST(Format, CompressedStreamIsDeterministic) {
+  // Same input + options must give byte-identical streams (no hidden
+  // timestamps/randomness) — a requirement for the chunk-deterministic
+  // parallel container.
+  const auto f = data::climate2d(32, 32);
+  Options opts;
+  opts.eb_rel = 1e-3;
+  EXPECT_EQ(compress(f.values, f.dims, opts), compress(f.values, f.dims, opts));
+  opts.decorrelate = true;
+  EXPECT_EQ(compress(f.values, f.dims, opts), compress(f.values, f.dims, opts));
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,226 @@
+#include "encoding/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/bytebuffer.hpp"
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+std::vector<std::uint16_t> roundtrip(std::span<const std::uint16_t> symbols,
+                                     std::size_t alphabet) {
+  ByteWriter w;
+  huffman_encode(symbols, alphabet, w);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  return huffman_decode(r);
+}
+
+TEST(HuffmanLengths, TwoSymbolsGetOneBit) {
+  const std::uint64_t freqs[] = {10, 90};
+  const auto lens = huffman_code_lengths(freqs);
+  EXPECT_EQ(lens[0], 1);
+  EXPECT_EQ(lens[1], 1);
+}
+
+TEST(HuffmanLengths, SkewedDistributionOrdersLengths) {
+  const std::uint64_t freqs[] = {1, 2, 4, 8, 16, 32};
+  const auto lens = huffman_code_lengths(freqs);
+  // Rarer symbols must never get shorter codes than common ones.
+  for (std::size_t a = 0; a + 1 < 6; ++a)
+    EXPECT_GE(lens[a], lens[a + 1]) << "symbol " << a;
+}
+
+TEST(HuffmanLengths, SingleSymbolGetsLengthOne) {
+  const std::uint64_t freqs[] = {0, 42, 0};
+  const auto lens = huffman_code_lengths(freqs);
+  EXPECT_EQ(lens[0], 0);
+  EXPECT_EQ(lens[1], 1);
+  EXPECT_EQ(lens[2], 0);
+}
+
+TEST(HuffmanLengths, AllZeroFrequencies) {
+  const std::uint64_t freqs[] = {0, 0, 0};
+  const auto lens = huffman_code_lengths(freqs);
+  for (auto l : lens) EXPECT_EQ(l, 0);
+}
+
+TEST(HuffmanLengths, KraftInequalityHolds) {
+  Rng rng(5);
+  std::vector<std::uint64_t> freqs(300);
+  for (auto& f : freqs) f = rng.below(1000);
+  const auto lens = huffman_code_lengths(freqs);
+  double kraft = 0;
+  for (auto l : lens)
+    if (l) kraft += std::ldexp(1.0, -static_cast<int>(l));
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(HuffmanCanonical, CodesArePrefixFree) {
+  const std::uint64_t freqs[] = {50, 30, 10, 5, 3, 2};
+  const auto lens = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lens);
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      if (a == b) continue;
+      const unsigned la = lens[a], lb = lens[b];
+      if (la == 0 || lb == 0 || la > lb) continue;
+      // code a must not be a prefix of code b.
+      EXPECT_NE(codes[a], codes[b] >> (lb - la))
+          << "code " << a << " is a prefix of " << b;
+    }
+  }
+}
+
+TEST(HuffmanRoundTrip, ByteAlphabet) {
+  Rng rng(11);
+  std::vector<std::uint16_t> symbols(10000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.below(256));
+  EXPECT_EQ(roundtrip(symbols, 256), symbols);
+}
+
+TEST(HuffmanRoundTrip, SingleSymbolStream) {
+  const std::vector<std::uint16_t> symbols(500, 7);
+  EXPECT_EQ(roundtrip(symbols, 16), symbols);
+}
+
+TEST(HuffmanRoundTrip, EmptyStream) {
+  const std::vector<std::uint16_t> symbols;
+  EXPECT_EQ(roundtrip(symbols, 256), symbols);
+}
+
+TEST(HuffmanRoundTrip, LargeAlphabet64K) {
+  // The paper's requirement: m up to 16 -> 65536 quantization codes.
+  Rng rng(13);
+  std::vector<std::uint16_t> symbols(20000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.below(65536));
+  EXPECT_EQ(roundtrip(symbols, 65536), symbols);
+}
+
+TEST(HuffmanRoundTrip, SkewedQuantizationLikeDistribution) {
+  // Shape of Fig. 3: mass concentrated near the centre code.
+  Rng rng(17);
+  std::vector<std::uint16_t> symbols;
+  symbols.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    const double g = rng.normal() * 6.0;
+    const int code = 128 + static_cast<int>(std::lround(g));
+    symbols.push_back(static_cast<std::uint16_t>(std::clamp(code, 0, 255)));
+  }
+  EXPECT_EQ(roundtrip(symbols, 256), symbols);
+}
+
+TEST(HuffmanEfficiency, WithinHalfBitOfEntropyOnSkewedSource) {
+  Rng rng(19);
+  std::vector<std::uint16_t> symbols;
+  symbols.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double g = rng.normal() * 4.0;
+    const int code = 128 + static_cast<int>(std::lround(g));
+    symbols.push_back(static_cast<std::uint16_t>(std::clamp(code, 0, 255)));
+  }
+  ByteWriter w;
+  huffman_encode(symbols, 256, w);
+  const double bits_per_symbol =
+      8.0 * static_cast<double>(w.size()) / static_cast<double>(symbols.size());
+  const double entropy = shannon_entropy_bits(symbols, 256);
+  EXPECT_LT(bits_per_symbol, entropy + 0.5);
+  EXPECT_GE(bits_per_symbol, entropy - 1e-9);
+}
+
+TEST(HuffmanLengths, FibonacciFrequenciesHitLengthLimit) {
+  // Fibonacci-distributed frequencies produce the deepest possible Huffman
+  // tree (one leaf per level).  With ~90 symbols the unconstrained depth
+  // would exceed kMaxHuffmanBits, forcing the length-limiting repair; the
+  // result must still satisfy Kraft and round-trip.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 88; ++i) {
+    freqs.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lens = huffman_code_lengths(freqs);
+  unsigned max_len = 0;
+  double kraft = 0;
+  for (auto l : lens) {
+    max_len = std::max<unsigned>(max_len, l);
+    if (l) kraft += std::ldexp(1.0, -static_cast<int>(l));
+  }
+  EXPECT_LE(max_len, kMaxHuffmanBits);
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+
+  // Round-trip a stream weighted toward the rare symbols to exercise the
+  // longest codes.
+  std::vector<std::uint16_t> symbols;
+  for (std::uint16_t s = 0; s < 88; ++s)
+    for (int rep = 0; rep < 3; ++rep) symbols.push_back(s);
+  EXPECT_EQ(roundtrip(symbols, 88), symbols);
+}
+
+TEST(HuffmanDecoderClass, DecodesCanonicalStream) {
+  const std::uint64_t freqs[] = {5, 9, 12, 13, 16, 45};
+  const auto lens = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lens);
+  BitWriter bw;
+  const std::uint16_t message[] = {5, 0, 1, 2, 3, 4, 5, 5};
+  for (auto s : message) bw.put(codes[s], lens[s]);
+  auto bytes = std::move(bw).finish();
+  BitReader br(bytes);
+  HuffmanDecoder dec(lens);
+  for (auto s : message) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(HuffmanErrors, SymbolOutOfAlphabetThrows) {
+  const std::vector<std::uint16_t> symbols = {4};
+  ByteWriter w;
+  EXPECT_THROW(huffman_encode(symbols, 4, w), std::invalid_argument);
+}
+
+TEST(HuffmanErrors, MalformedStreamThrows) {
+  const std::vector<std::uint8_t> junk = {0x01, 0x02, 0x03};
+  ByteReader r(junk);
+  EXPECT_THROW((void)huffman_decode(r), std::runtime_error);
+}
+
+TEST(HuffmanErrors, EmptyCodeTableDecoderThrows) {
+  const std::vector<std::uint8_t> lens(4, 0);
+  HuffmanDecoder dec(lens);
+  const std::uint8_t b[1] = {0xFF};
+  BitReader br({b, 1});
+  EXPECT_THROW((void)dec.decode(br), std::runtime_error);
+}
+
+TEST(HuffmanEntropy, KnownValues) {
+  // Uniform over 4 symbols -> 2 bits.
+  std::vector<std::uint16_t> symbols = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_NEAR(shannon_entropy_bits(symbols, 4), 2.0, 1e-12);
+  // Constant stream -> 0 bits.
+  std::vector<std::uint16_t> constant(10, 2);
+  EXPECT_NEAR(shannon_entropy_bits(constant, 4), 0.0, 1e-12);
+}
+
+class HuffmanAlphabetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HuffmanAlphabetSweep, RoundTripRandomSymbols) {
+  const std::size_t alphabet = GetParam();
+  Rng rng(alphabet);
+  std::vector<std::uint16_t> symbols(4000);
+  for (auto& s : symbols)
+    s = static_cast<std::uint16_t>(rng.below(alphabet));
+  EXPECT_EQ(roundtrip(symbols, alphabet), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, HuffmanAlphabetSweep,
+                         ::testing::Values(2, 3, 4, 15, 63, 255, 511, 2047,
+                                           4095, 16383, 65535, 65536));
+
+}  // namespace
+}  // namespace sz14

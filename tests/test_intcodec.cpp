@@ -1,0 +1,80 @@
+#include "encoding/intcodec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+std::vector<std::int64_t> roundtrip(const std::vector<std::int64_t>& values) {
+  ByteWriter w;
+  intstream_encode(values, w);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  return intstream_decode(r);
+}
+
+TEST(IntCodec, Empty) { EXPECT_TRUE(roundtrip({}).empty()); }
+
+TEST(IntCodec, ZerosOnly) {
+  const std::vector<std::int64_t> values(1000, 0);
+  EXPECT_EQ(roundtrip(values), values);
+}
+
+TEST(IntCodec, SmallSignedValues) {
+  const std::vector<std::int64_t> values = {0, 1, -1, 2, -2, 3, -3, 7, -8};
+  EXPECT_EQ(roundtrip(values), values);
+}
+
+TEST(IntCodec, ExtremeValues) {
+  const std::vector<std::int64_t> values = {
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min() + 1, 0, -1,
+      // min() itself: zigzag of int64 min is UINT64_MAX, class 64.
+      std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(roundtrip(values), values);
+}
+
+TEST(IntCodec, PowerOfTwoBoundaries) {
+  std::vector<std::int64_t> values;
+  for (int shift = 0; shift < 62; ++shift) {
+    values.push_back(std::int64_t{1} << shift);
+    values.push_back(-(std::int64_t{1} << shift));
+    values.push_back((std::int64_t{1} << shift) - 1);
+    values.push_back(-(std::int64_t{1} << shift) + 1);
+  }
+  EXPECT_EQ(roundtrip(values), values);
+}
+
+TEST(IntCodec, SkewedResidualsCompressWell) {
+  // Prediction-residual-like distribution: mostly tiny values.
+  Rng rng(31);
+  std::vector<std::int64_t> values(50000);
+  for (auto& v : values)
+    v = static_cast<std::int64_t>(std::llround(rng.normal() * 3.0));
+  ByteWriter w;
+  intstream_encode(values, w);
+  // Must beat raw 8-byte storage by a wide margin.
+  EXPECT_LT(w.size(), values.size() * 2);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_EQ(intstream_decode(r), values);
+}
+
+TEST(IntCodec, RandomMixedMagnitudes) {
+  Rng rng(33);
+  std::vector<std::int64_t> values(20000);
+  for (auto& v : values) {
+    const unsigned shift = static_cast<unsigned>(rng.below(63));
+    v = static_cast<std::int64_t>(rng.next() >> shift);
+    if (rng.below(2)) v = -v;
+  }
+  EXPECT_EQ(roundtrip(values), values);
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,144 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+TEST(Metrics, PerfectReconstructionSummary) {
+  const std::vector<float> x = {1, 2, 3, 4, 5};
+  const auto s = error_summary(x, x);
+  EXPECT_EQ(s.max_abs_error, 0.0);
+  EXPECT_EQ(s.rmse, 0.0);
+  EXPECT_EQ(s.nrmse, 0.0);
+  EXPECT_EQ(s.value_range, 4.0);
+  EXPECT_TRUE(std::isinf(s.psnr_db));
+}
+
+TEST(Metrics, KnownRmse) {
+  const std::vector<float> x = {0, 0, 0, 0};
+  const std::vector<float> y = {1, -1, 1, -1};
+  const auto s = error_summary(x, y);
+  EXPECT_DOUBLE_EQ(s.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 1.0);
+}
+
+TEST(Metrics, PsnrFormula) {
+  // range 10, rmse 0.1 -> psnr = 20 log10(100) = 40 dB.
+  const std::vector<float> x = {0, 10, 5, 5};
+  const std::vector<float> y = {0.1f, 10.1f, 5.1f, 5.1f};
+  const auto s = error_summary(x, y);
+  EXPECT_NEAR(s.rmse, 0.1, 1e-6);
+  EXPECT_NEAR(s.psnr_db, 40.0, 1e-3);
+  EXPECT_NEAR(s.nrmse, 0.01, 1e-7);
+}
+
+TEST(Metrics, NonFiniteExactMatchContributesZeroError) {
+  std::vector<float> x = {1, std::numeric_limits<float>::quiet_NaN(), 3};
+  const auto s = error_summary(x, x);
+  EXPECT_EQ(s.max_abs_error, 0.0);
+}
+
+TEST(Metrics, NonFiniteMismatchIsInfiniteError) {
+  const std::vector<float> x = {1, std::numeric_limits<float>::infinity(), 3};
+  const std::vector<float> y = {1, 2, 3};
+  const auto s = error_summary(x, y);
+  EXPECT_TRUE(std::isinf(s.max_abs_error));
+}
+
+TEST(Metrics, SummaryValidation) {
+  const std::vector<float> x = {1, 2};
+  const std::vector<float> y = {1};
+  EXPECT_THROW((void)error_summary(x, y), std::invalid_argument);
+  const std::vector<float> empty;
+  EXPECT_THROW((void)error_summary(empty, empty), std::invalid_argument);
+}
+
+TEST(Metrics, PearsonPerfectCorrelation) {
+  const std::vector<float> x = {1, 2, 3, 4, 5};
+  std::vector<float> y;
+  for (float v : x) y.push_back(2.0f * v + 1.0f);
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonPerfectAntiCorrelation) {
+  const std::vector<float> x = {1, 2, 3, 4, 5};
+  std::vector<float> y;
+  for (float v : x) y.push_back(-v);
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonNearZeroForIndependentNoise) {
+  Rng rng(81);
+  std::vector<float> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+    y[i] = static_cast<float>(rng.normal());
+  }
+  EXPECT_LT(std::fabs(pearson_correlation(x, y)), 0.05);
+}
+
+TEST(Metrics, PearsonConstantSeries) {
+  const std::vector<float> x = {3, 3, 3};
+  const std::vector<float> y = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 1.0);
+  const std::vector<float> z = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, z), 0.0);
+}
+
+TEST(Metrics, CompressionFactorAndBitRate) {
+  EXPECT_DOUBLE_EQ(compression_factor(4000, 1000), 4.0);
+  EXPECT_DOUBLE_EQ(compression_factor(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 1000), 8.0);
+  // Identity from the paper: BR * CF = 32 for float32.
+  const std::size_t orig_bytes = 1000 * 4;
+  const std::size_t comp_bytes = 500;
+  EXPECT_NEAR(bit_rate(comp_bytes, 1000) *
+                  compression_factor(orig_bytes, comp_bytes),
+              32.0, 1e-12);
+}
+
+TEST(Metrics, AutocorrelationOfConstantIsZeroVariance) {
+  const std::vector<double> series(100, 5.0);
+  const auto acf = autocorrelation(series, 10);
+  for (double a : acf) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Metrics, AutocorrelationOfAlternatingSeries) {
+  std::vector<double> series(1000);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const auto acf = autocorrelation(series, 4);
+  EXPECT_NEAR(acf[0], -1.0, 1e-2);  // lag 1
+  EXPECT_NEAR(acf[1], 1.0, 1e-2);   // lag 2
+}
+
+TEST(Metrics, AutocorrelationOfWhiteNoiseIsSmall) {
+  Rng rng(83);
+  std::vector<double> series(50000);
+  for (auto& v : series) v = rng.normal();
+  const auto acf = autocorrelation(series, 20);
+  for (double a : acf) EXPECT_LT(std::fabs(a), 0.05);
+}
+
+TEST(Metrics, ErrorAutocorrelationIgnoresNonFinite) {
+  std::vector<float> x(100, 1.0f), y(100, 1.0f);
+  x[5] = std::numeric_limits<float>::quiet_NaN();
+  y[5] = std::numeric_limits<float>::quiet_NaN();
+  const auto acf = error_autocorrelation(x, y, 5);
+  EXPECT_EQ(acf.size(), 5u);
+}
+
+TEST(Metrics, AutocorrelationValidation) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)autocorrelation(one, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "data/generators.hpp"
+#include "parallel/io_model.hpp"
+#include "parallel/parallel_codec.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sz14 {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> hits(50, 0);
+  parallel_for(50, 1, [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelCodec, RoundTripMatchesBound) {
+  const auto f = data::climate2d(64, 96);
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto result = parallel_compress(f.values, f.dims, opts, 4);
+  const auto out = parallel_decompress(result.stream, 4);
+  EXPECT_EQ(out.dims, f.dims);
+  for (std::size_t i = 0; i < f.values.size(); ++i)
+    ASSERT_LE(std::fabs(static_cast<double>(f.values[i]) -
+                        static_cast<double>(out.data[i])),
+              0.01);
+}
+
+TEST(ParallelCodec, StreamIsDeterministicAcrossThreadCounts) {
+  // Chunking (not threading) defines the stream: same chunk count must give
+  // byte-identical output regardless of worker count.
+  const auto f = data::hurricane3d(8, 16, 16);
+  Options opts;
+  opts.eb_abs = 0.05;
+  const auto a = parallel_compress(f.values, f.dims, opts, 1, 8);
+  const auto b = parallel_compress(f.values, f.dims, opts, 4, 8);
+  EXPECT_EQ(a.stream, b.stream);
+}
+
+TEST(ParallelCodec, ChunkCountCappedByRows) {
+  const auto f = data::climate2d(4, 64);  // only 4 rows
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto result = parallel_compress(f.values, f.dims, opts, 16, 16);
+  EXPECT_LE(result.chunks, 4u);
+  const auto out = parallel_decompress(result.stream, 2);
+  EXPECT_EQ(out.data.size(), f.values.size());
+}
+
+TEST(ParallelCodec, SingleChunkMatchesSequentialCodec) {
+  const auto f = data::climate2d(32, 32);
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto par = parallel_compress(f.values, f.dims, opts, 1, 1);
+  const auto seq_out = decompress(compress(f.values, f.dims, opts));
+  const auto par_out = parallel_decompress(par.stream, 1);
+  EXPECT_EQ(seq_out.data, par_out.data);
+}
+
+TEST(ParallelCodec, PredictableCountAggregates) {
+  const auto f = data::climate2d(64, 64);
+  Options opts;
+  opts.eb_abs = 0.05;
+  const auto result = parallel_compress(f.values, f.dims, opts, 4, 4);
+  EXPECT_GT(result.predictable, f.values.size() / 2);
+  EXPECT_LE(result.predictable, f.values.size());
+}
+
+TEST(ParallelCodec, MalformedStreamThrows) {
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW((void)parallel_decompress(junk, 2), std::runtime_error);
+}
+
+TEST(IoModelTest, BandwidthSaturates) {
+  IoModel model;
+  const double bw1 = model.aggregate_bw(1);
+  const double bw4 = model.aggregate_bw(4);
+  const double bw100 = model.aggregate_bw(100);
+  EXPECT_LT(bw1, bw4);
+  EXPECT_DOUBLE_EQ(bw100, model.params().peak_bw);
+}
+
+TEST(IoModelTest, TransferTimeMonotoneInBytes) {
+  IoModel model;
+  EXPECT_LT(model.transfer_seconds(1000, 4),
+            model.transfer_seconds(1000000000, 4));
+}
+
+TEST(IoModelTest, MoreProcessesNeverSlower) {
+  IoModel model;
+  const std::size_t bytes = std::size_t{10} << 30;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 64u, 1024u}) {
+    const double t = model.transfer_seconds(bytes, p);
+    EXPECT_LE(t, prev * (1 + 1e-12));
+    prev = t;
+  }
+}
+
+TEST(IoModelTest, CompressionWinsAtScale) {
+  // Fig. 10's conclusion, as a model property: with CF ~6, writing
+  // compressed data + compression time undercuts writing raw data once
+  // many processes share the saturated link.
+  IoModel model;
+  const std::size_t raw = 100ull << 30;      // 100 GiB
+  const std::size_t compressed = raw / 6;    // CF ~ 6
+  const std::size_t procs = 1024;
+  const double comp_speed_per_proc = 80e6;   // ~80 MB/s per process
+  const double t_raw = model.transfer_seconds(raw, procs);
+  const double t_comp = static_cast<double>(raw) /
+                            (comp_speed_per_proc * static_cast<double>(procs)) +
+                        model.transfer_seconds(compressed, procs);
+  EXPECT_LT(t_comp, t_raw);
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,121 @@
+#include "core/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+TEST(Quantizer, ExactPredictionGetsCentreCode) {
+  const LinearQuantizer q(8, 0.01);
+  const auto r = q.quantize(5.0f, 5.0);
+  ASSERT_TRUE(r.predictable);
+  EXPECT_EQ(r.code, 128);  // 2^(m-1)
+  EXPECT_FLOAT_EQ(r.reconstructed, 5.0f);
+}
+
+TEST(Quantizer, OneIntervalUpAndDown) {
+  const LinearQuantizer q(8, 0.5);
+  const auto up = q.quantize(6.0f, 5.0);  // diff = +1 = 2*eb -> q = +1
+  ASSERT_TRUE(up.predictable);
+  EXPECT_EQ(up.code, 129);
+  EXPECT_FLOAT_EQ(up.reconstructed, 6.0f);
+  const auto down = q.quantize(4.0f, 5.0);
+  ASSERT_TRUE(down.predictable);
+  EXPECT_EQ(down.code, 127);
+}
+
+TEST(Quantizer, MissBeyondRangeIsUnpredictable) {
+  const LinearQuantizer q(4, 0.1);  // radius 8 -> max |diff| ~ 1.5
+  const auto r = q.quantize(10.0f, 5.0);
+  EXPECT_FALSE(r.predictable);
+  EXPECT_EQ(r.code, 0);
+}
+
+TEST(Quantizer, EdgeOfOutermostInterval) {
+  const LinearQuantizer q(4, 0.5);  // radius 8: q in [-7, 7]
+  // diff = 7 * 2*eb = 7.0 -> q = 7, predictable.
+  EXPECT_TRUE(q.quantize(12.0f, 5.0).predictable);
+  // diff = 8 * 2*eb -> q = 8 = radius, not predictable.
+  EXPECT_FALSE(q.quantize(13.0f, 5.0).predictable);
+}
+
+TEST(Quantizer, NonFiniteValueIsUnpredictable) {
+  const LinearQuantizer q(8, 0.1);
+  EXPECT_FALSE(
+      q.quantize(std::numeric_limits<float>::quiet_NaN(), 0.0).predictable);
+  EXPECT_FALSE(
+      q.quantize(std::numeric_limits<float>::infinity(), 0.0).predictable);
+}
+
+TEST(Quantizer, ZeroErrorBoundDegeneratesToUnpredictable) {
+  const LinearQuantizer q(8, 0.0);
+  EXPECT_FALSE(q.quantize(1.0f, 1.0).predictable);
+}
+
+TEST(Quantizer, ReconstructInvertsQuantize) {
+  const LinearQuantizer q(10, 0.003);
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const double pred = rng.uniform(-100, 100);
+    const float real = static_cast<float>(pred + rng.uniform(-1.5, 1.5));
+    const auto r = q.quantize(real, pred);
+    if (!r.predictable) continue;
+    EXPECT_FLOAT_EQ(q.reconstruct(r.code, pred), r.reconstructed);
+  }
+}
+
+TEST(Quantizer, AlphabetAndIntervalCounts) {
+  const LinearQuantizer q8(8, 0.1);
+  EXPECT_EQ(q8.interval_count(), 255u);
+  EXPECT_EQ(q8.alphabet_size(), 256u);
+  const LinearQuantizer q16(16, 0.1);
+  EXPECT_EQ(q16.interval_count(), 65535u);
+  EXPECT_EQ(q16.alphabet_size(), 65536u);
+}
+
+TEST(Quantizer, InvalidBitsThrow) {
+  EXPECT_THROW(LinearQuantizer(1, 0.1), std::invalid_argument);
+  EXPECT_THROW(LinearQuantizer(17, 0.1), std::invalid_argument);
+  EXPECT_THROW(LinearQuantizer(0, 0.1), std::invalid_argument);
+}
+
+// The defining property (paper Sec. IV-A): every predictable decision
+// yields |recon - real| <= eb, for every m and a wide range of eb.
+class QuantizerBoundSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>> {};
+
+TEST_P(QuantizerBoundSweep, PredictableAlwaysWithinBound) {
+  const auto [m, eb] = GetParam();
+  const LinearQuantizer q(m, eb);
+  Rng rng(m * 100 + static_cast<std::uint64_t>(-std::log10(eb)));
+  std::size_t predictable = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double pred = rng.uniform(-1000, 1000);
+    // Mix of near-hits and far misses.
+    const double spread = (i % 3 == 0) ? 1e4 * eb : 3.0 * eb;
+    const float real = static_cast<float>(pred + rng.normal() * spread);
+    const auto r = q.quantize(real, pred);
+    if (r.predictable) {
+      ++predictable;
+      EXPECT_LE(std::fabs(static_cast<double>(r.reconstructed) -
+                          static_cast<double>(real)),
+                eb);
+      EXPECT_GE(r.code, 1u);
+      EXPECT_LT(r.code, q.alphabet_size());
+    }
+  }
+  EXPECT_GT(predictable, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsByBound, QuantizerBoundSweep,
+    ::testing::Combine(::testing::Values(2u, 4u, 6u, 8u, 12u, 16u),
+                       ::testing::Values(1e-1, 1e-3, 1e-5)));
+
+}  // namespace
+}  // namespace sz14

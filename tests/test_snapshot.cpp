@@ -1,0 +1,134 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.hpp"
+
+namespace sz14 {
+namespace {
+
+SnapshotVariable make_f32(const std::string& name, const data::Field& f,
+                          double eb_rel) {
+  SnapshotVariable v;
+  v.name = name;
+  v.dims = f.dims;
+  v.f32 = f.values;
+  v.opts.eb_rel = eb_rel;
+  return v;
+}
+
+TEST(Snapshot, RoundTripMultipleVariables) {
+  const auto t = data::climate2d(32, 48, 1);
+  const auto q = data::climate2d(32, 48, 2);
+  const auto w = data::hurricane3d(4, 16, 16);
+  const SnapshotVariable vars[] = {make_f32("T", t, 1e-4),
+                                   make_f32("Q", q, 1e-3),
+                                   make_f32("WIND", w, 1e-4)};
+  const auto container = snapshot_compress(vars);
+
+  const auto entries = snapshot_list(container);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "T");
+  EXPECT_EQ(entries[1].name, "Q");
+  EXPECT_EQ(entries[2].name, "WIND");
+  EXPECT_EQ(entries[2].dims, w.dims);
+
+  for (const auto* name : {"T", "Q", "WIND"}) {
+    const auto out = snapshot_extract_f32(container, name);
+    const auto& src = std::string(name) == "T"   ? t
+                      : std::string(name) == "Q" ? q
+                                                 : w;
+    ASSERT_EQ(out.data.size(), src.values.size());
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      ASSERT_LE(std::fabs(out.data[i] - src.values[i]), out.eb_abs)
+          << name << " at " << i;
+  }
+}
+
+TEST(Snapshot, MixedPrecisionVariables) {
+  const auto f = data::smooth1d(500);
+  std::vector<double> d(f.values.begin(), f.values.end());
+  SnapshotVariable v32 = make_f32("single", f, 1e-3);
+  SnapshotVariable v64;
+  v64.name = "double";
+  v64.dims = f.dims;
+  v64.f64 = d;
+  v64.opts.eb_abs = 1e-9;
+  const SnapshotVariable vars[] = {v32, v64};
+  const auto container = snapshot_compress(vars);
+
+  const auto entries = snapshot_list(container);
+  EXPECT_EQ(entries[0].dtype, StreamDtype::kF32);
+  EXPECT_EQ(entries[1].dtype, StreamDtype::kF64);
+
+  const auto out64 = snapshot_extract_f64(container, "double");
+  for (std::size_t i = 0; i < d.size(); ++i)
+    ASSERT_LE(std::fabs(out64.data[i] - d[i]), 1e-9);
+  // Wrong-dtype accessor must throw.
+  EXPECT_THROW((void)snapshot_extract_f32(container, "double"),
+               std::runtime_error);
+  EXPECT_THROW((void)snapshot_extract_f64(container, "single"),
+               std::runtime_error);
+}
+
+TEST(Snapshot, PerVariableBoundsAreIndependent) {
+  const auto f = data::climate2d(32, 32);
+  const SnapshotVariable vars[] = {make_f32("loose", f, 1e-2),
+                                   make_f32("tight", f, 1e-6)};
+  const auto container = snapshot_compress(vars);
+  const auto entries = snapshot_list(container);
+  EXPECT_GT(entries[0].eb_abs, entries[1].eb_abs * 100);
+  EXPECT_LT(entries[0].stream_bytes, entries[1].stream_bytes);
+}
+
+TEST(Snapshot, MissingVariableThrows) {
+  const auto f = data::smooth1d(100);
+  const SnapshotVariable vars[] = {make_f32("a", f, 1e-3)};
+  const auto container = snapshot_compress(vars);
+  EXPECT_THROW((void)snapshot_extract_f32(container, "b"),
+               std::runtime_error);
+}
+
+TEST(Snapshot, DuplicateNameThrows) {
+  const auto f = data::smooth1d(100);
+  const SnapshotVariable vars[] = {make_f32("a", f, 1e-3),
+                                   make_f32("a", f, 1e-3)};
+  EXPECT_THROW((void)snapshot_compress(vars), std::invalid_argument);
+}
+
+TEST(Snapshot, EmptyNameThrows) {
+  const auto f = data::smooth1d(100);
+  const SnapshotVariable vars[] = {make_f32("", f, 1e-3)};
+  EXPECT_THROW((void)snapshot_compress(vars), std::invalid_argument);
+}
+
+TEST(Snapshot, BothOrNeitherPayloadThrows) {
+  const auto f = data::smooth1d(100);
+  std::vector<double> d(f.values.begin(), f.values.end());
+  SnapshotVariable both = make_f32("x", f, 1e-3);
+  both.f64 = d;
+  const SnapshotVariable vars1[] = {both};
+  EXPECT_THROW((void)snapshot_compress(vars1), std::invalid_argument);
+  SnapshotVariable neither;
+  neither.name = "y";
+  neither.dims = f.dims;
+  const SnapshotVariable vars2[] = {neither};
+  EXPECT_THROW((void)snapshot_compress(vars2), std::invalid_argument);
+}
+
+TEST(Snapshot, MalformedContainerThrows) {
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_THROW((void)snapshot_list(junk), std::runtime_error);
+  EXPECT_THROW((void)snapshot_extract_f32(junk, "x"), std::runtime_error);
+}
+
+TEST(Snapshot, EmptyContainerLists) {
+  const auto container =
+      snapshot_compress(std::span<const SnapshotVariable>{});
+  EXPECT_TRUE(snapshot_list(container).empty());
+}
+
+}  // namespace
+}  // namespace sz14

@@ -1,0 +1,151 @@
+#include "core/unpredictable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sz14 {
+namespace {
+
+float roundtrip(const UnpredictableCodec& codec, float v) {
+  BitWriter bw;
+  const float from_encode = codec.encode(v, bw);
+  auto bytes = std::move(bw).finish();
+  BitReader br(bytes);
+  const float from_decode = codec.decode(br);
+  // The encoder must return exactly what the decoder will produce.
+  if (std::isnan(from_encode)) {
+    EXPECT_TRUE(std::isnan(from_decode));
+  } else {
+    EXPECT_EQ(from_encode, from_decode);
+  }
+  return from_decode;
+}
+
+TEST(Unpredictable, TinyValuesBecomeZero) {
+  const UnpredictableCodec codec(0.01);
+  EXPECT_EQ(roundtrip(codec, 0.0f), 0.0f);
+  EXPECT_EQ(roundtrip(codec, 0.005f), 0.0f);
+  EXPECT_EQ(roundtrip(codec, -0.0099f), 0.0f);
+}
+
+TEST(Unpredictable, NormalValuesWithinBound) {
+  const double eb = 1e-3;
+  const UnpredictableCodec codec(eb);
+  for (float v : {1.0f, -1.0f, 3.14159f, 12345.678f, -0.125f, 1e10f, 1e-2f}) {
+    const float r = roundtrip(codec, v);
+    EXPECT_LE(std::fabs(static_cast<double>(r) - static_cast<double>(v)), eb)
+        << "v=" << v;
+  }
+}
+
+TEST(Unpredictable, NonFiniteValuesAreExact) {
+  const UnpredictableCodec codec(0.01);
+  EXPECT_TRUE(std::isnan(
+      roundtrip(codec, std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_EQ(roundtrip(codec, std::numeric_limits<float>::infinity()),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(roundtrip(codec, -std::numeric_limits<float>::infinity()),
+            -std::numeric_limits<float>::infinity());
+}
+
+TEST(Unpredictable, DenormalsTakeRawPathExactly) {
+  const UnpredictableCodec codec(1e-45);  // bound below denormal magnitudes
+  const float denorm = std::numeric_limits<float>::denorm_min() * 7;
+  EXPECT_EQ(roundtrip(codec, denorm), denorm);
+}
+
+TEST(Unpredictable, ZeroBoundIsLossless) {
+  const UnpredictableCodec codec(0.0);
+  Rng rng(51);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1e20, 1e20));
+    EXPECT_EQ(roundtrip(codec, v), v);
+  }
+}
+
+TEST(Unpredictable, KeptBitsMonotoneInExponent) {
+  const UnpredictableCodec codec(1e-3);
+  // Larger-magnitude values need more mantissa bits for the same bound.
+  unsigned prev = 0;
+  for (int e = -10; e <= 30; ++e) {
+    const unsigned k = codec.kept_bits(e);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+  EXPECT_EQ(codec.kept_bits(127), 23u);
+}
+
+TEST(Unpredictable, TruncationSavesBitsVsRaw) {
+  // With a loose bound the payload must be far below 32 bits/value.
+  const UnpredictableCodec codec(0.1);
+  BitWriter bw;
+  Rng rng(53);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i)
+    codec.encode(static_cast<float>(rng.uniform(1.0, 2.0)), bw);
+  EXPECT_LT(bw.bit_count(), static_cast<std::uint64_t>(n) * 20);
+}
+
+class UnpredictableBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnpredictableBoundSweep, BoundHoldsAcrossMagnitudes) {
+  const double eb = GetParam();
+  const UnpredictableCodec codec(eb);
+  Rng rng(61);
+  for (int i = 0; i < 20000; ++i) {
+    // Magnitudes spanning ~20 decades plus sign.
+    const double mag = std::pow(10.0, rng.uniform(-8.0, 12.0));
+    const float v =
+        static_cast<float>(mag * (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    const float r = roundtrip(codec, v);
+    ASSERT_LE(std::fabs(static_cast<double>(r) - static_cast<double>(v)), eb)
+        << "v=" << v << " eb=" << eb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UnpredictableBoundSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-4, 1e-6, 1.0, 10.0));
+
+TEST(Unpredictable, StreamOfMixedValuesDecodesInOrder) {
+  const double eb = 1e-2;
+  const UnpredictableCodec codec(eb);
+  Rng rng(63);
+  std::vector<float> values;
+  for (int i = 0; i < 500; ++i) {
+    switch (rng.below(4)) {
+      case 0:
+        values.push_back(static_cast<float>(rng.uniform(-1e6, 1e6)));
+        break;
+      case 1:
+        values.push_back(static_cast<float>(rng.uniform(-eb, eb)));
+        break;
+      case 2:
+        values.push_back(std::numeric_limits<float>::quiet_NaN());
+        break;
+      default:
+        values.push_back(static_cast<float>(rng.normal()));
+        break;
+    }
+  }
+  BitWriter bw;
+  std::vector<float> expected;
+  for (float v : values) expected.push_back(codec.encode(v, bw));
+  auto bytes = std::move(bw).finish();
+  BitReader br(bytes);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float d = codec.decode(br);
+    if (std::isnan(expected[i])) {
+      EXPECT_TRUE(std::isnan(d));
+    } else {
+      EXPECT_EQ(d, expected[i]) << "at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sz14

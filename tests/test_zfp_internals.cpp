@@ -1,0 +1,99 @@
+// White-box tests of the ZFP-class baseline's substrate properties that
+// the black-box round-trip tests cannot pin down: exact invertibility of
+// the integer lifting, and fixed-rate encoder/decoder bit lock-step under
+// extreme budgets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/zfp_like.hpp"
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+
+namespace sz14::baselines {
+namespace {
+
+// The lifting is file-internal; exercise it through full round trips that
+// would fail on any non-invertible transform: accuracy mode with tol 0
+// (encode every plane) must be limited only by the fixed-point cast.
+TEST(ZfpInternals, NearLosslessAtTinyTolerance) {
+  Rng rng(201);
+  std::vector<float> v(64 * 64);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const Dims dims{64, 64};
+  Zfp c;
+  const double tol = 1e-12;  // far below the ~2^-29 relative cast grid
+  const auto out = c.decompress(c.compress(v, dims, tol));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    // Residual error bounded by the fixed-point grid: 2^(emax-29) with
+    // emax ~ 0 here, times the transform amplification.
+    ASSERT_LE(std::fabs(out[i] - v[i]), 1e-6) << "at " << i;
+  }
+}
+
+TEST(ZfpInternals, FixedRateOneBitPerValueStillDecodes) {
+  // Extreme budget: 1 bit/value = 16 bits/block in 2D; the embedded stream
+  // is truncated almost immediately, and encoder/decoder must stay in bit
+  // lock-step through the truncation.
+  const auto f = data::climate2d(61, 67);  // partial blocks on both axes
+  Zfp c(Zfp::Mode::kFixedRate, 1.0);
+  const auto stream = c.compress(f.values, f.dims, 0.0);
+  const auto out = c.decompress(stream);
+  ASSERT_EQ(out.size(), f.values.size());
+  for (float v : out) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(ZfpInternals, FixedRateFractionalRates) {
+  const auto f = data::hurricane3d(5, 17, 19);
+  for (const double rate : {0.5, 1.5, 3.25}) {
+    Zfp c(Zfp::Mode::kFixedRate, rate);
+    const auto stream = c.compress(f.values, f.dims, 0.0);
+    const auto out = c.decompress(stream);
+    ASSERT_EQ(out.size(), f.values.size()) << "rate " << rate;
+  }
+}
+
+TEST(ZfpInternals, NegativeAndMixedSignBlocks) {
+  Rng rng(203);
+  std::vector<float> v(32 * 32);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<float>((i % 2 ? -1 : 1) * rng.uniform(0.0, 100.0));
+  const Dims dims{32, 32};
+  Zfp c;
+  const double tol = 0.01;
+  const auto out = c.decompress(c.compress(v, dims, tol));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_LE(std::fabs(out[i] - v[i]), tol) << "at " << i;
+}
+
+TEST(ZfpInternals, DenormalBlockDoesNotWrapExponent) {
+  std::vector<float> v(16, std::numeric_limits<float>::denorm_min());
+  v[3] = 0.0f;
+  const Dims dims{16};
+  Zfp c;
+  const auto out = c.decompress(c.compress(v, dims, 1e-30));
+  for (float x : out) ASSERT_TRUE(std::isfinite(x));
+}
+
+TEST(ZfpInternals, OneDimensionalBlocks) {
+  const auto f = data::smooth1d(1003);  // partial final block
+  Zfp c;
+  const double tol = 0.01;
+  const auto out = c.decompress(c.compress(f.values, f.dims, tol));
+  for (std::size_t i = 0; i < f.values.size(); ++i)
+    ASSERT_LE(std::fabs(out[i] - f.values[i]), tol);
+}
+
+TEST(ZfpInternals, RateSweepMonotoneStreamSize) {
+  const auto f = data::climate2d(64, 64);
+  std::size_t prev = 0;
+  for (const double rate : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    Zfp c(Zfp::Mode::kFixedRate, rate);
+    const auto stream = c.compress(f.values, f.dims, 0.0);
+    EXPECT_GT(stream.size(), prev) << "rate " << rate;
+    prev = stream.size();
+  }
+}
+
+}  // namespace
+}  // namespace sz14::baselines

@@ -1,0 +1,251 @@
+// sz14 — command-line front end for the SZ-1.4 reproduction, mirroring the
+// workflow of the reference `sz` executable: compress/decompress raw
+// binary arrays, inspect streams, and run the paper's tuning analyses.
+//
+//   sz14 compress   -i in.f32 -o out.sz -d 1800x3600 --rel 1e-4
+//                   [--abs EB] [--dtype f32|f64] [-m BITS] [-n LAYERS]
+//                   [--decorrelate]
+//   sz14 decompress -i in.sz  -o out.f32
+//   sz14 info       -i in.sz
+//   sz14 analyze    -i in.f32 -d 1800x3600 --rel 1e-4 [--dtype f32]
+//
+// Raw files are flat little-endian arrays; the shape is given with -d
+// (slowest dimension first, 'x'-separated), exactly how scientific data
+// sets such as the paper's ATM/APS/hurricane files ship.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/adaptive.hpp"
+#include "core/analysis.hpp"
+#include "core/compressor.hpp"
+#include "core/format.hpp"
+#include "core/pointwise.hpp"
+#include "data/io.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace sz14;
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::string output;
+  std::string dims_text;
+  std::string dtype = "f32";
+  Options opts;
+  double pwrel = std::numeric_limits<double>::quiet_NaN();
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sz14 compress   -i IN -o OUT -d D1xD2[xD3[xD4]] "
+               "(--abs EB | --rel EB | --pwrel P) [--dtype f32|f64] "
+               "[-m BITS] [-n LAYERS] [--decorrelate]\n"
+               "  sz14 decompress -i IN -o OUT\n"
+               "  sz14 info       -i IN\n"
+               "  sz14 analyze    -i IN -d DIMS (--abs EB | --rel EB) "
+               "[--dtype f32|f64]\n");
+  std::exit(2);
+}
+
+Dims parse_dims(const std::string& text) {
+  std::vector<std::size_t> ext;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('x', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string part = text.substr(pos, end - pos);
+    if (part.empty()) usage("empty dimension in -d");
+    ext.push_back(std::stoull(part));
+    pos = end + 1;
+  }
+  return Dims(std::span<const std::size_t>(ext));
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "-i") {
+      a.input = next();
+    } else if (flag == "-o") {
+      a.output = next();
+    } else if (flag == "-d") {
+      a.dims_text = next();
+    } else if (flag == "--dtype") {
+      a.dtype = next();
+    } else if (flag == "--abs") {
+      a.opts.eb_abs = std::stod(next());
+    } else if (flag == "--rel") {
+      a.opts.eb_rel = std::stod(next());
+    } else if (flag == "--pwrel") {
+      a.pwrel = std::stod(next());
+    } else if (flag == "-m") {
+      a.opts.interval_bits = static_cast<unsigned>(std::stoul(next()));
+    } else if (flag == "-n") {
+      a.opts.layers = static_cast<unsigned>(std::stoul(next()));
+    } else if (flag == "--decorrelate") {
+      a.opts.decorrelate = true;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.input.empty()) usage("-i is required");
+  if (a.dtype != "f32" && a.dtype != "f64") usage("--dtype must be f32|f64");
+  return a;
+}
+
+std::vector<double> read_f64(const std::string& path) {
+  const auto bytes = data::read_bytes(path);
+  if (bytes.size() % sizeof(double) != 0)
+    throw std::runtime_error("f64 file size not divisible by 8: " + path);
+  std::vector<double> values(bytes.size() / sizeof(double));
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+int cmd_compress(const Args& a) {
+  if (a.output.empty() || a.dims_text.empty())
+    usage("compress needs -o and -d");
+  const Dims dims = parse_dims(a.dims_text);
+  CompressStats stats;
+  Timer timer;
+  std::vector<std::uint8_t> stream;
+  std::size_t raw_bytes = 0;
+  if (!std::isnan(a.pwrel)) {
+    if (a.dtype != "f32") usage("--pwrel supports --dtype f32 only");
+    const auto values = data::read_f32(a.input);
+    raw_bytes = values.size() * sizeof(float);
+    stream = compress_pointwise_rel(values, dims, a.pwrel, a.opts, &stats);
+  } else if (a.dtype == "f32") {
+    const auto values = data::read_f32(a.input);
+    raw_bytes = values.size() * sizeof(float);
+    stream = compress(std::span<const float>(values), dims, a.opts, &stats);
+  } else {
+    const auto values = read_f64(a.input);
+    raw_bytes = values.size() * sizeof(double);
+    stream = compress(std::span<const double>(values), dims, a.opts, &stats);
+  }
+  const double seconds = timer.seconds();
+  data::write_bytes(a.output, stream);
+  std::printf("compressed %zu -> %zu bytes (CF %.2f, %.2f bits/value) "
+              "in %.3fs (%.1f MB/s)\n",
+              raw_bytes, stream.size(),
+              compression_factor(raw_bytes, stream.size()),
+              bit_rate(stream.size(), stats.total), seconds,
+              throughput_mbs(raw_bytes, seconds));
+  std::printf("error bound %.6g, hitting rate %.1f%%\n", stats.resolved_eb,
+              100.0 * stats.hitting_rate());
+  return 0;
+}
+
+int cmd_decompress(const Args& a) {
+  if (a.output.empty()) usage("decompress needs -o");
+  const auto stream = data::read_bytes(a.input);
+  Timer timer;
+  // Pointwise containers carry their own magic ("SZPR").
+  if (stream.size() >= 4 && stream[0] == 0x52 && stream[1] == 0x50 &&
+      stream[2] == 0x5A && stream[3] == 0x53) {
+    const auto out = decompress_pointwise_rel(stream);
+    data::write_f32(a.output, out.data);
+    std::printf("decompressed %s f32 (pointwise rel %.3g) in %.3fs\n",
+                out.dims.to_string().c_str(), out.pwrel, timer.seconds());
+    return 0;
+  }
+  if (stream_dtype(stream) == StreamDtype::kF32) {
+    const auto out = decompress(stream);
+    data::write_f32(a.output, out.data);
+    std::printf("decompressed %s f32 in %.3fs\n",
+                out.dims.to_string().c_str(), timer.seconds());
+  } else {
+    const auto out = decompress64(stream);
+    data::write_bytes(
+        a.output,
+        {reinterpret_cast<const std::uint8_t*>(out.data.data()),
+         out.data.size() * sizeof(double)});
+    std::printf("decompressed %s f64 in %.3fs\n",
+                out.dims.to_string().c_str(), timer.seconds());
+  }
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  const auto stream = data::read_bytes(a.input);
+  ByteReader in(stream);
+  const StreamHeader h = read_header(in);
+  std::printf("sz14 stream v%u\n", kFormatVersion);
+  std::printf("  dtype        : %s\n", h.dtype == kDtypeF64 ? "f64" : "f32");
+  std::printf("  shape        : %s (%zu values)\n",
+              h.dims.to_string().c_str(), h.dims.count());
+  std::printf("  error bound  : %.6g (absolute)\n", h.eb_abs);
+  std::printf("  intervals    : %u (m = %u)\n",
+              (1u << h.interval_bits) - 1, h.interval_bits);
+  std::printf("  layers       : %u\n", h.layers);
+  std::printf("  decorrelate  : %s\n", h.decorrelate ? "yes" : "no");
+  std::printf("  stream bytes : %zu (%.2f bits/value)\n", stream.size(),
+              bit_rate(stream.size(), h.dims.count()));
+  return 0;
+}
+
+int cmd_analyze(const Args& a) {
+  if (a.dims_text.empty()) usage("analyze needs -d");
+  if (a.dtype != "f32") usage("analyze currently supports --dtype f32 only");
+  const Dims dims = parse_dims(a.dims_text);
+  const auto values = data::read_f32(a.input);
+  if (values.size() != dims.count()) usage("file size does not match -d");
+  double lo = values[0], hi = values[0];
+  for (float v : values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  const double eb = resolve_error_bound(a.opts, hi - lo);
+  if (std::isnan(eb)) usage("analyze needs --abs or --rel");
+
+  std::printf("value range %.6g, resolved absolute bound %.6g\n", hi - lo, eb);
+  std::printf("layer sweep (Table II analysis):\n");
+  for (const auto& row : layer_sweep(values, dims, 4, eb))
+    std::printf("  n=%u  R_orig %5.1f%%  R_decomp %5.1f%%\n", row.layers,
+                100 * row.rate_original, 100 * row.rate_decompressed);
+  std::printf("best layer: %u\n", best_layer(values, dims, 4, eb));
+
+  const auto suggestion = suggest_interval_bits(values, dims, eb);
+  std::printf("interval suggestion: m=%u (%u intervals), est. hit rate "
+              "%.1f%%%s\n",
+              suggestion.interval_bits,
+              (1u << suggestion.interval_bits) - 1,
+              100 * suggestion.hitting_rate,
+              suggestion.satisfied ? "" : " (theta NOT met; data too noisy "
+                                          "for this bound)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "compress") return cmd_compress(a);
+    if (a.command == "decompress") return cmd_decompress(a);
+    if (a.command == "info") return cmd_info(a);
+    if (a.command == "analyze") return cmd_analyze(a);
+    usage(("unknown command " + a.command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
