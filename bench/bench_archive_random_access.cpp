@@ -1,0 +1,101 @@
+// Random-access study for the SZA archive: full-stream decompress vs
+// block-indexed region reads, swept over block sizes.  The smaller the
+// block, the fewer wasted values a hyperslab read decodes — at the cost of
+// per-block header overhead and a larger footer index.  Emits a JSON array
+// (bench_util JsonWriter) with one record per (codec, block-size) point.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace sz14;
+using namespace sz14::archive;
+
+constexpr int kReps = 5;
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Hurricane-class 3D field (paper: 100x500x500, laptop-scaled).
+  const auto field = bench::hurricane();
+  const Dims& dims = field.dims;
+  const double eb = 1e-3 * bench::value_range(field.values);
+
+  // An interior hyperslab of ~1.6% of the domain: the "one variable, one
+  // region, one timestep" access pattern the whole-file container cannot
+  // serve without decoding everything.
+  Region region;
+  region.rank = 3;
+  region.origin = {dims.extent(0) / 3, dims.extent(1) / 3,
+                   dims.extent(2) / 3};
+  region.extent = {std::max<std::size_t>(1, dims.extent(0) / 8),
+                   std::max<std::size_t>(1, dims.extent(1) / 4),
+                   std::max<std::size_t>(1, dims.extent(2) / 4)};
+
+  std::fprintf(stderr, "field %s, region %zux%zux%zu at %zux%zux%zu\n",
+               dims.to_string().c_str(), region.extent[0], region.extent[1],
+               region.extent[2], region.origin[0], region.origin[1],
+               region.origin[2]);
+
+  bench::JsonWriter json;
+  for (const char* codec : {"sz14", "gzip_like"}) {
+    for (const std::size_t bs : {8u, 16u, 32u, 64u}) {
+      const Dims block{std::min<std::size_t>(bs, dims.extent(0)),
+                       std::min<std::size_t>(bs, dims.extent(1)),
+                       std::min<std::size_t>(bs, dims.extent(2))};
+      const std::string path = "/tmp/bench_archive_" + std::string(codec) +
+                               "_" + std::to_string(bs) + ".sza";
+      double write_s = 0.0;
+      {
+        Timer t;
+        ArchiveWriter w(path);
+        w.append_field("v", std::span<const float>(field.values), dims,
+                       block, codec, eb);
+        w.finish();
+        write_s = t.seconds();
+      }
+      ArchiveReader r(path);
+      const std::size_t total_blocks = r.field("v").blocks.size();
+      const std::uint64_t bytes = r.field("v").payload_bytes();
+
+      const double full_s =
+          time_best_of(kReps, [&] { (void)r.read_field("v"); });
+      r.reset_counters();
+      const double region_s =
+          time_best_of(kReps, [&] { (void)r.read_region("v", region); });
+      const std::size_t touched =
+          static_cast<std::size_t>(r.blocks_decoded()) / kReps;
+
+      json.begin_record();
+      json.kv("codec", codec);
+      json.kv("block", bs);
+      json.kv("blocks_total", total_blocks);
+      json.kv("blocks_touched", touched);
+      json.kv("payload_bytes", static_cast<std::size_t>(bytes));
+      json.kv("write_s", write_s);
+      json.kv("full_decompress_s", full_s);
+      json.kv("region_read_s", region_s);
+      json.kv("speedup", full_s / region_s);
+      json.end_record();
+      std::remove(path.c_str());
+    }
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -40,5 +41,64 @@ inline void header(const std::string& title) {
 inline void rule() {
   std::printf("-----------------------------------------------------------------------\n");
 }
+
+/// Minimal machine-readable output: emits a JSON array of flat records to
+/// `out`, one begin_record()/kv()*/end_record() group per row.  Scoped so
+/// the closing bracket lands when the writer is destroyed.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out = stdout) : out_(out) {
+    std::fprintf(out_, "[");
+  }
+  ~JsonWriter() { std::fprintf(out_, "\n]\n"); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_record() {
+    std::fprintf(out_, "%s\n  {", first_record_ ? "" : ",");
+    first_record_ = false;
+    first_kv_ = true;
+  }
+  void end_record() { std::fprintf(out_, "}"); }
+
+  void kv(const char* key, double v) {
+    sep();
+    // JSON has no inf/nan literals.
+    if (std::isfinite(v))
+      std::fprintf(out_, "\"%s\": %.6g", key, v);
+    else
+      std::fprintf(out_, "\"%s\": null", key);
+  }
+  void kv(const char* key, std::size_t v) {
+    sep();
+    std::fprintf(out_, "\"%s\": %zu", key, v);
+  }
+  void kv(const char* key, const char* v) {
+    sep();
+    std::fprintf(out_, "\"%s\": \"", key);
+    for (; *v; ++v) {
+      const unsigned char c = static_cast<unsigned char>(*v);
+      if (c == '"' || c == '\\')
+        std::fprintf(out_, "\\%c", c);
+      else if (c < 0x20)
+        std::fprintf(out_, "\\u%04x", c);
+      else
+        std::fputc(c, out_);
+    }
+    std::fputc('"', out_);
+  }
+  void kv(const char* key, const std::string& v) { kv(key, v.c_str()); }
+
+ private:
+  void sep() {
+    std::fprintf(out_, "%s", first_kv_ ? "" : ", ");
+    first_kv_ = false;
+  }
+
+  std::FILE* out_;
+  bool first_record_ = true;
+  bool first_kv_ = true;
+};
 
 }  // namespace sz14::bench

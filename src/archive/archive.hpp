@@ -1,0 +1,13 @@
+// Umbrella header for the SZA block-sharded archive subsystem:
+//   codec.hpp          — CCID-style pluggable block-codec registry
+//   blocking.hpp       — block grid / hyperslab arithmetic
+//   archive_format.hpp — on-disk container layout (superblock/footer)
+//   writer.hpp         — append-only parallel writer
+//   reader.hpp         — footer-indexed random-access reader
+#pragma once
+
+#include "archive/archive_format.hpp"
+#include "archive/blocking.hpp"
+#include "archive/codec.hpp"
+#include "archive/reader.hpp"
+#include "archive/writer.hpp"

@@ -1,0 +1,98 @@
+#include "archive/archive_format.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "archive/blocking.hpp"
+#include "archive/codec.hpp"
+#include "core/format.hpp"
+
+namespace sz14::archive {
+
+void write_superblock(ByteWriter& out) {
+  out.put<std::uint32_t>(kArchiveMagic);
+  out.put<std::uint8_t>(kArchiveVersion);
+  out.put<std::uint8_t>(0);   // flags
+  out.put<std::uint16_t>(0);  // reserved
+}
+
+void read_superblock(ByteReader& in) {
+  if (in.get<std::uint32_t>() != kArchiveMagic)
+    throw std::runtime_error("archive: bad magic (not an SZA container)");
+  const auto version = in.get<std::uint8_t>();
+  if (version != kArchiveVersion)
+    throw std::runtime_error("archive: unsupported container version " +
+                             std::to_string(version));
+  (void)in.get<std::uint8_t>();   // flags
+  (void)in.get<std::uint16_t>();  // reserved
+}
+
+void write_footer(const std::vector<FieldEntry>& fields, ByteWriter& out) {
+  out.put_varint(fields.size());
+  for (const auto& f : fields) {
+    out.put_string(f.name);
+    out.put<std::uint8_t>(f.dtype);
+    out.put<std::uint8_t>(f.codec);
+    out.put<double>(f.eb_abs);
+    write_dims(f.dims, out);
+    write_dims(f.block_dims, out);
+    out.put_varint(f.blocks.size());
+    for (const auto& b : f.blocks) {
+      out.put_varint(b.offset);
+      out.put_varint(b.size);
+      out.put<std::uint32_t>(b.crc);
+      out.put<double>(b.min);
+      out.put<double>(b.max);
+    }
+  }
+}
+
+std::vector<FieldEntry> read_footer(ByteReader& in) {
+  const auto n_fields = static_cast<std::size_t>(in.get_varint());
+  std::vector<FieldEntry> fields;
+  fields.reserve(n_fields);
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < n_fields; ++i) {
+    FieldEntry f;
+    f.name = in.get_string();
+    if (f.name.empty())
+      throw std::runtime_error("archive: empty field name in footer");
+    if (!seen.insert(f.name).second)
+      throw std::runtime_error("archive: duplicate field name: " + f.name);
+    f.dtype = in.get<std::uint8_t>();
+    if (f.dtype != kDtypeF32 && f.dtype != kDtypeF64)
+      throw std::runtime_error("archive: unsupported dtype " +
+                               std::to_string(f.dtype));
+    f.codec = in.get<std::uint8_t>();
+    if (codec_by_id(f.codec) == nullptr)
+      throw std::runtime_error("archive: unknown codec id " +
+                               std::to_string(f.codec));
+    f.eb_abs = in.get<double>();
+    f.dims = read_dims(in);
+    f.block_dims = read_dims(in);
+    if (f.block_dims.rank() != f.dims.rank())
+      throw std::runtime_error("archive: block rank mismatch for field '" +
+                               f.name + "'");
+    const BlockGrid grid(f.dims, f.block_dims);
+    const auto n_blocks = static_cast<std::size_t>(in.get_varint());
+    if (n_blocks != grid.block_count())
+      throw std::runtime_error(
+          "archive: block count mismatch for field '" + f.name + "' (index " +
+          std::to_string(n_blocks) + ", grid " +
+          std::to_string(grid.block_count()) + ")");
+    f.blocks.resize(n_blocks);
+    for (auto& b : f.blocks) {
+      b.offset = in.get_varint();
+      b.size = in.get_varint();
+      b.crc = in.get<std::uint32_t>();
+      b.min = in.get<double>();
+      b.max = in.get<double>();
+    }
+    fields.push_back(std::move(f));
+  }
+  if (!in.exhausted())
+    throw std::runtime_error("archive: trailing bytes after footer");
+  return fields;
+}
+
+}  // namespace sz14::archive

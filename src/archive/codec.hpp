@@ -1,0 +1,54 @@
+// Pluggable block-codec backend for the SZA archive container, following
+// the CCID operations-table idiom (one static row of function pointers per
+// codec, looked up by a stable numeric id carried in the footer index).
+//
+// Every block of every field is compressed independently through one of
+// these backends, so a single container can mix error-bounded lossy fields
+// (sz14, zfp_like) with exactly-lossless ones (fpzip_like, gzip_like).
+// The numeric ids are on-disk format: never renumber, only append.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace sz14::archive {
+
+/// Stable on-disk codec identifiers (footer `codec_id` byte).
+inline constexpr std::uint8_t kCodecSz14 = 1;
+inline constexpr std::uint8_t kCodecZfp = 2;
+inline constexpr std::uint8_t kCodecFpzip = 3;
+inline constexpr std::uint8_t kCodecGzip = 4;
+
+/// Operations table row.  `compress64`/`decompress64` are null for backends
+/// without a double-precision path; the writer rejects f64 fields for them.
+struct CodecOps {
+  std::uint8_t id;
+  const char* name;
+  bool lossy;
+
+  std::vector<std::uint8_t> (*compress32)(std::span<const float> block,
+                                          const Dims& block_dims,
+                                          double eb_abs);
+  std::vector<float> (*decompress32)(std::span<const std::uint8_t> stream);
+
+  std::vector<std::uint8_t> (*compress64)(std::span<const double> block,
+                                          const Dims& block_dims,
+                                          double eb_abs);
+  std::vector<double> (*decompress64)(std::span<const std::uint8_t> stream);
+};
+
+/// All registered codecs, id-ascending.
+std::span<const CodecOps> codec_table() noexcept;
+
+/// Lookup by on-disk id; nullptr when unknown.
+const CodecOps* codec_by_id(std::uint8_t id) noexcept;
+
+/// Lookup by name ("sz14", "zfp_like", "fpzip_like", "gzip_like");
+/// nullptr when unknown.
+const CodecOps* codec_by_name(std::string_view name) noexcept;
+
+}  // namespace sz14::archive

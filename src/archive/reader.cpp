@@ -1,0 +1,198 @@
+#include "archive/reader.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "archive/codec.hpp"
+#include "common/checksum.hpp"
+#include "core/format.hpp"
+
+namespace sz14::archive {
+namespace {
+
+template <typename T>
+std::vector<T> codec_decompress(const CodecOps& ops,
+                                std::span<const std::uint8_t> payload) {
+  if constexpr (std::is_same_v<T, float>) {
+    return ops.decompress32(payload);
+  } else {
+    if (ops.decompress64 == nullptr)
+      throw std::runtime_error(std::string("archive: codec '") + ops.name +
+                               "' has no f64 path");
+    return ops.decompress64(payload);
+  }
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads)
+    : path_(path), threads_(threads),
+      in_(path, std::ios::binary | std::ios::ate) {
+  if (!in_) throw std::runtime_error("archive: cannot open: " + path);
+  file_size_ = static_cast<std::uint64_t>(in_.tellg());
+  if (file_size_ < kSuperblockSize + kTrailerSize)
+    throw std::runtime_error("archive: file too small: " + path);
+
+  // Superblock.
+  std::array<std::uint8_t, kSuperblockSize> sb{};
+  in_.seekg(0);
+  in_.read(reinterpret_cast<char*>(sb.data()), sb.size());
+  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  ByteReader sbr(sb);
+  read_superblock(sbr);
+
+  // Trailer.
+  std::array<std::uint8_t, kTrailerSize> tr{};
+  in_.seekg(static_cast<std::streamoff>(file_size_ - kTrailerSize));
+  in_.read(reinterpret_cast<char*>(tr.data()), tr.size());
+  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  ByteReader trr(tr);
+  const auto footer_size = trr.get<std::uint64_t>();
+  const auto footer_crc = trr.get<std::uint32_t>();
+  if (trr.get<std::uint32_t>() != kFooterMagic)
+    throw std::runtime_error("archive: bad footer magic (truncated or not "
+                             "finalized): " + path);
+  if (footer_size > file_size_ - kSuperblockSize - kTrailerSize)
+    throw std::runtime_error("archive: footer size exceeds file: " + path);
+
+  // Footer.
+  std::vector<std::uint8_t> footer(footer_size);
+  in_.seekg(static_cast<std::streamoff>(file_size_ - kTrailerSize -
+                                        footer_size));
+  in_.read(reinterpret_cast<char*>(footer.data()),
+           static_cast<std::streamsize>(footer.size()));
+  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  if (crc32(footer) != footer_crc)
+    throw std::runtime_error("archive: footer checksum mismatch: " + path);
+  ByteReader fr(footer);
+  fields_ = read_footer(fr);
+
+  // Index sanity: every payload must lie between superblock and footer.
+  const std::uint64_t payload_end = file_size_ - kTrailerSize - footer_size;
+  for (const auto& f : fields_)
+    for (const auto& b : f.blocks)
+      // Overflow-safe: offset + size can wrap in a crafted footer.
+      if (b.offset < kSuperblockSize || b.size > payload_end ||
+          b.offset > payload_end - b.size)
+        throw std::runtime_error("archive: block offset out of bounds in "
+                                 "field '" + f.name + "'");
+}
+
+const FieldEntry& ArchiveReader::field(std::string_view name) const {
+  for (const auto& f : fields_)
+    if (f.name == name) return f;
+  throw std::invalid_argument("archive: no such field: " + std::string(name));
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_payload(
+    const BlockEntry& b, const std::string& field_name,
+    std::size_t block_index) {
+  std::vector<std::uint8_t> payload(b.size);
+  in_.seekg(static_cast<std::streamoff>(b.offset));
+  in_.read(reinterpret_cast<char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  if (!in_) throw std::runtime_error("archive: read failed: " + path_);
+  if (crc32(payload) != b.crc)
+    throw std::runtime_error("archive: block " + std::to_string(block_index) +
+                             " checksum mismatch in field '" + field_name +
+                             "' (corrupted payload)");
+  return payload;
+}
+
+template <typename T>
+std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
+                                               const Region& region) {
+  const FieldEntry& f = field(name);
+  constexpr std::uint8_t want = std::is_same_v<T, double> ? kDtypeF64
+                                                          : kDtypeF32;
+  if (f.dtype != want)
+    throw std::invalid_argument("archive: dtype mismatch reading field '" +
+                                f.name + "'");
+  if (region.rank != f.dims.rank())
+    throw std::invalid_argument("archive: region rank mismatch for field '" +
+                                f.name + "'");
+  for (std::size_t a = 0; a < region.rank; ++a) {
+    if (region.extent[a] == 0)
+      throw std::invalid_argument("archive: empty region extent");
+    // Overflow-safe: origin + extent can wrap for a hostile region.
+    if (region.extent[a] > f.dims.extent(a) ||
+        region.origin[a] > f.dims.extent(a) - region.extent[a])
+      throw std::invalid_argument("archive: region exceeds field bounds on "
+                                  "axis " + std::to_string(a));
+  }
+
+  const CodecOps& ops = *codec_by_id(f.codec);  // validated in read_footer
+  const BlockGrid grid(f.dims, f.block_dims);
+  const Dims out_dims = region.shape();
+  std::vector<T> out(out_dims.count());
+
+  // Select intersecting blocks, then read payloads sequentially (shared
+  // file handle) and decode + scatter in parallel.
+  std::vector<std::size_t> touched;
+  for (std::size_t i = 0; i < grid.block_count(); ++i)
+    if (grid.intersects(i, region)) touched.push_back(i);
+
+  std::vector<std::vector<std::uint8_t>> payloads(touched.size());
+  for (std::size_t t = 0; t < touched.size(); ++t)
+    payloads[t] = read_payload(f.blocks[touched[t]], f.name, touched[t]);
+
+  // Lazy: metadata-only consumers (e.g. `archive ls`) never pay for a pool.
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  pool_->run_batch(touched.size(), [&](std::size_t t) {
+    const std::size_t i = touched[t];
+    std::array<std::size_t, kMaxDims> bo{};
+    grid.block_origin(i, bo);
+    const Dims be = grid.block_extents(i);
+
+    const std::vector<T> block = codec_decompress<T>(ops, payloads[t]);
+    blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+    if (block.size() != be.count())
+      throw std::runtime_error("archive: block " + std::to_string(i) +
+                               " of field '" + f.name + "' decoded to " +
+                               std::to_string(block.size()) +
+                               " values, expected " +
+                               std::to_string(be.count()));
+
+    // Intersection of block cuboid and region, then strided copy.
+    std::array<std::size_t, kMaxDims> src_origin{};  // block-local
+    std::array<std::size_t, kMaxDims> dst_origin{};  // region-local
+    std::array<std::size_t, kMaxDims> ext{};
+    for (std::size_t a = 0; a < region.rank; ++a) {
+      const std::size_t lo = std::max(bo[a], region.origin[a]);
+      const std::size_t hi = std::min(bo[a] + be.extent(a),
+                                      region.origin[a] + region.extent[a]);
+      src_origin[a] = lo - bo[a];
+      dst_origin[a] = lo - region.origin[a];
+      ext[a] = hi - lo;
+    }
+    copy_subcuboid(block.data(), be,
+                   std::span<const std::size_t>(src_origin.data(),
+                                                region.rank),
+                   out.data(), out_dims,
+                   std::span<const std::size_t>(dst_origin.data(),
+                                                region.rank),
+                   std::span<const std::size_t>(ext.data(), region.rank));
+  });
+  return out;
+}
+
+std::vector<float> ArchiveReader::read_region(std::string_view name,
+                                              const Region& region) {
+  return read_region_impl<float>(name, region);
+}
+
+std::vector<double> ArchiveReader::read_region64(std::string_view name,
+                                                 const Region& region) {
+  return read_region_impl<double>(name, region);
+}
+
+std::vector<float> ArchiveReader::read_field(std::string_view name) {
+  return read_region_impl<float>(name, Region::whole(field(name).dims));
+}
+
+std::vector<double> ArchiveReader::read_field64(std::string_view name) {
+  return read_region_impl<double>(name, Region::whole(field(name).dims));
+}
+
+}  // namespace sz14::archive

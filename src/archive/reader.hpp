@@ -1,0 +1,83 @@
+// SZA archive reader: validates the footer index (trailer magic + CRC-32)
+// at open, then serves O(blocks-touched) random access — read_region()
+// seeks to, checksums, and decodes ONLY the blocks whose cuboid intersects
+// the requested hyperslab.  Block payload reads are sequential (one shared
+// file handle); decoding and scattering run in parallel on a thread pool.
+//
+// `blocks_decoded()` counts every block decode since construction (or the
+// last reset), which is how tests and benches verify that a region read
+// really touched only the intersecting blocks.
+#pragma once
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "archive/archive_format.hpp"
+#include "archive/blocking.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sz14::archive {
+
+class ArchiveReader {
+ public:
+  /// Opens and indexes `path`.  Throws std::runtime_error on bad magic,
+  /// truncated trailer, footer checksum mismatch, or malformed index.
+  /// `threads == 0` selects hardware_concurrency() for block decoding.
+  explicit ArchiveReader(const std::string& path, std::size_t threads = 0);
+
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  [[nodiscard]] const std::vector<FieldEntry>& fields() const noexcept {
+    return fields_;
+  }
+
+  /// Throws std::invalid_argument when no field has this name.
+  [[nodiscard]] const FieldEntry& field(std::string_view name) const;
+
+  /// Decode an entire f32 field (all blocks).
+  [[nodiscard]] std::vector<float> read_field(std::string_view name);
+
+  /// Decode only the blocks intersecting `region`; returns the hyperslab
+  /// row-major, shaped region.extent.  Throws std::invalid_argument when
+  /// the region's rank mismatches, has a zero extent, or exceeds the field
+  /// bounds; std::runtime_error on checksum/decode failure.
+  [[nodiscard]] std::vector<float> read_region(std::string_view name,
+                                               const Region& region);
+
+  /// Double-precision variants for f64 fields.
+  [[nodiscard]] std::vector<double> read_field64(std::string_view name);
+  [[nodiscard]] std::vector<double> read_region64(std::string_view name,
+                                                  const Region& region);
+
+  /// Blocks decoded since construction or reset_counters().
+  [[nodiscard]] std::uint64_t blocks_decoded() const noexcept {
+    return blocks_decoded_.load(std::memory_order_relaxed);
+  }
+
+  void reset_counters() noexcept {
+    blocks_decoded_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  template <typename T>
+  std::vector<T> read_region_impl(std::string_view name, const Region& region);
+
+  std::vector<std::uint8_t> read_payload(const BlockEntry& b,
+                                         const std::string& field_name,
+                                         std::size_t block_index);
+
+  std::string path_;
+  std::size_t threads_;
+  std::ifstream in_;
+  std::uint64_t file_size_ = 0;
+  std::vector<FieldEntry> fields_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on the first read
+  std::atomic<std::uint64_t> blocks_decoded_{0};
+};
+
+}  // namespace sz14::archive

@@ -1,0 +1,150 @@
+#include "archive/writer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "archive/blocking.hpp"
+#include "archive/codec.hpp"
+#include "common/checksum.hpp"
+#include "core/format.hpp"
+
+namespace sz14::archive {
+namespace {
+
+template <typename T>
+std::vector<std::uint8_t> codec_compress(const CodecOps& ops,
+                                         std::span<const T> block,
+                                         const Dims& dims, double eb_abs) {
+  if constexpr (std::is_same_v<T, float>) {
+    return ops.compress32(block, dims, eb_abs);
+  } else {
+    return ops.compress64(block, dims, eb_abs);
+  }
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("archive: cannot create: " + path);
+  ByteWriter sb;
+  write_superblock(sb);
+  out_.write(reinterpret_cast<const char*>(sb.view().data()),
+             static_cast<std::streamsize>(sb.size()));
+  if (!out_) throw std::runtime_error("archive: write failed: " + path);
+  offset_ = sb.size();
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  try {
+    if (!finished_) finish();
+  } catch (...) {
+    // Destructor must not throw; call finish() explicitly to observe errors.
+  }
+}
+
+template <typename T>
+void ArchiveWriter::append_impl(const std::string& name,
+                                std::span<const T> data, const Dims& dims,
+                                const Dims& block_dims,
+                                const std::string& codec_name, double eb_abs) {
+  if (finished_)
+    throw std::logic_error("archive: append_field after finish()");
+  if (name.empty())
+    throw std::invalid_argument("archive: field name must be non-empty");
+  for (const auto& f : fields_)
+    if (f.name == name)
+      throw std::invalid_argument("archive: duplicate field name: " + name);
+  if (data.size() != dims.count())
+    throw std::invalid_argument("archive: data size " +
+                                std::to_string(data.size()) +
+                                " does not match dims " + dims.to_string());
+  const CodecOps* ops = codec_by_name(codec_name);
+  if (ops == nullptr)
+    throw std::invalid_argument("archive: unknown codec: " + codec_name);
+  constexpr bool is64 = std::is_same_v<T, double>;
+  if (is64 && ops->compress64 == nullptr)
+    throw std::invalid_argument("archive: codec '" + codec_name +
+                                "' has no f64 path");
+
+  const BlockGrid grid(dims, block_dims);
+  const std::size_t n = grid.block_count();
+
+  // Gather + compress every block in parallel; payloads land in order.
+  std::vector<std::vector<std::uint8_t>> payloads(n);
+  std::vector<std::pair<double, double>> ranges(n);
+  pool_->run_batch(n, [&](std::size_t i) {
+    std::array<std::size_t, kMaxDims> origin{};
+    grid.block_origin(i, origin);
+    const Dims be = grid.block_extents(i);
+    std::vector<T> block(be.count());
+    const std::array<std::size_t, kMaxDims> zero{};
+    copy_subcuboid(data.data(), dims,
+                   std::span<const std::size_t>(origin.data(), dims.rank()),
+                   block.data(), be,
+                   std::span<const std::size_t>(zero.data(), dims.rank()),
+                   be.extents());
+    const auto [lo, hi] = std::minmax_element(block.begin(), block.end());
+    ranges[i] = {static_cast<double>(*lo), static_cast<double>(*hi)};
+    payloads[i] = codec_compress<T>(*ops, block, be, eb_abs);
+  });
+
+  FieldEntry f;
+  f.name = name;
+  f.dtype = is64 ? kDtypeF64 : kDtypeF32;
+  f.codec = ops->id;
+  f.eb_abs = ops->lossy ? eb_abs : 0.0;
+  f.dims = dims;
+  f.block_dims = grid.block();
+  f.blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BlockEntry b;
+    b.offset = offset_;
+    b.size = payloads[i].size();
+    b.crc = crc32(payloads[i]);
+    b.min = ranges[i].first;
+    b.max = ranges[i].second;
+    out_.write(reinterpret_cast<const char*>(payloads[i].data()),
+               static_cast<std::streamsize>(payloads[i].size()));
+    offset_ += payloads[i].size();
+    f.blocks.push_back(b);
+  }
+  if (!out_) throw std::runtime_error("archive: write failed: " + path_);
+  fields_.push_back(std::move(f));
+}
+
+void ArchiveWriter::append_field(const std::string& name,
+                                 std::span<const float> data, const Dims& dims,
+                                 const Dims& block_dims,
+                                 const std::string& codec_name,
+                                 double eb_abs) {
+  append_impl<float>(name, data, dims, block_dims, codec_name, eb_abs);
+}
+
+void ArchiveWriter::append_field(const std::string& name,
+                                 std::span<const double> data,
+                                 const Dims& dims, const Dims& block_dims,
+                                 const std::string& codec_name,
+                                 double eb_abs) {
+  append_impl<double>(name, data, dims, block_dims, codec_name, eb_abs);
+}
+
+void ArchiveWriter::finish() {
+  if (finished_) return;
+  ByteWriter footer;
+  write_footer(fields_, footer);
+  ByteWriter trailer;
+  trailer.put<std::uint64_t>(footer.size());
+  trailer.put<std::uint32_t>(crc32(footer.view()));
+  trailer.put<std::uint32_t>(kFooterMagic);
+  out_.write(reinterpret_cast<const char*>(footer.view().data()),
+             static_cast<std::streamsize>(footer.size()));
+  out_.write(reinterpret_cast<const char*>(trailer.view().data()),
+             static_cast<std::streamsize>(trailer.size()));
+  out_.close();
+  if (!out_) throw std::runtime_error("archive: finalize failed: " + path_);
+  finished_ = true;
+}
+
+}  // namespace sz14::archive

@@ -1,0 +1,74 @@
+// Append-only SZA archive writer: each append_field() call shards one
+// named d-dimensional field into fixed-size blocks, compresses the blocks
+// in parallel on a thread pool (batch API), and appends the payloads to the
+// container.  finish() seals the file with the footer index + trailer.
+//
+// Incremental snapshot workflows simply append one field per timestep
+// ("temp/t000", "temp/t001", ...); nothing already written is ever touched.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "archive/archive_format.hpp"
+#include "common/dims.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sz14::archive {
+
+class ArchiveWriter {
+ public:
+  /// Creates (truncates) `path` and writes the superblock.  `threads == 0`
+  /// selects hardware_concurrency() for block compression.
+  explicit ArchiveWriter(const std::string& path, std::size_t threads = 0);
+
+  /// Seals the archive on destruction if finish() was not called
+  /// (best-effort: errors are swallowed; call finish() to observe them).
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Compress and append a float32 field sharded into `block_dims` blocks
+  /// through codec `codec_name` under absolute bound `eb_abs` (ignored by
+  /// lossless codecs).  Throws std::invalid_argument on duplicate name,
+  /// shape mismatch, or unknown codec; std::runtime_error on I/O failure.
+  void append_field(const std::string& name, std::span<const float> data,
+                    const Dims& dims, const Dims& block_dims,
+                    const std::string& codec_name, double eb_abs);
+
+  /// Double-precision variant; throws std::invalid_argument when the codec
+  /// has no f64 path.
+  void append_field(const std::string& name, std::span<const double> data,
+                    const Dims& dims, const Dims& block_dims,
+                    const std::string& codec_name, double eb_abs);
+
+  /// Write footer + trailer and close the file.  Idempotent; append_field()
+  /// throws std::logic_error afterwards.
+  void finish();
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Index entries written so far (for inspection/tests).
+  [[nodiscard]] const std::vector<FieldEntry>& fields() const noexcept {
+    return fields_;
+  }
+
+ private:
+  template <typename T>
+  void append_impl(const std::string& name, std::span<const T> data,
+                   const Dims& dims, const Dims& block_dims,
+                   const std::string& codec_name, double eb_abs);
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;
+  std::vector<FieldEntry> fields_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool finished_ = false;
+};
+
+}  // namespace sz14::archive

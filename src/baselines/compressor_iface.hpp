@@ -40,4 +40,7 @@ std::vector<std::unique_ptr<CompressorBase>> make_all_compressors();
 /// Throws std::invalid_argument for unknown names.
 std::unique_ptr<CompressorBase> make_compressor(const std::string& name);
 
+/// All names make_compressor() accepts, in registration order.
+std::vector<std::string> compressor_names();
+
 }  // namespace sz14::baselines

@@ -25,26 +25,48 @@ std::vector<float> Sz14Codec::decompress(
   return sz14::decompress(stream).data;
 }
 
+namespace {
+
+// Operations-table registry (one row per codec), so the factory, the
+// paper-order sweep, and the name listing are driven from one place.
+struct Factory {
+  const char* name;
+  bool in_paper_sweep;  // appears in make_all_compressors() (Fig. 6 order)
+  std::unique_ptr<CompressorBase> (*make)();
+};
+
+const Factory kFactories[] = {
+    {"sz14", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Sz14Codec>()); }},
+    {"zfp", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Zfp>()); }},
+    {"sz11", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Sz11>()); }},
+    {"isabela", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Isabela>()); }},
+    {"fpzip", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Fpzip>()); }},
+    {"gzip", true, [] { return std::unique_ptr<CompressorBase>(std::make_unique<Gzip>()); }},
+    {"zfp-rate", false, [] {
+       return std::unique_ptr<CompressorBase>(
+           std::make_unique<Zfp>(Zfp::Mode::kFixedRate));
+     }},
+};
+
+}  // namespace
+
 std::vector<std::unique_ptr<CompressorBase>> make_all_compressors() {
   std::vector<std::unique_ptr<CompressorBase>> v;
-  v.push_back(std::make_unique<Sz14Codec>());
-  v.push_back(std::make_unique<Zfp>());
-  v.push_back(std::make_unique<Sz11>());
-  v.push_back(std::make_unique<Isabela>());
-  v.push_back(std::make_unique<Fpzip>());
-  v.push_back(std::make_unique<Gzip>());
+  for (const auto& f : kFactories)
+    if (f.in_paper_sweep) v.push_back(f.make());
   return v;
 }
 
 std::unique_ptr<CompressorBase> make_compressor(const std::string& name) {
-  if (name == "sz14") return std::make_unique<Sz14Codec>();
-  if (name == "zfp") return std::make_unique<Zfp>();
-  if (name == "zfp-rate") return std::make_unique<Zfp>(Zfp::Mode::kFixedRate);
-  if (name == "sz11") return std::make_unique<Sz11>();
-  if (name == "isabela") return std::make_unique<Isabela>();
-  if (name == "fpzip") return std::make_unique<Fpzip>();
-  if (name == "gzip") return std::make_unique<Gzip>();
+  for (const auto& f : kFactories)
+    if (name == f.name) return f.make();
   throw std::invalid_argument("unknown compressor: " + name);
+}
+
+std::vector<std::string> compressor_names() {
+  std::vector<std::string> names;
+  for (const auto& f : kFactories) names.emplace_back(f.name);
+  return names;
 }
 
 }  // namespace sz14::baselines

@@ -9,6 +9,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -45,6 +46,13 @@ class ByteWriter {
   void put_svarint(std::int64_t v) {
     put_varint((static_cast<std::uint64_t>(v) << 1) ^
                static_cast<std::uint64_t>(v >> 63));
+  }
+
+  /// Length-prefixed (varint) UTF-8/byte string.
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
@@ -99,6 +107,13 @@ class ByteReader {
   [[nodiscard]] std::int64_t get_svarint() {
     const std::uint64_t z = get_varint();
     return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  /// Inverse of ByteWriter::put_string.
+  [[nodiscard]] std::string get_string() {
+    const auto n = static_cast<std::size_t>(get_varint());
+    const auto s = get_bytes(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept {

@@ -1,0 +1,35 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace sz14 {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) {
+  crc = ~crc;
+  for (const std::uint8_t b : data)
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_update(0, data);
+}
+
+}  // namespace sz14

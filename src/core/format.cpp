@@ -5,14 +5,32 @@
 
 namespace sz14 {
 
+void write_dims(const Dims& dims, ByteWriter& out) {
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t a = 0; a < dims.rank(); ++a)
+    out.put_varint(dims.extent(a));
+}
+
+Dims read_dims(ByteReader& in) {
+  const auto rank = in.get<std::uint8_t>();
+  if (rank == 0 || rank > kMaxDims)
+    throw std::runtime_error("sz14: bad rank " + std::to_string(rank));
+  std::array<std::size_t, kMaxDims> ext{};
+  for (std::size_t a = 0; a < rank; ++a)
+    ext[a] = static_cast<std::size_t>(in.get_varint());
+  try {
+    return Dims(std::span<const std::size_t>(ext.data(), rank));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("sz14: malformed dims: ") + e.what());
+  }
+}
+
 void write_header(const StreamHeader& h, ByteWriter& out) {
   out.put<std::uint32_t>(kMagic);
   out.put<std::uint8_t>(kFormatVersion);
   out.put<std::uint8_t>(h.dtype);
   out.put<std::uint8_t>(h.decorrelate ? kFlagDecorrelate : 0);
-  out.put<std::uint8_t>(static_cast<std::uint8_t>(h.dims.rank()));
-  for (std::size_t a = 0; a < h.dims.rank(); ++a)
-    out.put_varint(h.dims.extent(a));
+  write_dims(h.dims, out);
   out.put<double>(h.eb_abs);
   out.put<std::uint8_t>(h.interval_bits);
   out.put<std::uint8_t>(h.layers);
@@ -34,13 +52,7 @@ StreamHeader read_header(ByteReader& in) {
   if (flags & ~kFlagDecorrelate)
     throw std::runtime_error("sz14: unknown header flags");
   h.decorrelate = (flags & kFlagDecorrelate) != 0;
-  const auto rank = in.get<std::uint8_t>();
-  if (rank == 0 || rank > kMaxDims)
-    throw std::runtime_error("sz14: bad rank " + std::to_string(rank));
-  std::array<std::size_t, kMaxDims> ext{};
-  for (std::size_t a = 0; a < rank; ++a)
-    ext[a] = static_cast<std::size_t>(in.get_varint());
-  h.dims = Dims(std::span<const std::size_t>(ext.data(), rank));
+  h.dims = read_dims(in);
   h.eb_abs = in.get<double>();
   h.interval_bits = in.get<std::uint8_t>();
   h.layers = in.get<std::uint8_t>();

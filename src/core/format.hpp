@@ -35,4 +35,12 @@ void write_header(const StreamHeader& h, ByteWriter& out);
 /// Throws std::runtime_error on bad magic/version/dtype or malformed dims.
 StreamHeader read_header(ByteReader& in);
 
+/// Shared shape serialization (rank u8 + extents varint * rank), used by the
+/// stream header above and by the archive container footer.
+void write_dims(const Dims& dims, ByteWriter& out);
+
+/// Throws std::runtime_error on rank 0, rank > kMaxDims, or overflowing
+/// extents.
+Dims read_dims(ByteReader& in);
+
 }  // namespace sz14

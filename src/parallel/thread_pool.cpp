@@ -32,6 +32,35 @@ void ThreadPool::wait() {
   cv_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void ThreadPool::run_batch(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(m);
+        if (!error) error = std::current_exception();
+      }
+      {
+        // Notify while holding the lock: once the caller sees done == n it
+        // destroys m/cv, so an unlocked notify could touch freed state.
+        std::lock_guard lock(m);
+        ++done;
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done == n; });
+  if (error) std::rethrow_exception(error);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -27,6 +27,13 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait();
 
+  /// Batch API: run `fn(i)` for i in [0, n) on the pool and block until all
+  /// n tasks complete.  Tracks completion with its own counter, so it is
+  /// safe on a pool shared with unrelated submit() traffic.  The first
+  /// exception thrown by any task is rethrown on the calling thread after
+  /// the batch drains.
+  void run_batch(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }

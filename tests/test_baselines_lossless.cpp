@@ -111,5 +111,17 @@ TEST(FpzipBehaviour, MalformedStreamThrows) {
   EXPECT_THROW((void)fpzip.decompress(junk), std::runtime_error);
 }
 
+TEST(Registry, EveryListedNameConstructs) {
+  const auto names = compressor_names();
+  EXPECT_GE(names.size(), 7u);  // six paper codecs + zfp-rate
+  for (const auto& name : names) {
+    const auto codec = make_compressor(name);
+    ASSERT_NE(codec, nullptr) << name;
+    // "zfp-rate" is the fixed-rate alias of the Zfp class.
+    if (name != "zfp-rate") EXPECT_EQ(codec->name(), name);
+  }
+  EXPECT_THROW((void)make_compressor("nope"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sz14::baselines

@@ -9,6 +9,18 @@
 //   sz14 info       -i in.sz
 //   sz14 analyze    -i in.f32 -d 1800x3600 --rel 1e-4 [--dtype f32]
 //
+// Block-sharded multi-field archives (SZA containers, src/archive/):
+//
+//   sz14 archive create  -o out.sza --field name=file:dims [--field ...]
+//                        [--codec sz14|zfp_like|fpzip_like|gzip_like]
+//                        (--abs EB | --rel R) [--dtype f32|f64]
+//                        [--block B1xB2[..]] [-t THREADS]
+//   sz14 archive ls      -i in.sza
+//   sz14 archive extract -i in.sza -f name -o out.raw
+//                        [--origin O1xO2[..] --shape S1xS2[..]]
+//   sz14 archive cat     -i in.sza -f name [--origin .. --shape ..]
+//                        [--limit N]
+//
 // Raw files are flat little-endian arrays; the shape is given with -d
 // (slowest dimension first, 'x'-separated), exactly how scientific data
 // sets such as the paper's ATM/APS/hurricane files ship.
@@ -20,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/archive.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/analysis.hpp"
@@ -53,7 +66,15 @@ struct Args {
                "  sz14 decompress -i IN -o OUT\n"
                "  sz14 info       -i IN\n"
                "  sz14 analyze    -i IN -d DIMS (--abs EB | --rel EB) "
-               "[--dtype f32|f64]\n");
+               "[--dtype f32|f64]\n"
+               "  sz14 archive create  -o OUT --field NAME=FILE:DIMS "
+               "[--field ...] [--codec C] (--abs EB | --rel R) "
+               "[--dtype f32|f64] [--block DIMS] [-t THREADS]\n"
+               "  sz14 archive ls      -i IN\n"
+               "  sz14 archive extract -i IN -f NAME -o OUT "
+               "[--origin DIMS --shape DIMS]\n"
+               "  sz14 archive cat     -i IN -f NAME "
+               "[--origin DIMS --shape DIMS] [--limit N]\n");
   std::exit(2);
 }
 
@@ -234,10 +255,262 @@ int cmd_analyze(const Args& a) {
   return 0;
 }
 
+// ------------------------------------------------------------------ archive
+
+struct FieldSpec {
+  std::string name;
+  std::string file;
+  Dims dims;
+};
+
+/// Parse "name=file:dims" (dims 'x'-separated, slowest first).
+FieldSpec parse_field_spec(const std::string& text) {
+  const std::size_t eq = text.find('=');
+  const std::size_t colon = text.rfind(':');
+  if (eq == std::string::npos || colon == std::string::npos || colon <= eq)
+    usage("--field expects NAME=FILE:DIMS");
+  FieldSpec s;
+  s.name = text.substr(0, eq);
+  s.file = text.substr(eq + 1, colon - eq - 1);
+  s.dims = parse_dims(text.substr(colon + 1));
+  if (s.name.empty() || s.file.empty()) usage("--field expects NAME=FILE:DIMS");
+  return s;
+}
+
+struct ArchiveArgs {
+  std::string sub;
+  std::string input;
+  std::string output;
+  std::string field_name;
+  std::string codec = "sz14";
+  std::string dtype = "f32";
+  std::string block_text;
+  std::string origin_text;
+  std::string shape_text;
+  std::vector<FieldSpec> fields;
+  double eb_abs = std::numeric_limits<double>::quiet_NaN();
+  double eb_rel = std::numeric_limits<double>::quiet_NaN();
+  std::size_t threads = 0;
+  std::size_t limit = 0;  // 0 = no limit
+};
+
+ArchiveArgs parse_archive(int argc, char** argv) {
+  if (argc < 3) usage("archive needs a subcommand (create|ls|extract|cat)");
+  ArchiveArgs a;
+  a.sub = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "-i") {
+      a.input = next();
+    } else if (flag == "-o") {
+      a.output = next();
+    } else if (flag == "-f") {
+      a.field_name = next();
+    } else if (flag == "--field") {
+      a.fields.push_back(parse_field_spec(next()));
+    } else if (flag == "--codec") {
+      a.codec = next();
+    } else if (flag == "--dtype") {
+      a.dtype = next();
+    } else if (flag == "--block") {
+      a.block_text = next();
+    } else if (flag == "--origin") {
+      a.origin_text = next();
+    } else if (flag == "--shape") {
+      a.shape_text = next();
+    } else if (flag == "--abs") {
+      a.eb_abs = std::stod(next());
+    } else if (flag == "--rel") {
+      a.eb_rel = std::stod(next());
+    } else if (flag == "-t") {
+      a.threads = std::stoull(next());
+    } else if (flag == "--limit") {
+      a.limit = std::stoull(next());
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.dtype != "f32" && a.dtype != "f64") usage("--dtype must be f32|f64");
+  return a;
+}
+
+/// Default block shape: 64 per axis, clipped to the field.
+Dims default_block(const Dims& dims) {
+  std::vector<std::size_t> ext;
+  for (std::size_t a = 0; a < dims.rank(); ++a)
+    ext.push_back(std::min<std::size_t>(64, dims.extent(a)));
+  return Dims(std::span<const std::size_t>(ext));
+}
+
+std::optional<archive::Region> parse_region(const ArchiveArgs& a,
+                                            const Dims& dims) {
+  if (a.origin_text.empty() && a.shape_text.empty()) return std::nullopt;
+  if (a.origin_text.empty() || a.shape_text.empty())
+    usage("--origin and --shape must be given together");
+  const Dims shape = parse_dims(a.shape_text);
+  // Origins may legitimately contain 0, which Dims rejects; parse by hand.
+  std::vector<std::size_t> origin;
+  std::size_t pos = 0;
+  while (pos <= a.origin_text.size()) {
+    std::size_t end = a.origin_text.find('x', pos);
+    if (end == std::string::npos) end = a.origin_text.size();
+    origin.push_back(std::stoull(a.origin_text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  if (origin.size() != dims.rank() || shape.rank() != dims.rank())
+    usage("--origin/--shape rank must match the field");
+  archive::Region r;
+  r.rank = dims.rank();
+  for (std::size_t ax = 0; ax < r.rank; ++ax) {
+    r.origin[ax] = origin[ax];
+    r.extent[ax] = shape.extent(ax);
+  }
+  return r;
+}
+
+int cmd_archive_create(const ArchiveArgs& a) {
+  if (a.output.empty()) usage("archive create needs -o");
+  if (a.fields.empty()) usage("archive create needs at least one --field");
+  const archive::CodecOps* ops = archive::codec_by_name(a.codec);
+  if (ops == nullptr) {
+    std::string known;
+    for (const auto& c : archive::codec_table())
+      known += std::string(known.empty() ? "" : ", ") + c.name;
+    usage(("unknown codec '" + a.codec + "' (known: " + known + ")").c_str());
+  }
+  if (ops->lossy && std::isnan(a.eb_abs) && std::isnan(a.eb_rel))
+    usage("lossy archive codecs need --abs or --rel");
+
+  archive::ArchiveWriter writer(a.output, a.threads);
+  Timer timer;
+  const auto do_append = [&](const FieldSpec& spec, const Dims& block,
+                             const auto& values) {
+    if (values.size() != spec.dims.count())
+      usage(("file size does not match dims for field " + spec.name).c_str());
+    double eb = a.eb_abs;
+    if (!std::isnan(a.eb_rel)) {
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      eb = a.eb_rel * static_cast<double>(*hi - *lo);
+    }
+    writer.append_field(spec.name, std::span(values.data(), values.size()),
+                        spec.dims, block, a.codec, ops->lossy ? eb : 0.0);
+  };
+  for (const auto& spec : a.fields) {
+    const Dims block =
+        a.block_text.empty() ? default_block(spec.dims)
+                             : parse_dims(a.block_text);
+    if (a.dtype == "f32")
+      do_append(spec, block, data::read_f32(spec.file));
+    else
+      do_append(spec, block, read_f64(spec.file));
+  }
+  writer.finish();
+  std::uint64_t payload = 0, raw = 0;
+  for (const auto& f : writer.fields()) {
+    payload += f.payload_bytes();
+    raw += f.dims.count() * (f.dtype == kDtypeF64 ? 8 : 4);
+  }
+  std::printf("archived %zu field(s), %llu -> %llu bytes (CF %.2f) in "
+              "%.3fs\n",
+              writer.fields().size(), static_cast<unsigned long long>(raw),
+              static_cast<unsigned long long>(payload),
+              compression_factor(raw, payload), timer.seconds());
+  return 0;
+}
+
+int cmd_archive_ls(const ArchiveArgs& a) {
+  if (a.input.empty()) usage("archive ls needs -i");
+  archive::ArchiveReader reader(a.input);
+  std::printf("%-20s %-5s %-14s %-12s %-11s %7s %12s %s\n", "field", "dtype",
+              "shape", "block", "codec", "blocks", "bytes", "min..max");
+  for (const auto& f : reader.fields()) {
+    const archive::CodecOps* ops = archive::codec_by_id(f.codec);
+    double lo = f.blocks.empty() ? 0.0 : f.blocks.front().min;
+    double hi = f.blocks.empty() ? 0.0 : f.blocks.front().max;
+    for (const auto& b : f.blocks) {
+      lo = std::min(lo, b.min);
+      hi = std::max(hi, b.max);
+    }
+    std::printf("%-20s %-5s %-14s %-12s %-11s %7zu %12llu %.4g..%.4g\n",
+                f.name.c_str(), f.dtype == kDtypeF64 ? "f64" : "f32",
+                f.dims.to_string().c_str(), f.block_dims.to_string().c_str(),
+                ops ? ops->name : "?", f.blocks.size(),
+                static_cast<unsigned long long>(f.payload_bytes()), lo, hi);
+  }
+  return 0;
+}
+
+int cmd_archive_extract(const ArchiveArgs& a) {
+  if (a.input.empty() || a.field_name.empty() || a.output.empty())
+    usage("archive extract needs -i, -f and -o");
+  archive::ArchiveReader reader(a.input);
+  const auto& f = reader.field(a.field_name);
+  const auto region = parse_region(a, f.dims);
+  Timer timer;
+  std::size_t values = 0;
+  if (f.dtype == kDtypeF32) {
+    const auto out = region ? reader.read_region(a.field_name, *region)
+                            : reader.read_field(a.field_name);
+    values = out.size();
+    data::write_f32(a.output, out);
+  } else {
+    const auto out = region ? reader.read_region64(a.field_name, *region)
+                            : reader.read_field64(a.field_name);
+    values = out.size();
+    data::write_bytes(a.output,
+                      {reinterpret_cast<const std::uint8_t*>(out.data()),
+                       out.size() * sizeof(double)});
+  }
+  std::printf("extracted %zu values (%llu of %zu blocks decoded) in %.3fs\n",
+              values,
+              static_cast<unsigned long long>(reader.blocks_decoded()),
+              f.blocks.size(), timer.seconds());
+  return 0;
+}
+
+int cmd_archive_cat(const ArchiveArgs& a) {
+  if (a.input.empty() || a.field_name.empty())
+    usage("archive cat needs -i and -f");
+  archive::ArchiveReader reader(a.input);
+  const auto& f = reader.field(a.field_name);
+  const auto region = parse_region(a, f.dims);
+  const auto print = [&](auto&& values) {
+    const std::size_t n = a.limit ? std::min(a.limit, values.size())
+                                  : values.size();
+    for (std::size_t i = 0; i < n; ++i) std::printf("%.9g\n",
+                                                    double(values[i]));
+    if (n < values.size())
+      std::printf("... (%zu of %zu values)\n", n, values.size());
+  };
+  if (f.dtype == kDtypeF32) {
+    print(region ? reader.read_region(a.field_name, *region)
+                 : reader.read_field(a.field_name));
+  } else {
+    print(region ? reader.read_region64(a.field_name, *region)
+                 : reader.read_field64(a.field_name));
+  }
+  return 0;
+}
+
+int cmd_archive(int argc, char** argv) {
+  const ArchiveArgs a = parse_archive(argc, argv);
+  if (a.sub == "create") return cmd_archive_create(a);
+  if (a.sub == "ls") return cmd_archive_ls(a);
+  if (a.sub == "extract") return cmd_archive_extract(a);
+  if (a.sub == "cat") return cmd_archive_cat(a);
+  usage(("unknown archive subcommand " + a.sub).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "archive")
+      return cmd_archive(argc, argv);
     const Args a = parse(argc, argv);
     if (a.command == "compress") return cmd_compress(a);
     if (a.command == "decompress") return cmd_decompress(a);
