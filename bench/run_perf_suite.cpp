@@ -1,0 +1,221 @@
+// Tracked performance baseline: compress/decompress throughput, compression
+// factor, and per-stage breakdown on 1D/2D/3D synthetic fields, measured for
+// BOTH hot-path modes (HotPathMode::kReference = the pre-kernel seed walk,
+// HotPathMode::kFast = the specialized kernels + table Huffman decode) in
+// the same run, so speedups are apples-to-apples on the same machine.
+//
+// Emits a JSON array (schema checked in CI by tools/bench_diff.py); the
+// committed BENCH_PR*.json files form the repo's perf trajectory.
+//
+// Usage: run_perf_suite [--smoke] [--reps N] [--out FILE]
+//   --smoke   tiny sizes (CI bit-rot guard; numbers are meaningless)
+//   --reps N  timing repetitions, best-of (default 3)
+//   --out     write JSON to FILE instead of stdout
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bytebuffer.hpp"
+#include "common/hotpath.hpp"
+#include "common/timer.hpp"
+#include "core/compressor.hpp"
+#include "core/format.hpp"
+#include "core/quantizer.hpp"
+#include "data/generators.hpp"
+#include "encoding/huffman.hpp"
+
+namespace {
+
+using namespace sz14;
+
+struct StageTimes {
+  double compress_s = 0;
+  double decompress_s = 0;
+  double pass_s = 0;            // prediction+quantization walk (compress)
+  double entropy_encode_s = 0;  // Huffman encode
+  double entropy_decode_s = 0;  // header + Huffman decode
+  double kernel_decode_s = 0;   // reconstruction walk (decompress)
+  std::size_t stream_bytes = 0;
+};
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+StageTimes measure(const data::Field& f, const Options& opts, int reps,
+                   std::vector<std::uint8_t>* stream_out,
+                   std::vector<float>* recon_out) {
+  StageTimes st;
+  std::vector<std::uint8_t> stream;
+  st.compress_s = best_of(reps, [&] {
+    stream = compress(f.values, f.dims, opts);
+  });
+  st.stream_bytes = stream.size();
+
+  std::vector<float> out(f.dims.count());
+  st.decompress_s = best_of(reps, [&] {
+    (void)decompress_into(stream, out);
+  });
+
+  // Stage breakdown.  The resolved bound equals eb_abs here (benches set
+  // eb_abs explicitly), so the standalone pass matches compress() work.
+  st.pass_s = best_of(reps, [&] {
+    (void)prediction_quantization_pass(f.values, f.dims, opts.layers,
+                                       opts.interval_bits, opts.eb_abs);
+  });
+  const auto pass = prediction_quantization_pass(
+      f.values, f.dims, opts.layers, opts.interval_bits, opts.eb_abs);
+  const LinearQuantizer quantizer(opts.interval_bits, opts.eb_abs);
+  st.entropy_encode_s = best_of(reps, [&] {
+    ByteWriter w;
+    huffman_encode(pass.codes, quantizer.alphabet_size(), w);
+  });
+  st.entropy_decode_s = best_of(reps, [&] {
+    ByteReader in(stream);
+    (void)read_header(in);
+    (void)huffman_decode(in);
+  });
+  st.kernel_decode_s = st.decompress_s - st.entropy_decode_s;
+
+  if (stream_out) *stream_out = std::move(stream);
+  if (recon_out) *recon_out = std::move(out);
+  return st;
+}
+
+double gbps(std::size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 3;
+  std::string out_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
+      reps = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: run_perf_suite [--smoke] [--reps N] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  const data::Field fields[] = {
+      smoke ? data::smooth1d(4096) : data::smooth1d(4u << 20),
+      smoke ? data::climate2d(64, 64) : data::climate2d(2048, 2048),
+      smoke ? data::hurricane3d(16, 24, 24)
+            : data::hurricane3d(128, 192, 192),
+  };
+  const char* field_names[] = {"smooth1d", "climate2d", "hurricane3d"};
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "run_perf_suite: cannot open %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+
+  int exit_code = 0;
+  {
+    bench::JsonWriter json(out);
+    for (std::size_t fi = 0; fi < 3; ++fi) {
+      const data::Field& f = fields[fi];
+      const std::size_t raw_bytes = f.values.size() * sizeof(float);
+      Options opts;
+      opts.eb_abs = 1e-3;
+
+      std::vector<std::uint8_t> ref_stream, fast_stream;
+      std::vector<float> ref_recon, fast_recon;
+      StageTimes ref, fast;
+      {
+        HotPathScope scope(HotPathMode::kReference);
+        ref = measure(f, opts, reps, &ref_stream, &ref_recon);
+      }
+      {
+        HotPathScope scope(HotPathMode::kFast);
+        fast = measure(f, opts, reps, &fast_stream, &fast_recon);
+      }
+      const bool identical =
+          ref_stream == fast_stream &&
+          std::memcmp(ref_recon.data(), fast_recon.data(),
+                      ref_recon.size() * sizeof(float)) == 0;
+      if (!identical) {
+        std::fprintf(stderr,
+                     "run_perf_suite: FAST/REFERENCE DIVERGENCE on %s\n",
+                     field_names[fi]);
+        exit_code = 1;
+      }
+
+      const StageTimes* modes[] = {&ref, &fast};
+      const char* mode_names[] = {"reference", "fast"};
+      for (int m = 0; m < 2; ++m) {
+        const StageTimes& st = *modes[m];
+        json.begin_record();
+        json.kv("bench", "perf_suite");
+        json.kv("field", field_names[fi]);
+        json.kv("mode", mode_names[m]);
+        json.kv("rank", f.dims.rank());
+        json.kv("n_values", f.values.size());
+        json.kv("raw_bytes", raw_bytes);
+        json.kv("stream_bytes", st.stream_bytes);
+        json.kv("cf", static_cast<double>(raw_bytes) /
+                          static_cast<double>(st.stream_bytes));
+        json.kv("eb_abs", opts.eb_abs);
+        json.kv("reps", static_cast<std::size_t>(reps));
+        json.kv("compress_seconds", st.compress_s);
+        json.kv("decompress_seconds", st.decompress_s);
+        json.kv("compress_gbps", gbps(raw_bytes, st.compress_s));
+        json.kv("decompress_gbps", gbps(raw_bytes, st.decompress_s));
+        json.kv("pass_seconds", st.pass_s);
+        json.kv("entropy_encode_seconds", st.entropy_encode_s);
+        json.kv("entropy_decode_seconds", st.entropy_decode_s);
+        json.kv("kernel_decode_seconds", st.kernel_decode_s);
+        json.end_record();
+      }
+      json.begin_record();
+      json.kv("bench", "perf_suite_speedup");
+      json.kv("field", field_names[fi]);
+      json.kv("rank", f.dims.rank());
+      json.kv("speedup_compress", ref.compress_s / fast.compress_s);
+      json.kv("speedup_decompress", ref.decompress_s / fast.decompress_s);
+      json.kv("streams_identical", static_cast<std::size_t>(identical));
+      json.end_record();
+
+      std::fprintf(stderr,
+                   "%-12s  compress %6.1f -> %6.1f MB/s (%.2fx)   "
+                   "decompress %6.1f -> %6.1f MB/s (%.2fx)   CF %.2f%s\n",
+                   field_names[fi], gbps(raw_bytes, ref.compress_s) * 1e3,
+                   gbps(raw_bytes, fast.compress_s) * 1e3,
+                   ref.compress_s / fast.compress_s,
+                   gbps(raw_bytes, ref.decompress_s) * 1e3,
+                   gbps(raw_bytes, fast.decompress_s) * 1e3,
+                   ref.decompress_s / fast.decompress_s,
+                   static_cast<double>(raw_bytes) /
+                       static_cast<double>(fast.stream_bytes),
+                   identical ? "" : "  [DIVERGED]");
+    }
+  }
+  if (out != stdout) std::fclose(out);
+  return exit_code;
+}

@@ -1,0 +1,19 @@
+#include "common/hotpath.hpp"
+
+#include <atomic>
+
+namespace sz14 {
+
+namespace {
+std::atomic<HotPathMode> g_mode{HotPathMode::kFast};
+}  // namespace
+
+void set_hot_path_mode(HotPathMode mode) noexcept {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+HotPathMode hot_path_mode() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace sz14

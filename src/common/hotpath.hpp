@@ -1,0 +1,40 @@
+// Process-wide hot-path selector.
+//
+// The compressor's prediction/quantization walk and the Huffman decoder
+// each have two implementations: a straightforward reference path (the
+// code the formats were validated against) and a specialized fast path
+// (dimension-specialized kernels, table-driven decoding).  Both produce
+// bit-identical streams and reconstructions; the reference path exists so
+// equivalence tests and `run_perf_suite` can compare the two in the same
+// process.  Production code never needs to touch this knob — the default
+// is kFast.
+#pragma once
+
+namespace sz14 {
+
+enum class HotPathMode {
+  kFast,       // dimension-specialized kernels + table-driven Huffman decode
+  kReference,  // generic CoordWalker walk + bit-by-bit Huffman decode
+};
+
+/// Set the process-wide hot-path mode (testing/benchmark knob; not
+/// intended to be flipped concurrently with codec calls in flight).
+void set_hot_path_mode(HotPathMode mode) noexcept;
+
+[[nodiscard]] HotPathMode hot_path_mode() noexcept;
+
+/// RAII scope guard for tests: forces a mode, restores the previous one.
+class HotPathScope {
+ public:
+  explicit HotPathScope(HotPathMode mode) : prev_(hot_path_mode()) {
+    set_hot_path_mode(mode);
+  }
+  ~HotPathScope() { set_hot_path_mode(prev_); }
+  HotPathScope(const HotPathScope&) = delete;
+  HotPathScope& operator=(const HotPathScope&) = delete;
+
+ private:
+  HotPathMode prev_;
+};
+
+}  // namespace sz14

@@ -6,7 +6,9 @@
 
 #include "common/bitstream.hpp"
 #include "common/bytebuffer.hpp"
+#include "core/field_utils.hpp"
 #include "core/format.hpp"
+#include "core/kernels.hpp"
 #include "core/predictor.hpp"
 #include "core/quantizer.hpp"
 #include "core/unpredictable.hpp"
@@ -15,32 +17,6 @@
 namespace sz14 {
 
 namespace {
-
-/// Min/max over finite elements (non-finite values take the raw escape path
-/// and do not influence the relative bound).
-template <typename T>
-std::pair<double, double> finite_range(std::span<const T> data) {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  for (const T v : data) {
-    if (!std::isfinite(static_cast<double>(v))) continue;
-    lo = std::min(lo, static_cast<double>(v));
-    hi = std::max(hi, static_cast<double>(v));
-  }
-  if (lo > hi) return {0.0, 0.0};
-  return {lo, hi};
-}
-
-/// Deterministic per-index dither in (-eb, eb) for the decorrelation mode.
-/// Both sides derive it from the linear index, so no extra bits are stored.
-double dither_for(std::size_t index, double eb) {
-  std::uint64_t z = static_cast<std::uint64_t>(index) + 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  z ^= z >> 31;
-  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
-  return (2.0 * u - 1.0) * eb;
-}
 
 template <typename T>
 constexpr std::uint8_t dtype_of() {
@@ -84,27 +60,8 @@ PassResultT<T> prediction_quantization_pass(std::span<const T> data,
   const LinearQuantizer quantizer(interval_bits, eb);
   const UnpredictableCodecT<T> unpred(eb);
   BitWriter bw;
-  CoordWalker walker(dims);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const double pred = predictor.predict<T>(
-        {r.reconstructed.data(), n}, walker.coord(), i);
-    if (std::fabs(pred - static_cast<double>(data[i])) <= eb) ++r.strict_hits;
-    const double grid_pred =
-        decorrelate ? pred + dither_for(i, eb) : pred;
-    const QuantResultT<T> q = quantizer.quantize<T>(data[i], grid_pred);
-    if (q.predictable) {
-      r.codes[i] = q.code;
-      r.reconstructed[i] = q.reconstructed;
-      ++r.predictable;
-    } else {
-      r.codes[i] = 0;
-      // encode() returns the decoder-side reconstruction; predicting later
-      // points from it keeps compressor and decompressor in lock-step.
-      r.reconstructed[i] = unpred.encode(data[i], bw);
-    }
-    walker.advance();
-  }
+  detail::pq_compress_walk<T>(data, dims, predictor, quantizer, unpred, eb,
+                              decorrelate, r, bw);
   r.unpred_bits = std::move(bw).finish();
   return r;
 }
@@ -155,45 +112,53 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
   return std::move(out).take();
 }
 
-template <typename T, typename Result>
-Result decompress_impl(std::span<const std::uint8_t> stream) {
+/// Shared decode core.  Exactly one of `fixed_out` (caller-owned buffer,
+/// must already match the element count) and `owned_out` (resized only
+/// AFTER the entropy stage has validated the stream, so a header claiming
+/// absurd extents is rejected before any allocation is attempted) is
+/// non-null.
+template <typename T>
+StreamInfo decompress_core(std::span<const std::uint8_t> stream,
+                           std::span<T> fixed_out,
+                           std::vector<T>* owned_out) {
   ByteReader in(stream);
   const StreamHeader h = read_header(in);
   if (h.dtype != dtype_of<T>())
     throw std::runtime_error("sz14: stream dtype mismatch (use decompress" +
                              std::string(h.dtype == kDtypeF64 ? "64" : "") +
                              ")");
+  if (!owned_out && fixed_out.size() != h.dims.count())
+    throw std::invalid_argument("sz14: output buffer size mismatch");
 
+  // huffman_decode bounds its symbol count by the actual payload size, so
+  // this also caps the allocation a hostile header can trigger.
   const auto codes = huffman_decode(in);
   if (codes.size() != h.dims.count())
     throw std::runtime_error("sz14: quantization array size mismatch");
   const auto n_unpred_bytes = static_cast<std::size_t>(in.get_varint());
   const auto unpred_bytes = in.get_bytes(n_unpred_bytes);
 
-  Result r;
-  r.dims = h.dims;
-  r.eb_abs = h.eb_abs;
-  r.data.resize(h.dims.count());
+  std::span<T> out = fixed_out;
+  if (owned_out) {
+    owned_out->resize(h.dims.count());
+    out = std::span<T>(*owned_out);
+  }
 
   const LayerPredictor predictor(h.dims, h.layers);
   const LinearQuantizer quantizer(h.interval_bits, h.eb_abs);
   const UnpredictableCodecT<T> unpred(h.eb_abs);
   BitReader br(unpred_bytes);
-  CoordWalker walker(h.dims);
+  detail::pq_decompress_walk<T>(codes, h.dims, predictor, quantizer, unpred,
+                                h.eb_abs, h.decorrelate, out, br);
+  return {h.dims, h.eb_abs};
+}
 
-  const std::size_t n = r.data.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (codes[i] == 0) {
-      r.data[i] = unpred.decode(br);
-    } else {
-      const double pred = predictor.predict<T>(
-          {r.data.data(), n}, walker.coord(), i);
-      const double grid_pred =
-          h.decorrelate ? pred + dither_for(i, h.eb_abs) : pred;
-      r.data[i] = quantizer.reconstruct<T>(codes[i], grid_pred);
-    }
-    walker.advance();
-  }
+template <typename T, typename Result>
+Result decompress_impl(std::span<const std::uint8_t> stream) {
+  Result r;
+  const StreamInfo info = decompress_core<T>(stream, {}, &r.data);
+  r.dims = info.dims;
+  r.eb_abs = info.eb_abs;
   return r;
 }
 
@@ -223,6 +188,16 @@ DecompressResult decompress(std::span<const std::uint8_t> stream) {
 
 DecompressResult64 decompress64(std::span<const std::uint8_t> stream) {
   return decompress_impl<double, DecompressResult64>(stream);
+}
+
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<float> out) {
+  return decompress_core<float>(stream, out, nullptr);
+}
+
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<double> out) {
+  return decompress_core<double>(stream, out, nullptr);
 }
 
 }  // namespace sz14

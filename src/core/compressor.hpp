@@ -98,6 +98,22 @@ DecompressResult decompress(std::span<const std::uint8_t> stream);
 /// Decompress a float64 stream.
 DecompressResult64 decompress64(std::span<const std::uint8_t> stream);
 
+/// Header facts returned by the in-place decompressors.
+struct StreamInfo {
+  Dims dims;
+  double eb_abs = 0.0;
+};
+
+/// Decode a stream directly into a caller-owned buffer (no intermediate
+/// allocation or copy — the parallel codec decodes each slab straight into
+/// its place in the output array).  `out.size()` must equal the stream's
+/// element count, or std::invalid_argument is thrown; dtype mismatches
+/// throw std::runtime_error like decompress().
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<float> out);
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<double> out);
+
 /// Intermediate products of the prediction + quantization pass — the shared
 /// kernel behind compress(), the best-layer analysis (Sec. III-B), and the
 /// adaptive interval scheme (Sec. IV-B).

@@ -1,0 +1,25 @@
+#include "core/field_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sz14 {
+
+template <typename T>
+std::pair<double, double> finite_range(std::span<const T> data) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T v : data) {
+    if (!std::isfinite(static_cast<double>(v))) continue;
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  if (lo > hi) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+template std::pair<double, double> finite_range<float>(std::span<const float>);
+template std::pair<double, double> finite_range<double>(
+    std::span<const double>);
+
+}  // namespace sz14

@@ -1,0 +1,39 @@
+// Small numeric helpers shared by the compress and decompress paths (and
+// the specialized kernels): the finite value range used to resolve relative
+// error bounds, and the deterministic per-index dither of the
+// error-decorrelation mode.  Hoisted out of compressor.cpp's anonymous
+// namespace so both sides — and core/kernels — share one definition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+
+namespace sz14 {
+
+/// Min/max over finite elements (non-finite values take the raw escape path
+/// and do not influence the relative bound).  Returns {0, 0} when no finite
+/// element exists.
+template <typename T>
+std::pair<double, double> finite_range(std::span<const T> data);
+
+extern template std::pair<double, double> finite_range<float>(
+    std::span<const float>);
+extern template std::pair<double, double> finite_range<double>(
+    std::span<const double>);
+
+/// Deterministic per-index dither in (-eb, eb) for the decorrelation mode.
+/// Both sides derive it from the linear index, so no extra bits are stored.
+/// The mix is splitmix64; changing it would break every decorrelated stream.
+inline double dither_for(std::size_t index, double eb) {
+  std::uint64_t z = static_cast<std::uint64_t>(index) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return (2.0 * u - 1.0) * eb;
+}
+
+}  // namespace sz14

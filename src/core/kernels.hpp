@@ -1,0 +1,64 @@
+// Dimension-specialized fused prediction + quantization kernels — the hot
+// path behind compress() and decompress().
+//
+// The generic pass walks a CoordWalker and re-checks stencil/boundary
+// containment per point.  These kernels instead decompose the 1D/2D/3D
+// index space into border segments (O(surface), handled by the predictor's
+// zero-extension path) and interior row spans, where prediction is a plain
+// tap loop over row pointers — and, for the default 1-layer (Lorenzo)
+// stencil, a hardcoded expression.  Accumulation order matches
+// LayerPredictor::predict tap-for-tap, so codes, reconstructions, and
+// unpredictable bitstreams are bit-identical to the generic pass (enforced
+// by tests/test_kernels.cpp); rank-4 shapes and HotPathMode::kReference
+// take the generic walk.
+#pragma once
+
+#include <span>
+
+#include "common/bitstream.hpp"
+#include "common/dims.hpp"
+#include "core/compressor.hpp"
+#include "core/predictor.hpp"
+#include "core/quantizer.hpp"
+#include "core/unpredictable.hpp"
+
+namespace sz14::detail {
+
+/// Compress-side fused walk: fills r.codes / r.reconstructed / counters and
+/// appends unpredictable-point bits to bw.  Preconditions (checked by the
+/// caller): data.size() == dims.count() == r.codes.size() ==
+/// r.reconstructed.size().
+template <typename T>
+void pq_compress_walk(std::span<const T> data, const Dims& dims,
+                      const LayerPredictor& predictor,
+                      const LinearQuantizer& quantizer,
+                      const UnpredictableCodecT<T>& unpred, double eb,
+                      bool decorrelate, PassResultT<T>& r, BitWriter& bw);
+
+/// Decompress-side mirror: consumes codes plus the unpredictable bitstream
+/// into out (out.size() == dims.count() == codes.size()).
+template <typename T>
+void pq_decompress_walk(std::span<const std::uint16_t> codes,
+                        const Dims& dims, const LayerPredictor& predictor,
+                        const LinearQuantizer& quantizer,
+                        const UnpredictableCodecT<T>& unpred, double eb,
+                        bool decorrelate, std::span<T> out, BitReader& br);
+
+extern template void pq_compress_walk<float>(
+    std::span<const float>, const Dims&, const LayerPredictor&,
+    const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
+    PassResultT<float>&, BitWriter&);
+extern template void pq_compress_walk<double>(
+    std::span<const double>, const Dims&, const LayerPredictor&,
+    const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
+    PassResultT<double>&, BitWriter&);
+extern template void pq_decompress_walk<float>(
+    std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
+    const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
+    std::span<float>, BitReader&);
+extern template void pq_decompress_walk<double>(
+    std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
+    const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
+    std::span<double>, BitReader&);
+
+}  // namespace sz14::detail

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "common/hotpath.hpp"
+
 namespace sz14 {
 
 /// Quantization decision for one data point.
@@ -33,11 +35,25 @@ class LinearQuantizer {
   /// 2^m codes including the unpredictable marker.  `eb` is the absolute
   /// error bound; eb <= 0 degenerates to "everything unpredictable"
   /// (lossless fallback used for zero-range / pathological inputs).
-  LinearQuantizer(unsigned interval_bits, double eb) : eb_(eb) {
+  LinearQuantizer(unsigned interval_bits, double eb)
+      : eb_(eb), legacy_(hot_path_mode() == HotPathMode::kReference) {
     if (interval_bits < 2 || interval_bits > 16)
       throw std::invalid_argument("LinearQuantizer: m must be in [2, 16]");
     bits_ = interval_bits;
     radius_ = 1u << (interval_bits - 1);
+  }
+
+  /// Round half away from zero, exactly as std::llround, for |x| < 2^31.
+  /// Inline (truncating cast + exact fractional compare) so the hot loop
+  /// avoids the libm call: the cast is exact truncation, and x - trunc(x)
+  /// is exact for |x| < 2^52, so the 0.5 comparisons match llround
+  /// bit-for-bit on the quantizer's |x| < 2^15 operating range.
+  [[nodiscard]] static std::int32_t round_half_away(double x) {
+    const auto t = static_cast<std::int32_t>(x);
+    const double frac = x - static_cast<double>(t);
+    if (frac >= 0.5) return t + 1;
+    if (frac <= -0.5) return t - 1;
+    return t;
   }
 
   /// Try to encode `real` against the prediction `pred`.
@@ -47,7 +63,11 @@ class LinearQuantizer {
     const double diff = static_cast<double>(real) - pred;
     const double scaled = diff / (2.0 * eb_);
     if (!(std::fabs(scaled) < static_cast<double>(radius_))) return {};
-    const auto q = static_cast<std::int32_t>(std::llround(scaled));
+    // Identical results either way (see round_half_away); the libm call is
+    // what the seed measured, kept for HotPathMode::kReference timings.
+    const std::int32_t q =
+        legacy_ ? static_cast<std::int32_t>(std::llround(scaled))
+                : round_half_away(scaled);
     if (q <= -static_cast<std::int32_t>(radius_) ||
         q >= static_cast<std::int32_t>(radius_))
       return {};
@@ -83,6 +103,7 @@ class LinearQuantizer {
   double eb_;
   std::uint32_t radius_ = 0;
   unsigned bits_ = 0;
+  bool legacy_ = false;
 };
 
 }  // namespace sz14

@@ -15,61 +15,6 @@ UnpredictableCodecT<T>::UnpredictableCodecT(double eb) : eb_(eb) {
 }
 
 template <typename T>
-unsigned UnpredictableCodecT<T>::kept_bits(int e) const {
-  // Dropping the low b of the M mantissa bits and reconstructing the
-  // midpoint yields error <= 2^(e - M - 1 + b).  We need that <= eb; with
-  // 2^{eb_log2_} <= eb it suffices that b <= eb_log2_ + M - e (one bit of
-  // safety margin against rounding in downstream double arithmetic).
-  constexpr int M = static_cast<int>(FloatTraits<T>::kMantBits);
-  const long b = static_cast<long>(eb_log2_) + M - e;
-  if (b <= 0) return static_cast<unsigned>(M);  // need full precision
-  if (b >= M) return 0;                         // exponent alone is enough
-  return static_cast<unsigned>(M - b);
-}
-
-template <typename T>
-T UnpredictableCodecT<T>::encode(T v, BitWriter& bw) const {
-  using Traits = FloatTraits<T>;
-  using Bits = typename Traits::Bits;
-  const auto bits = std::bit_cast<Bits>(v);
-  const auto exp_field =
-      static_cast<std::uint32_t>((bits & Traits::kExpMask) >>
-                                 Traits::kMantBits);
-  const std::uint32_t exp_all_ones = (1u << Traits::kExpBits) - 1;
-  const bool finite = exp_field != exp_all_ones;
-  const bool denormal = exp_field == 0 && (bits & Traits::kMantMask) != 0;
-
-  if (raw_only_ || !finite || denormal) {
-    bw.put(kRaw, 2);
-    bw.put(static_cast<std::uint64_t>(bits), Traits::kTotalBits);
-    return v;
-  }
-  if (std::fabs(static_cast<double>(v)) <= eb_) {
-    bw.put(kTiny, 2);
-    return T(0);
-  }
-  // Normal, |v| > eb: truncate mantissa.
-  const int e = static_cast<int>(exp_field) - Traits::kBias;
-  const unsigned kept = kept_bits(e);
-  const unsigned M = Traits::kMantBits;
-  bw.put(kTrunc, 2);
-  bw.put(bits >> (Traits::kTotalBits - 1), 1);  // sign
-  bw.put(exp_field, Traits::kExpBits);          // biased exponent
-  Bits mant = 0;
-  if (kept > 0) {
-    bw.put(static_cast<std::uint64_t>((bits & Traits::kMantMask) >>
-                                      (M - kept)),
-           kept);
-    mant = ((bits & Traits::kMantMask) >> (M - kept)) << (M - kept);
-  }
-  // Mirror the decoder's midpoint reconstruction exactly.
-  if (kept < M) mant |= Bits{1} << (M - kept - 1);
-  return std::bit_cast<T>(
-      static_cast<Bits>((bits & Traits::kSignMask) |
-                        (static_cast<Bits>(exp_field) << M) | mant));
-}
-
-template <typename T>
 T UnpredictableCodecT<T>::decode(BitReader& br) const {
   using Traits = FloatTraits<T>;
   using Bits = typename Traits::Bits;

@@ -14,6 +14,8 @@
 // paper's Sec. II notes 64 bits/value uncompressed for double data).
 #pragma once
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 
 #include "common/bitstream.hpp"
@@ -29,7 +31,13 @@ class UnpredictableCodecT {
   /// Encode one value and return the value the decoder will reconstruct
   /// (the compressor must continue predicting from exactly that value).
   /// Guarantees |encode(v) - v| <= eb for finite v (exact on the kRaw path).
-  T encode(T v, BitWriter& bw) const;
+  T encode(T v, BitWriter& bw) const { return encode_impl(v, &bw); }
+
+  /// The value encode() would return, without writing any bits.  The
+  /// wavefront compress kernel reconstructs in traversal order and emits
+  /// the bitstream in index order afterwards, so both calls must agree —
+  /// they share one implementation.
+  [[nodiscard]] T reconstruct(T v) const { return encode_impl(v, nullptr); }
 
   [[nodiscard]] T decode(BitReader& br) const;
 
@@ -40,6 +48,12 @@ class UnpredictableCodecT {
  private:
   enum Tag : unsigned { kTrunc = 0, kTiny = 1, kRaw = 2 };
 
+  // Header-inline so reconstruct() fully inlines into the compress kernels:
+  // an out-of-line call in the (rare) unpredictable branch would force the
+  // hot loop to reload every FP constant per iteration (no callee-saved
+  // xmm registers in the SysV ABI).
+  T encode_impl(T v, BitWriter* bw) const;
+
   double eb_;
   int eb_log2_ = 0;  // floor(log2(eb)) when eb > 0
   bool raw_only_ = false;
@@ -47,6 +61,64 @@ class UnpredictableCodecT {
 
 using UnpredictableCodec = UnpredictableCodecT<float>;
 using UnpredictableCodec64 = UnpredictableCodecT<double>;
+
+template <typename T>
+inline unsigned UnpredictableCodecT<T>::kept_bits(int e) const {
+  // Dropping the low b of the M mantissa bits and reconstructing the
+  // midpoint yields error <= 2^(e - M - 1 + b).  We need that <= eb; with
+  // 2^{eb_log2_} <= eb it suffices that b <= eb_log2_ + M - e (one bit of
+  // safety margin against rounding in downstream double arithmetic).
+  constexpr int M = static_cast<int>(FloatTraits<T>::kMantBits);
+  const long b = static_cast<long>(eb_log2_) + M - e;
+  if (b <= 0) return static_cast<unsigned>(M);  // need full precision
+  if (b >= M) return 0;                         // exponent alone is enough
+  return static_cast<unsigned>(M - b);
+}
+
+template <typename T>
+inline T UnpredictableCodecT<T>::encode_impl(T v, BitWriter* bw) const {
+  using Traits = FloatTraits<T>;
+  using Bits = typename Traits::Bits;
+  const auto bits = std::bit_cast<Bits>(v);
+  const auto exp_field =
+      static_cast<std::uint32_t>((bits & Traits::kExpMask) >>
+                                 Traits::kMantBits);
+  const std::uint32_t exp_all_ones = (1u << Traits::kExpBits) - 1;
+  const bool finite = exp_field != exp_all_ones;
+  const bool denormal = exp_field == 0 && (bits & Traits::kMantMask) != 0;
+
+  if (raw_only_ || !finite || denormal) {
+    if (bw) {
+      bw->put(kRaw, 2);
+      bw->put(static_cast<std::uint64_t>(bits), Traits::kTotalBits);
+    }
+    return v;
+  }
+  if (std::fabs(static_cast<double>(v)) <= eb_) {
+    if (bw) bw->put(kTiny, 2);
+    return T(0);
+  }
+  // Normal, |v| > eb: truncate mantissa.
+  const int e = static_cast<int>(exp_field) - Traits::kBias;
+  const unsigned kept = kept_bits(e);
+  const unsigned M = Traits::kMantBits;
+  if (bw) {
+    bw->put(kTrunc, 2);
+    bw->put(bits >> (Traits::kTotalBits - 1), 1);  // sign
+    bw->put(exp_field, Traits::kExpBits);          // biased exponent
+    if (kept > 0)
+      bw->put(static_cast<std::uint64_t>((bits & Traits::kMantMask) >>
+                                         (M - kept)),
+              kept);
+  }
+  Bits mant = 0;
+  if (kept > 0) mant = ((bits & Traits::kMantMask) >> (M - kept)) << (M - kept);
+  // Mirror the decoder's midpoint reconstruction exactly.
+  if (kept < M) mant |= Bits{1} << (M - kept - 1);
+  return std::bit_cast<T>(
+      static_cast<Bits>((bits & Traits::kSignMask) |
+                        (static_cast<Bits>(exp_field) << M) | mant));
+}
 
 extern template class UnpredictableCodecT<float>;
 extern template class UnpredictableCodecT<double>;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/bitstream.hpp"
+#include "common/hotpath.hpp"
 
 namespace sz14 {
 
@@ -50,8 +51,12 @@ void assign_depths(const std::vector<Node>& nodes, std::int32_t root,
 }
 
 // Enforce the Kraft inequality after clamping overlong codes to max_bits.
+// Bucketed repair: work on per-length counts with an integer Kraft sum (in
+// units of 2^-max_bits), repeatedly moving one symbol from the longest
+// sub-max length l to l+1 (the cheapest unit of Kraft reduction), then
+// reassign lengths to symbols by (original clamped length, symbol id) so
+// the result is deterministic and shorter original codes stay shorter.
 void limit_lengths(std::vector<std::uint8_t>& lengths, unsigned max_bits) {
-  // Collect symbols with nonzero length.
   bool overflow = false;
   for (auto& l : lengths)
     if (l > max_bits) {
@@ -59,31 +64,43 @@ void limit_lengths(std::vector<std::uint8_t>& lengths, unsigned max_bits) {
       overflow = true;
     }
   if (!overflow) return;
-  // Standard repair: compute Kraft sum K = sum 2^-l; while K > 1, lengthen
-  // the shortest-saving candidates (increase some length < max_bits by 1).
-  const double unit = std::ldexp(1.0, -static_cast<int>(max_bits));
-  auto kraft = [&] {
-    double k = 0;
-    for (auto l : lengths)
-      if (l) k += std::ldexp(1.0, -static_cast<int>(l));
-    return k;
-  };
-  double k = kraft();
-  while (k > 1.0 + 1e-12) {
-    // Find the longest length < max_bits and bump it (cheapest Kraft
-    // reduction), deterministic by symbol order.
-    std::size_t best = lengths.size();
-    for (std::size_t s = 0; s < lengths.size(); ++s) {
-      if (lengths[s] == 0 || lengths[s] >= max_bits) continue;
-      if (best == lengths.size() || lengths[s] > lengths[best]) best = s;
-    }
-    if (best == lengths.size())
+
+  std::vector<std::uint64_t> count(max_bits + 2, 0);
+  for (auto l : lengths)
+    if (l) ++count[l];
+  // Integer Kraft sum; alphabet <= 2^16 and max_bits <= 32 keep this well
+  // inside 64 bits (worst term 2^16 * 2^31 = 2^47).
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= max_bits; ++l)
+    kraft += count[l] << (max_bits - l);
+  const std::uint64_t one = std::uint64_t{1} << max_bits;
+
+  unsigned l = max_bits - 1;
+  while (kraft > one) {
+    while (l > 0 && count[l] == 0) --l;
+    if (l == 0)
       throw std::runtime_error("huffman: cannot satisfy Kraft inequality");
-    k -= std::ldexp(1.0, -static_cast<int>(lengths[best]));
-    ++lengths[best];
-    k += std::ldexp(1.0, -static_cast<int>(lengths[best]));
+    --count[l];
+    ++count[l + 1];
+    kraft -= std::uint64_t{1} << (max_bits - l - 1);
+    // The moved symbol now sits at l+1; if that is still below max_bits it
+    // is the new longest candidate.
+    if (l + 1 < max_bits) ++l;
   }
-  (void)unit;
+
+  // Reassign: bucket symbols by their clamped original length (symbol order
+  // within a bucket), then hand out the adjusted lengths shortest-first.
+  std::vector<std::vector<std::uint32_t>> by_len(max_bits + 1);
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s]) by_len[lengths[s]].push_back(static_cast<std::uint32_t>(s));
+  unsigned next = 1;
+  for (unsigned orig = 1; orig <= max_bits; ++orig) {
+    for (const std::uint32_t s : by_len[orig]) {
+      while (count[next] == 0) ++next;
+      lengths[s] = static_cast<std::uint8_t>(next);
+      --count[next];
+    }
+  }
 }
 
 }  // namespace
@@ -149,10 +166,39 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
   if (alphabet_size == 0 || alphabet_size > (1u << 16))
     throw std::invalid_argument("huffman_encode: bad alphabet size");
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
-  for (auto s : symbols) {
-    if (s >= alphabet_size)
-      throw std::invalid_argument("huffman_encode: symbol out of alphabet");
-    ++freqs[s];
+  if (alphabet_size <= 2048 && symbols.size() >= 4 &&
+      hot_path_mode() != HotPathMode::kReference) {
+    // Four interleaved sub-histograms break the store-to-load dependency
+    // runs of skewed symbol streams (the quantization-code distribution
+    // concentrates on the centre code); summed at the end.
+    std::vector<std::uint64_t> sub(alphabet_size * 4, 0);
+    std::uint64_t* h = sub.data();
+    const std::size_t n4 = symbols.size() & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+      const std::uint16_t s0 = symbols[i], s1 = symbols[i + 1],
+                          s2 = symbols[i + 2], s3 = symbols[i + 3];
+      if ((s0 >= alphabet_size) | (s1 >= alphabet_size) |
+          (s2 >= alphabet_size) | (s3 >= alphabet_size))
+        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+      ++h[s0];
+      ++h[alphabet_size + s1];
+      ++h[2 * alphabet_size + s2];
+      ++h[3 * alphabet_size + s3];
+    }
+    for (std::size_t i = n4; i < symbols.size(); ++i) {
+      if (symbols[i] >= alphabet_size)
+        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+      ++h[symbols[i]];
+    }
+    for (std::size_t s = 0; s < alphabet_size; ++s)
+      freqs[s] = h[s] + h[alphabet_size + s] + h[2 * alphabet_size + s] +
+                 h[3 * alphabet_size + s];
+  } else {
+    for (auto s : symbols) {
+      if (s >= alphabet_size)
+        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+      ++freqs[s];
+    }
   }
   const auto lengths = huffman_code_lengths(freqs);
   const auto codes = huffman_canonical_codes(lengths);
@@ -172,20 +218,69 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
   }
   out.put_varint(symbols.size());
 
-  BitWriter bw;
-  for (auto s : symbols) bw.put(codes[s], lengths[s]);
-  auto payload = std::move(bw).finish();
-  out.put_varint(payload.size());
-  out.put_bytes(payload);
+  // Canonical codes are pre-masked to their length and kMaxHuffmanBits <=
+  // BitWriter::kBulkBits, so the accumulator fast path applies directly;
+  // one packed (code << 8 | len) table halves the per-symbol loads.
+  static_assert(kMaxHuffmanBits <= BitWriter::kBulkBits);
+  if (hot_path_mode() == HotPathMode::kReference) {
+    BitWriter bw;
+    for (auto s : symbols) bw.put_bulk(codes[s], lengths[s]);
+    auto payload = std::move(bw).finish();
+    out.put_varint(payload.size());
+    out.put_bytes(payload);
+    return;
+  }
+  // Fast path: the histogram gives the payload size up front
+  // (sum freq * length), so the bits go straight into `out` — no staging
+  // buffer, no copy.  Byte-for-byte the same layout as the staged path.
+  std::vector<std::uint64_t> packed(alphabet_size);
+  std::uint64_t total_bits = 0;
+  for (std::size_t s = 0; s < alphabet_size; ++s) {
+    packed[s] = (static_cast<std::uint64_t>(codes[s]) << 8) | lengths[s];
+    total_bits += freqs[s] * lengths[s];
+  }
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>((total_bits + 7) / 8);
+  out.put_varint(payload_bytes);
+  auto& vec = out.vector();
+  vec.reserve(vec.size() + payload_bytes);
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  for (auto s : symbols) {
+    const std::uint64_t e = packed[s];
+    const unsigned len = static_cast<unsigned>(e & 0xFF);
+    acc = (acc << len) | (e >> 8);
+    fill += len;
+    while (fill >= 8) {
+      fill -= 8;
+      vec.push_back(static_cast<std::uint8_t>(acc >> fill));
+    }
+  }
+  if (fill > 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << fill) - 1;
+    vec.push_back(static_cast<std::uint8_t>((acc & mask) << (8 - fill)));
+  }
 }
 
 HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
   for (auto l : lengths) max_len_ = std::max<unsigned>(max_len_, l);
   if (max_len_ > kMaxHuffmanBits)
     throw std::runtime_error("HuffmanDecoder: code length too large");
+  for (auto l : lengths)
+    if (l) min_len_ = min_len_ ? std::min<unsigned>(min_len_, l) : l;
   count_.assign(max_len_ + 1, 0);
   for (auto l : lengths)
     if (l) ++count_[l];
+  // Reject over-subscribed tables (integer Kraft sum > 1): canonical code
+  // assignment would overflow the code width, and the lookup-table build
+  // would index past the table.  Corrupted streams hit this path.
+  if (max_len_ > 0) {
+    std::uint64_t kraft = 0;
+    for (unsigned l = 1; l <= max_len_; ++l)
+      kraft += static_cast<std::uint64_t>(count_[l]) << (max_len_ - l);
+    if (kraft > std::uint64_t{1} << max_len_)
+      throw std::runtime_error("HuffmanDecoder: invalid code lengths");
+  }
   first_code_.assign(max_len_ + 2, 0);
   offset_.assign(max_len_ + 2, 0);
   std::uint32_t code = 0, idx = 0;
@@ -203,9 +298,38 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
     sorted_[offset_[l] + fill[l]] = static_cast<std::uint16_t>(s);
     ++fill[l];
   }
+
+  // Primary lookup table: every kTableBits-wide window whose prefix is a
+  // code of length l <= kTableBits maps to (symbol << 8 | l); windows whose
+  // prefix belongs to a longer code keep entry 0 and take the scan path.
+  if (max_len_ == 0) return;
+  table_bits_ = std::min(max_len_, kTableBits);
+  table_.assign(std::size_t{1} << table_bits_, 0);
+  const auto codes = huffman_canonical_codes(lengths);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned l = lengths[s];
+    if (!l || l > table_bits_) continue;
+    const std::size_t base = static_cast<std::size_t>(codes[s])
+                             << (table_bits_ - l);
+    const std::size_t span = std::size_t{1} << (table_bits_ - l);
+    const std::uint32_t entry = (static_cast<std::uint32_t>(s) << 8) | l;
+    for (std::size_t w = 0; w < span; ++w) table_[base + w] = entry;
+  }
 }
 
 std::uint16_t HuffmanDecoder::decode(BitReader& br) const {
+  if (max_len_ == 0)
+    throw std::runtime_error("HuffmanDecoder: empty code table");
+  const std::uint32_t e =
+      table_[br.peek(table_bits_)];
+  if (const unsigned len = e & 0xFFu; len != 0) {
+    br.skip(len);
+    return static_cast<std::uint16_t>(e >> 8);
+  }
+  return decode_bitwise(br);
+}
+
+std::uint16_t HuffmanDecoder::decode_bitwise(BitReader& br) const {
   if (max_len_ == 0)
     throw std::runtime_error("HuffmanDecoder: empty code table");
   std::uint32_t code = 0;
@@ -233,17 +357,28 @@ std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
   const auto n_symbols = static_cast<std::size_t>(in.get_varint());
   const auto n_payload = static_cast<std::size_t>(in.get_varint());
   const auto payload = in.get_bytes(n_payload);
-  // Sanity: every symbol costs at least one payload bit, so a declared
-  // count beyond 8 * payload bytes is corruption — reject before reserving.
-  if (n_symbols > 0 && n_symbols > n_payload * 8)
-    throw std::runtime_error("huffman_decode: symbol count exceeds payload");
 
   std::vector<std::uint16_t> out;
-  out.reserve(n_symbols);
   if (n_symbols == 0) return out;
   HuffmanDecoder dec(lengths);
+  // Sanity: every symbol costs at least min_length() payload bits, so a
+  // declared count beyond payload_bits / min_length is corruption — reject
+  // before allocating the output.  (n_payload is bounded by the enclosing
+  // stream, so the multiplication cannot overflow.)
+  const unsigned min_len = dec.min_length();
+  if (min_len == 0)
+    throw std::runtime_error("huffman_decode: empty code table");
+  if (n_symbols > n_payload * 8 / min_len)
+    throw std::runtime_error("huffman_decode: symbol count exceeds payload");
+
+  out.resize(n_symbols);
   BitReader br(payload);
-  for (std::size_t i = 0; i < n_symbols; ++i) out.push_back(dec.decode(br));
+  if (hot_path_mode() == HotPathMode::kReference) {
+    for (std::size_t i = 0; i < n_symbols; ++i)
+      out[i] = dec.decode_bitwise(br);
+  } else {
+    for (std::size_t i = 0; i < n_symbols; ++i) out[i] = dec.decode(br);
+  }
   return out;
 }
 

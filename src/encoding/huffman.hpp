@@ -6,7 +6,8 @@
 // coding algorithm that can handle a source with any number of quantization
 // codes".  This module is that substrate: it builds length-limited canonical
 // codes over alphabets up to 2^16 symbols, serializes the code table
-// compactly, and decodes with a canonical first-code table (no pointer tree).
+// compactly, and decodes with a primary N-bit prefix lookup table backed by
+// the canonical first-code scan for codes longer than N bits.
 #pragma once
 
 #include <cstdint>
@@ -45,14 +46,30 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
 /// input.
 std::vector<std::uint16_t> huffman_decode(ByteReader& in);
 
-/// Decoder table reusable across blocks (canonical first-code method).
+/// Decoder table reusable across blocks.  decode() consults a primary
+/// kTableBits-wide prefix lookup table (one peek resolves any code of up to
+/// kTableBits bits); longer codes fall back to the canonical first-code
+/// scan, which decode_bitwise() also exposes directly as the reference
+/// implementation for equivalence tests.
 class HuffmanDecoder {
  public:
   /// Build from per-symbol code lengths.
   explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
 
-  /// Decode one symbol from an MSB-first bit reader.
+  /// Decode one symbol from an MSB-first bit reader (table fast path).
   [[nodiscard]] std::uint16_t decode(class BitReader& br) const;
+
+  /// Reference bit-by-bit decode — same result as decode(), one br.get(1)
+  /// per code bit.
+  [[nodiscard]] std::uint16_t decode_bitwise(class BitReader& br) const;
+
+  /// Shortest nonzero code length (0 when the table is empty) — the floor
+  /// used by huffman_decode()'s corruption sanity check.
+  [[nodiscard]] unsigned min_length() const noexcept { return min_len_; }
+  [[nodiscard]] unsigned max_length() const noexcept { return max_len_; }
+
+  /// Width of the primary lookup table in bits.
+  static constexpr unsigned kTableBits = 11;
 
  private:
   // first_code_[l] = canonical code value of the first length-l symbol,
@@ -61,7 +78,12 @@ class HuffmanDecoder {
   std::vector<std::uint32_t> count_;
   std::vector<std::uint32_t> offset_;
   std::vector<std::uint16_t> sorted_;
+  // Primary table: entry = symbol << 8 | length for codes of length
+  // <= table_bits_; 0 marks "longer than table_bits_" (fall back to scan).
+  std::vector<std::uint32_t> table_;
+  unsigned table_bits_ = 0;
   unsigned max_len_ = 0;
+  unsigned min_len_ = 0;
 };
 
 /// Shannon entropy (bits/symbol) of a symbol stream — used by tests and the

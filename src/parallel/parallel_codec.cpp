@@ -2,7 +2,6 @@
 
 #include <array>
 #include <atomic>
-#include <cstring>
 #include <stdexcept>
 
 #include "common/bytebuffer.hpp"
@@ -105,11 +104,14 @@ ParallelDecompressResult parallel_decompress(
   parallel_for(chunks, threads == 0 ? 1 : threads, [&](std::size_t c) {
     try {
       const Slab s = slab_of(dims.extent(0), chunks, c);
-      DecompressResult d = decompress(spans[c]);
       const Dims expect = slab_dims(dims, s);
-      if (!(d.dims == expect)) throw std::runtime_error("slab shape mismatch");
-      std::memcpy(r.data.data() + s.row_lo * slab_stride, d.data.data(),
-                  d.data.size() * sizeof(float));
+      // Decode straight into the slab's place in the output array — the
+      // specialized kernels write each chunk in place, no staging copy.
+      const StreamInfo info = decompress_into(
+          spans[c], std::span<float>(r.data.data() + s.row_lo * slab_stride,
+                                     expect.count()));
+      if (!(info.dims == expect))
+        throw std::runtime_error("slab shape mismatch");
     } catch (...) {
       failed.store(true);
     }

@@ -104,5 +104,67 @@ TEST(BitStream, EmptyFinish) {
   EXPECT_TRUE(bytes.empty());
 }
 
+TEST(BitStream, PutBulkMatchesPut) {
+  // put_bulk (pre-masked, <= kBulkBits) must produce the exact same bytes
+  // as the validating put.
+  Rng rng(31);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned nbits =
+        1 + static_cast<unsigned>(rng.below(BitWriter::kBulkBits));
+    std::uint64_t v = rng.next();
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    items.emplace_back(v, nbits);
+  }
+  BitWriter a, b;
+  for (const auto& [v, nbits] : items) {
+    a.put(v, nbits);
+    b.put_bulk(v, nbits);
+  }
+  EXPECT_EQ(a.bit_count(), b.bit_count());
+  EXPECT_EQ(std::move(a).finish(), std::move(b).finish());
+}
+
+TEST(BitStream, PeekDoesNotConsumeAndSkipDoes) {
+  BitWriter w;
+  w.put(0b1011'0110'1100'0011, 16);
+  auto bytes = std::move(w).finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.peek(5), 0b10110u);
+  EXPECT_EQ(r.peek(5), 0b10110u);  // unchanged
+  EXPECT_EQ(r.bit_position(), 0u);
+  r.skip(3);
+  EXPECT_EQ(r.peek(4), 0b1011u);
+  EXPECT_EQ(r.get(13), 0b1'0110'1100'0011u);
+}
+
+TEST(BitStream, PeekZeroPadsPastEnd) {
+  BitWriter w;
+  w.put(0b101, 3);
+  auto bytes = std::move(w).finish();  // one byte: 1010'0000
+  BitReader r(bytes);
+  r.skip(6);
+  // 2 real bits (00) remain; the rest of the window reads as zeros.
+  EXPECT_EQ(r.peek(16), 0u);
+  EXPECT_THROW(r.skip(3), std::runtime_error);
+  r.skip(2);  // consuming exactly the remainder is fine
+  EXPECT_EQ(r.bit_position(), r.bit_size());
+}
+
+TEST(BitStream, PeekAgreesWithGetEverywhere) {
+  Rng rng(37);
+  BitWriter w;
+  for (int i = 0; i < 2000; ++i) w.put(rng.next(), 64);
+  auto bytes = std::move(w).finish();
+  BitReader peeker(bytes), getter(bytes);
+  while (getter.bit_position() + BitReader::kPeekBits <= getter.bit_size()) {
+    const unsigned nbits = 1 + static_cast<unsigned>(rng.below(
+                                   BitReader::kPeekBits));
+    const std::uint64_t p = peeker.peek(nbits);
+    ASSERT_EQ(getter.get(nbits), p);
+    peeker.skip(nbits);
+  }
+}
+
 }  // namespace
 }  // namespace sz14

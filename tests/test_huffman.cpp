@@ -207,6 +207,145 @@ TEST(HuffmanEntropy, KnownValues) {
   EXPECT_NEAR(shannon_entropy_bits(constant, 4), 0.0, 1e-12);
 }
 
+TEST(HuffmanFastDecode, MatchesBitwiseOnRandomTables) {
+  // The table fast path and the canonical scan must agree symbol-for-symbol
+  // on arbitrary (valid) code tables and payloads.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const std::size_t alphabet = 2 + rng.below(3000);
+    std::vector<std::uint64_t> freqs(alphabet, 0);
+    for (auto& f : freqs) f = rng.below(10000);
+    freqs[0] = 1;  // keep at least one symbol present
+    const auto lens = huffman_code_lengths(freqs);
+    const auto codes = huffman_canonical_codes(lens);
+
+    std::vector<std::uint16_t> message;
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<std::uint16_t>(rng.below(alphabet));
+      if (lens[s]) message.push_back(s);
+    }
+    BitWriter bw;
+    for (auto s : message) bw.put(codes[s], lens[s]);
+    const auto bytes = std::move(bw).finish();
+
+    HuffmanDecoder dec(lens);
+    BitReader fast(bytes), slow(bytes);
+    for (auto s : message) {
+      EXPECT_EQ(dec.decode(fast), s);
+      EXPECT_EQ(dec.decode_bitwise(slow), s);
+    }
+    EXPECT_EQ(fast.bit_position(), slow.bit_position());
+  }
+}
+
+TEST(HuffmanFastDecode, MatchesBitwiseOnMaxLengthCodes) {
+  // Adversarial table: one symbol per length 1..kMaxHuffmanBits, the last
+  // two sharing the deepest level so the table is Kraft-complete.  Every
+  // code longer than HuffmanDecoder::kTableBits exercises the fallback.
+  std::vector<std::uint8_t> lens;
+  for (unsigned l = 1; l < kMaxHuffmanBits; ++l)
+    lens.push_back(static_cast<std::uint8_t>(l));
+  lens.push_back(kMaxHuffmanBits);
+  lens.push_back(kMaxHuffmanBits);
+  const auto codes = huffman_canonical_codes(lens);
+
+  std::vector<std::uint16_t> message;
+  for (std::uint16_t s = 0; s < lens.size(); ++s) {
+    message.push_back(s);
+    message.push_back(
+        static_cast<std::uint16_t>(lens.size() - 1 - s));  // reverse too
+  }
+  BitWriter bw;
+  for (auto s : message) bw.put(codes[s], lens[s]);
+  const auto bytes = std::move(bw).finish();
+
+  HuffmanDecoder dec(lens);
+  EXPECT_EQ(dec.max_length(), kMaxHuffmanBits);
+  EXPECT_EQ(dec.min_length(), 1u);
+  BitReader fast(bytes), slow(bytes);
+  for (auto s : message) {
+    EXPECT_EQ(dec.decode(fast), s);
+    EXPECT_EQ(dec.decode_bitwise(slow), s);
+  }
+}
+
+TEST(HuffmanFastDecode, OversubscribedLengthTableRejected) {
+  // Kraft sum > 1 (three 1-bit codes) must be rejected at construction —
+  // the lookup-table build would otherwise index out of bounds.
+  const std::vector<std::uint8_t> bad = {1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder dec(bad), std::runtime_error);
+}
+
+TEST(HuffmanLengths, BucketedRepairPreservesOrderAndKraft) {
+  // Exponential frequencies over many symbols force a deep overflow; the
+  // bucketed repair must emit a Kraft-valid, length-limited table where
+  // originally-shorter codes never end up longer than originally-longer
+  // ones (monotone reassignment), and the stream must round-trip.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t f = 1;
+  for (int i = 0; i < 60; ++i) {
+    freqs.push_back(f);
+    if (f < (std::uint64_t{1} << 62)) f *= 2;
+  }
+  const auto lens = huffman_code_lengths(freqs);
+  std::uint64_t kraft = 0;
+  unsigned max_len = 0;
+  for (auto l : lens) {
+    ASSERT_GT(l, 0u);
+    max_len = std::max<unsigned>(max_len, l);
+    kraft += std::uint64_t{1} << (kMaxHuffmanBits - l);
+  }
+  EXPECT_LE(max_len, kMaxHuffmanBits);
+  EXPECT_LE(kraft, std::uint64_t{1} << kMaxHuffmanBits);
+  // Rarer symbol (lower index here) never gets a shorter code.
+  for (std::size_t a = 0; a + 1 < lens.size(); ++a)
+    EXPECT_GE(lens[a], lens[a + 1]) << "symbol " << a;
+
+  std::vector<std::uint16_t> symbols;
+  for (std::uint16_t s = 0; s < freqs.size(); ++s)
+    for (int rep = 0; rep < 2; ++rep) symbols.push_back(s);
+  EXPECT_EQ(roundtrip(symbols, freqs.size()), symbols);
+}
+
+TEST(HuffmanErrors, SymbolCountBeyondMinLengthPayloadRejected) {
+  // Hand-built stream: a complete 2-symbol table (1-bit codes) claiming
+  // more symbols than the payload can hold at the minimum code length.
+  ByteWriter w;
+  w.put_varint(2);              // alphabet_size
+  w.put_varint(2);              // n_present
+  w.put_varint(0);              // symbol 0
+  w.put<std::uint8_t>(1);       //   length 1
+  w.put_varint(1);              // symbol 1 (delta)
+  w.put<std::uint8_t>(1);       //   length 1
+  w.put_varint(100);            // n_symbols: needs 100 bits
+  w.put_varint(4);              // n_payload: only 32 bits
+  const std::uint8_t payload[4] = {0, 0, 0, 0};
+  w.put_bytes(payload);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_THROW((void)huffman_decode(r), std::runtime_error);
+}
+
+TEST(HuffmanErrors, MinLengthCheckTighterThanOneBitPerSymbol) {
+  // With an 8-bit minimum code length, a payload that passes the old
+  // 1-bit-per-symbol check must still be rejected: 300 symbols * 8 bits
+  // needs 300 bytes, not 40.
+  ByteWriter w;
+  w.put_varint(256);            // alphabet_size
+  w.put_varint(256);            // n_present: all 256 symbols, 8-bit codes
+  for (int s = 0; s < 256; ++s) {
+    w.put_varint(s == 0 ? 0 : 1);
+    w.put<std::uint8_t>(8);
+  }
+  w.put_varint(300);            // n_symbols
+  w.put_varint(40);             // n_payload: 320 bits < 300 * 8
+  const std::vector<std::uint8_t> payload(40, 0);
+  w.put_bytes(payload);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_THROW((void)huffman_decode(r), std::runtime_error);
+}
+
 class HuffmanAlphabetSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HuffmanAlphabetSweep, RoundTripRandomSymbols) {

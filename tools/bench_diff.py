@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Schema guard for the tracked perf baseline (BENCH_PR*.json).
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--speedups]
+
+Compares the two bench outputs structurally: every record kind (the
+"bench" field, plus "mode" where present) must expose the same set of
+keys in both files, so a bench refactor cannot silently drop or rename
+a metric the perf trajectory depends on.  Exits 1 on drift.
+
+With --speedups, also prints the per-field speedup records (informational;
+absolute numbers are machine-dependent, so they are never compared).
+"""
+import json
+import sys
+
+
+def record_kind(rec):
+    kind = rec.get("bench", "<missing-bench-key>")
+    if "mode" in rec:
+        kind += ":" + str(rec["mode"])
+    return kind
+
+
+def schema_of(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if not isinstance(records, list) or not records:
+        print(f"bench_diff: {path}: expected a non-empty JSON array",
+              file=sys.stderr)
+        sys.exit(1)
+    schema = {}
+    for rec in records:
+        kind = record_kind(rec)
+        keys = frozenset(rec.keys())
+        if kind in schema and schema[kind] != keys:
+            print(f"bench_diff: {path}: inconsistent keys within kind "
+                  f"'{kind}'", file=sys.stderr)
+            sys.exit(1)
+        schema[kind] = keys
+    return schema, records
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_schema, _ = schema_of(args[0])
+    cur_schema, cur_records = schema_of(args[1])
+
+    ok = True
+    for kind in sorted(set(base_schema) | set(cur_schema)):
+        if kind not in cur_schema:
+            print(f"bench_diff: record kind '{kind}' missing from {args[1]}")
+            ok = False
+        elif kind not in base_schema:
+            print(f"bench_diff: record kind '{kind}' new in {args[1]} "
+                  f"(not in baseline)")
+            ok = False
+        elif base_schema[kind] != cur_schema[kind]:
+            gone = sorted(base_schema[kind] - cur_schema[kind])
+            new = sorted(cur_schema[kind] - base_schema[kind])
+            print(f"bench_diff: key drift in '{kind}': removed={gone} "
+                  f"added={new}")
+            ok = False
+
+    if "--speedups" in flags:
+        for rec in cur_records:
+            if rec.get("bench") == "perf_suite_speedup":
+                print(f"{rec['field']}: compress "
+                      f"{rec['speedup_compress']:.2f}x, decompress "
+                      f"{rec['speedup_decompress']:.2f}x, identical="
+                      f"{rec['streams_identical']}")
+
+    if not ok:
+        return 1
+    print("bench_diff: schemas match "
+          f"({len(cur_schema)} record kinds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
