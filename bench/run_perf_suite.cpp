@@ -1,22 +1,35 @@
 // Tracked performance baseline: compress/decompress throughput, compression
 // factor, and per-stage breakdown on 1D/2D/3D synthetic fields, measured for
-// BOTH hot-path modes (HotPathMode::kReference = the pre-kernel seed walk,
-// HotPathMode::kFast = the specialized kernels + table Huffman decode) in
-// the same run, so speedups are apples-to-apples on the same machine.
+// THREE hot-path modes in the same run so speedups are apples-to-apples on
+// the same machine:
+//   reference — the pre-kernel seed walk + bit-by-bit Huffman decode,
+//   fast      — specialized wavefront kernels, bit-identical to reference
+//               (verified on every run),
+//   turbo     — reciprocal-multiply quantization; NOT bit-identical, so the
+//               suite instead verifies the error-bound contract by
+//               decompressing and reporting max |x - x'| against eb.
+// A threaded section measures the parallel slab codec (fast + turbo) at
+// --threads N workers, and a "machine" header record captures the context
+// (hardware_concurrency, build type, reps) that makes BENCH_PRn.json files
+// comparable across PRs.
 //
 // Emits a JSON array (schema checked in CI by tools/bench_diff.py); the
 // committed BENCH_PR*.json files form the repo's perf trajectory.
 //
-// Usage: run_perf_suite [--smoke] [--reps N] [--out FILE]
-//   --smoke   tiny sizes (CI bit-rot guard; numbers are meaningless)
-//   --reps N  timing repetitions, best-of (default 3)
-//   --out     write JSON to FILE instead of stdout
+// Usage: run_perf_suite [--smoke] [--reps N] [--threads N] [--out FILE]
+//   --smoke     tiny sizes (CI bit-rot guard; numbers are meaningless)
+//   --reps N    timing repetitions, best-of (default 3)
+//   --threads N workers for the parallel section (default 8)
+//   --out       write JSON to FILE instead of stdout
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -28,6 +41,8 @@
 #include "core/quantizer.hpp"
 #include "data/generators.hpp"
 #include "encoding/huffman.hpp"
+#include "parallel/parallel_codec.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -41,6 +56,7 @@ struct StageTimes {
   double entropy_decode_s = 0;  // header + Huffman decode
   double kernel_decode_s = 0;   // reconstruction walk (decompress)
   std::size_t stream_bytes = 0;
+  double max_error = 0;         // max |x - x'| over finite points
 };
 
 double best_of(int reps, const std::function<void()>& fn) {
@@ -51,6 +67,22 @@ double best_of(int reps, const std::function<void()>& fn) {
     best = std::min(best, t.seconds());
   }
   return best;
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Only a non-finite ORIGINAL is exempt (restored bit-exact by the raw
+    // escape path); a non-finite diff at a finite input is a divergence the
+    // bound gate must flag, so it poisons the max.
+    if (!std::isfinite(static_cast<double>(a[i]))) continue;
+    const double d = std::fabs(static_cast<double>(a[i]) -
+                               static_cast<double>(b[i]));
+    m = std::max(m, std::isfinite(d)
+                        ? d
+                        : std::numeric_limits<double>::infinity());
+  }
+  return m;
 }
 
 StageTimes measure(const data::Field& f, const Options& opts, int reps,
@@ -67,6 +99,7 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
   st.decompress_s = best_of(reps, [&] {
     (void)decompress_into(stream, out);
   });
+  st.max_error = max_abs_error(f.values, out);
 
   // Stage breakdown.  The resolved bound equals eb_abs here (benches set
   // eb_abs explicitly), so the standalone pass matches compress() work.
@@ -93,8 +126,61 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
   return st;
 }
 
+struct ParallelTimes {
+  double compress_s = 0;
+  double decompress_s = 0;
+  std::size_t stream_bytes = 0;
+  std::size_t chunks = 0;
+  double max_error = 0;
+};
+
+ParallelTimes measure_parallel(const data::Field& f, const Options& opts,
+                               int reps, ThreadPool& pool) {
+  ParallelTimes pt;
+  ParallelResult result;
+  pt.compress_s = best_of(reps, [&] {
+    result = parallel_compress(f.values, f.dims, opts, pool);
+  });
+  pt.stream_bytes = result.stream.size();
+  pt.chunks = result.chunks;
+  ParallelDecompressResult out;
+  pt.decompress_s = best_of(reps, [&] {
+    out = parallel_decompress(result.stream, pool);
+  });
+  pt.max_error = max_abs_error(f.values, out.data);
+  return pt;
+}
+
 double gbps(std::size_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0.0;
+}
+
+void emit_mode_record(bench::JsonWriter& json, const char* field,
+                      std::size_t rank, std::size_t n_values,
+                      std::size_t raw_bytes, const StageTimes& st,
+                      const char* mode, double eb, int reps) {
+  json.begin_record();
+  json.kv("bench", "perf_suite");
+  json.kv("field", field);
+  json.kv("mode", mode);
+  json.kv("rank", rank);
+  json.kv("n_values", n_values);
+  json.kv("raw_bytes", raw_bytes);
+  json.kv("stream_bytes", st.stream_bytes);
+  json.kv("cf", static_cast<double>(raw_bytes) /
+                    static_cast<double>(st.stream_bytes));
+  json.kv("eb_abs", eb);
+  json.kv("reps", static_cast<std::size_t>(reps));
+  json.kv("compress_seconds", st.compress_s);
+  json.kv("decompress_seconds", st.decompress_s);
+  json.kv("compress_gbps", gbps(raw_bytes, st.compress_s));
+  json.kv("decompress_gbps", gbps(raw_bytes, st.decompress_s));
+  json.kv("pass_seconds", st.pass_s);
+  json.kv("entropy_encode_seconds", st.entropy_encode_s);
+  json.kv("entropy_decode_seconds", st.entropy_decode_s);
+  json.kv("kernel_decode_seconds", st.kernel_decode_s);
+  json.kv("max_error", st.max_error);
+  json.end_record();
 }
 
 }  // namespace
@@ -102,21 +188,26 @@ double gbps(std::size_t bytes, double seconds) {
 int main(int argc, char** argv) {
   bool smoke = false;
   int reps = 3;
+  std::size_t threads = 8;
   std::string out_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
       reps = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++a]));
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       out_path = argv[++a];
     } else {
       std::fprintf(stderr,
-                   "usage: run_perf_suite [--smoke] [--reps N] [--out FILE]\n");
+                   "usage: run_perf_suite [--smoke] [--reps N] [--threads N] "
+                   "[--out FILE]\n");
       return 2;
     }
   }
   if (reps < 1) reps = 1;
+  if (threads == 0) threads = 1;
 
   const data::Field fields[] = {
       smoke ? data::smooth1d(4096) : data::smooth1d(4u << 20),
@@ -139,6 +230,28 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   {
     bench::JsonWriter json(out);
+
+    // Machine/context header: what makes two BENCH_PRn.json comparable.
+    json.begin_record();
+    json.kv("bench", "machine");
+    json.kv("hardware_concurrency",
+            static_cast<std::size_t>(std::thread::hardware_concurrency()));
+#ifdef SZ14_BUILD_TYPE
+    json.kv("build_type", SZ14_BUILD_TYPE);
+#else
+    json.kv("build_type", "unknown");
+#endif
+#if defined(__VERSION__)
+    json.kv("compiler", __VERSION__);
+#else
+    json.kv("compiler", "unknown");
+#endif
+    json.kv("reps", static_cast<std::size_t>(reps));
+    json.kv("threads", threads);
+    json.kv("smoke", static_cast<std::size_t>(smoke ? 1 : 0));
+    json.end_record();
+
+    ThreadPool pool(threads);
     for (std::size_t fi = 0; fi < 3; ++fi) {
       const data::Field& f = fields[fi];
       const std::size_t raw_bytes = f.values.size() * sizeof(float);
@@ -147,7 +260,7 @@ int main(int argc, char** argv) {
 
       std::vector<std::uint8_t> ref_stream, fast_stream;
       std::vector<float> ref_recon, fast_recon;
-      StageTimes ref, fast;
+      StageTimes ref, fast, turbo;
       {
         HotPathScope scope(HotPathMode::kReference);
         ref = measure(f, opts, reps, &ref_stream, &ref_recon);
@@ -155,6 +268,10 @@ int main(int argc, char** argv) {
       {
         HotPathScope scope(HotPathMode::kFast);
         fast = measure(f, opts, reps, &fast_stream, &fast_recon);
+      }
+      {
+        HotPathScope scope(HotPathMode::kTurbo);
+        turbo = measure(f, opts, reps, nullptr, nullptr);
       }
       const bool identical =
           ref_stream == fast_stream &&
@@ -166,54 +283,102 @@ int main(int argc, char** argv) {
                      field_names[fi]);
         exit_code = 1;
       }
+      if (!(turbo.max_error <= opts.eb_abs)) {
+        std::fprintf(stderr,
+                     "run_perf_suite: TURBO BOUND VIOLATION on %s "
+                     "(max_error %.3e > eb %.3e)\n",
+                     field_names[fi], turbo.max_error, opts.eb_abs);
+        exit_code = 1;
+      }
 
-      const StageTimes* modes[] = {&ref, &fast};
-      const char* mode_names[] = {"reference", "fast"};
-      for (int m = 0; m < 2; ++m) {
-        const StageTimes& st = *modes[m];
+      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
+                       raw_bytes, ref, "reference", opts.eb_abs, reps);
+      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
+                       raw_bytes, fast, "fast", opts.eb_abs, reps);
+      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
+                       raw_bytes, turbo, "turbo", opts.eb_abs, reps);
+
+      // Threaded slab codec, fast + turbo.
+      ParallelTimes par_fast, par_turbo;
+      {
+        HotPathScope scope(HotPathMode::kFast);
+        par_fast = measure_parallel(f, opts, reps, pool);
+      }
+      {
+        HotPathScope scope(HotPathMode::kTurbo);
+        par_turbo = measure_parallel(f, opts, reps, pool);
+      }
+      for (const auto* p : {&par_fast, &par_turbo}) {
+        if (!(p->max_error <= opts.eb_abs)) {
+          std::fprintf(stderr,
+                       "run_perf_suite: PARALLEL BOUND VIOLATION on %s\n",
+                       field_names[fi]);
+          exit_code = 1;
+        }
         json.begin_record();
-        json.kv("bench", "perf_suite");
+        json.kv("bench", "perf_suite_parallel");
         json.kv("field", field_names[fi]);
-        json.kv("mode", mode_names[m]);
+        json.kv("mode", p == &par_fast ? "fast" : "turbo");
         json.kv("rank", f.dims.rank());
-        json.kv("n_values", f.values.size());
+        json.kv("threads", threads);
+        json.kv("chunks", p->chunks);
         json.kv("raw_bytes", raw_bytes);
-        json.kv("stream_bytes", st.stream_bytes);
+        json.kv("stream_bytes", p->stream_bytes);
         json.kv("cf", static_cast<double>(raw_bytes) /
-                          static_cast<double>(st.stream_bytes));
+                          static_cast<double>(p->stream_bytes));
         json.kv("eb_abs", opts.eb_abs);
         json.kv("reps", static_cast<std::size_t>(reps));
-        json.kv("compress_seconds", st.compress_s);
-        json.kv("decompress_seconds", st.decompress_s);
-        json.kv("compress_gbps", gbps(raw_bytes, st.compress_s));
-        json.kv("decompress_gbps", gbps(raw_bytes, st.decompress_s));
-        json.kv("pass_seconds", st.pass_s);
-        json.kv("entropy_encode_seconds", st.entropy_encode_s);
-        json.kv("entropy_decode_seconds", st.entropy_decode_s);
-        json.kv("kernel_decode_seconds", st.kernel_decode_s);
+        json.kv("compress_seconds", p->compress_s);
+        json.kv("decompress_seconds", p->decompress_s);
+        json.kv("compress_gbps", gbps(raw_bytes, p->compress_s));
+        json.kv("decompress_gbps", gbps(raw_bytes, p->decompress_s));
+        json.kv("max_error", p->max_error);
         json.end_record();
       }
+
       json.begin_record();
       json.kv("bench", "perf_suite_speedup");
       json.kv("field", field_names[fi]);
       json.kv("rank", f.dims.rank());
       json.kv("speedup_compress", ref.compress_s / fast.compress_s);
       json.kv("speedup_decompress", ref.decompress_s / fast.decompress_s);
+      json.kv("speedup_compress_turbo", ref.compress_s / turbo.compress_s);
+      json.kv("speedup_decompress_turbo",
+              ref.decompress_s / turbo.decompress_s);
+      json.kv("speedup_compress_parallel_turbo",
+              ref.compress_s / par_turbo.compress_s);
       json.kv("streams_identical", static_cast<std::size_t>(identical));
+      json.kv("turbo_max_error", turbo.max_error);
+      json.kv("turbo_cf_delta",
+              static_cast<double>(raw_bytes) /
+                      static_cast<double>(turbo.stream_bytes) -
+                  static_cast<double>(raw_bytes) /
+                      static_cast<double>(fast.stream_bytes));
       json.end_record();
 
-      std::fprintf(stderr,
-                   "%-12s  compress %6.1f -> %6.1f MB/s (%.2fx)   "
-                   "decompress %6.1f -> %6.1f MB/s (%.2fx)   CF %.2f%s\n",
-                   field_names[fi], gbps(raw_bytes, ref.compress_s) * 1e3,
-                   gbps(raw_bytes, fast.compress_s) * 1e3,
-                   ref.compress_s / fast.compress_s,
-                   gbps(raw_bytes, ref.decompress_s) * 1e3,
-                   gbps(raw_bytes, fast.decompress_s) * 1e3,
-                   ref.decompress_s / fast.decompress_s,
-                   static_cast<double>(raw_bytes) /
-                       static_cast<double>(fast.stream_bytes),
-                   identical ? "" : "  [DIVERGED]");
+      std::fprintf(
+          stderr,
+          "%-12s  compress %6.1f -> %6.1f -> %6.1f MB/s "
+          "(fast %.2fx, turbo %.2fx)   decompress %6.1f -> %6.1f MB/s "
+          "(%.2fx)   CF %.2f%s   turbo max_err %.2e\n",
+          field_names[fi], gbps(raw_bytes, ref.compress_s) * 1e3,
+          gbps(raw_bytes, fast.compress_s) * 1e3,
+          gbps(raw_bytes, turbo.compress_s) * 1e3,
+          ref.compress_s / fast.compress_s,
+          ref.compress_s / turbo.compress_s,
+          gbps(raw_bytes, ref.decompress_s) * 1e3,
+          gbps(raw_bytes, fast.decompress_s) * 1e3,
+          ref.decompress_s / fast.decompress_s,
+          static_cast<double>(raw_bytes) /
+              static_cast<double>(fast.stream_bytes),
+          identical ? "" : "  [DIVERGED]", turbo.max_error);
+      std::fprintf(
+          stderr,
+          "              parallel(%zut) compress %6.1f (fast) %6.1f (turbo) "
+          "MB/s   decompress %6.1f MB/s\n",
+          threads, gbps(raw_bytes, par_fast.compress_s) * 1e3,
+          gbps(raw_bytes, par_turbo.compress_s) * 1e3,
+          gbps(raw_bytes, par_turbo.decompress_s) * 1e3);
     }
   }
   if (out != stdout) std::fclose(out);

@@ -12,6 +12,12 @@ namespace sz14::archive {
 namespace {
 
 // --- sz14: native f32 and f64 error-bounded paths ------------------------
+//
+// These run the full specialized kernel stack and honor the process-wide
+// HotPathMode: an ArchiveWriter pinned to kTurbo compresses every block
+// through the reciprocal-multiply kernels (bound-conformant, not
+// bit-identical to kFast archives of the same data — each mode is
+// individually deterministic, so CRCs reproduce within a mode).
 
 std::vector<std::uint8_t> sz14_c32(std::span<const float> block,
                                    const Dims& dims, double eb_abs) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
@@ -24,8 +25,10 @@ std::vector<std::uint8_t> codec_compress(const CodecOps& ops,
 
 }  // namespace
 
-ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
+                             std::optional<HotPathMode> mode)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc),
+      mode_(mode) {
   if (!out_) throw std::runtime_error("archive: cannot create: " + path);
   ByteWriter sb;
   write_superblock(sb);
@@ -70,6 +73,15 @@ void ArchiveWriter::append_impl(const std::string& name,
 
   const BlockGrid grid(dims, block_dims);
   const std::size_t n = grid.block_count();
+
+  // Pin the writer's hot-path mode (if any) around the batch; the block
+  // codecs read the process-wide selector from the worker threads.  Each
+  // block task is a complete walk+encode, so with several blocks in flight
+  // block i+1's prediction pass naturally overlaps block i's entropy
+  // encode — the same pipeline shape as the parallel slab codec.
+  const std::optional<HotPathScope> scope =
+      mode_ ? std::optional<HotPathScope>(std::in_place, *mode_)
+            : std::nullopt;
 
   // Gather + compress every block in parallel; payloads land in order.
   std::vector<std::vector<std::uint8_t>> payloads(n);

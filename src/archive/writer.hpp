@@ -9,12 +9,14 @@
 
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "archive/archive_format.hpp"
 #include "common/dims.hpp"
+#include "common/hotpath.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sz14::archive {
@@ -22,8 +24,15 @@ namespace sz14::archive {
 class ArchiveWriter {
  public:
   /// Creates (truncates) `path` and writes the superblock.  `threads == 0`
-  /// selects hardware_concurrency() for block compression.
-  explicit ArchiveWriter(const std::string& path, std::size_t threads = 0);
+  /// selects hardware_concurrency() for block compression.  `mode`, when
+  /// set, pins the hot-path mode for every append_field() call (e.g.
+  /// HotPathMode::kTurbo for maximum-throughput ingest); unset inherits the
+  /// ambient process-wide mode.  The pin flips the process-wide selector
+  /// for the duration of each append (the block codecs read it on the
+  /// worker threads), so don't run other codec work concurrently with a
+  /// pinned writer.
+  explicit ArchiveWriter(const std::string& path, std::size_t threads = 0,
+                         std::optional<HotPathMode> mode = std::nullopt);
 
   /// Seals the archive on destruction if finish() was not called
   /// (best-effort: errors are swallowed; call finish() to observe them).
@@ -68,6 +77,7 @@ class ArchiveWriter {
   std::uint64_t offset_ = 0;
   std::vector<FieldEntry> fields_;
   std::unique_ptr<ThreadPool> pool_;
+  std::optional<HotPathMode> mode_;
   bool finished_ = false;
 };
 

@@ -1,13 +1,25 @@
 // Process-wide hot-path selector.
 //
 // The compressor's prediction/quantization walk and the Huffman decoder
-// each have two implementations: a straightforward reference path (the
-// code the formats were validated against) and a specialized fast path
-// (dimension-specialized kernels, table-driven decoding).  Both produce
-// bit-identical streams and reconstructions; the reference path exists so
-// equivalence tests and `run_perf_suite` can compare the two in the same
-// process.  Production code never needs to touch this knob — the default
-// is kFast.
+// have three implementations: a straightforward reference path (the code
+// the formats were validated against), a specialized fast path
+// (dimension-specialized kernels, table-driven decoding) that stays
+// bit-identical to the reference stream, and a turbo path that trades the
+// bit-identity guarantee for speed — the compress-side FP divide becomes a
+// precomputed reciprocal multiply, so quantization decisions near interval
+// boundaries can differ from the reference stream by one interval.  Turbo
+// streams remain fully error-bound conformant (|x - x'| <= eb for every
+// reconstructed point, enforced by a per-point demotion guard in the
+// kernels and by tests/test_conformance.cpp) and decode through the
+// ordinary decompressor.  The reference path exists so equivalence tests
+// and `run_perf_suite` can compare all three in the same process.
+//
+// The default is kFast and decompression is mode-agnostic, so most code
+// never touches this knob; kTurbo is an opt-in production feature (CLI
+// --turbo, ArchiveWriter mode pin).  The selector is process-global — an
+// atomic the kernels read per call — so pin it once before starting codec
+// work, not concurrently with unrelated compress() calls on other threads
+// (they would silently pick the pinned mode up).
 #pragma once
 
 namespace sz14 {
@@ -15,6 +27,8 @@ namespace sz14 {
 enum class HotPathMode {
   kFast,       // dimension-specialized kernels + table-driven Huffman decode
   kReference,  // generic CoordWalker walk + bit-by-bit Huffman decode
+  kTurbo,      // kFast kernels with reciprocal-multiply quantization:
+               // bound-conformant but not bit-identical to the seed stream
 };
 
 /// Set the process-wide hot-path mode (testing/benchmark knob; not

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/bitstream.hpp"
@@ -24,6 +25,21 @@ constexpr std::uint8_t dtype_of() {
 }
 
 }  // namespace
+
+template <typename T>
+double resolve_error_bound_for(std::span<const T> data, const Options& opts) {
+  double range = 0.0;
+  if (std::isfinite(opts.eb_rel)) {
+    const auto [lo, hi] = finite_range(data);
+    range = hi - lo;
+  }
+  return resolve_error_bound(opts, range);
+}
+
+template double resolve_error_bound_for<float>(std::span<const float>,
+                                               const Options&);
+template double resolve_error_bound_for<double>(std::span<const double>,
+                                                const Options&);
 
 double resolve_error_bound(const Options& opts, double value_range) {
   double eb = std::numeric_limits<double>::infinity();
@@ -60,8 +76,11 @@ PassResultT<T> prediction_quantization_pass(std::span<const T> data,
   const LinearQuantizer quantizer(interval_bits, eb);
   const UnpredictableCodecT<T> unpred(eb);
   BitWriter bw;
-  detail::pq_compress_walk<T>(data, dims, predictor, quantizer, unpred, eb,
-                              decorrelate, r, bw);
+  const detail::PassCounters counters = detail::pq_compress_walk<T>(
+      data, dims, predictor, quantizer, unpred, eb, decorrelate, r.codes,
+      r.reconstructed, bw);
+  r.predictable = counters.predictable;
+  r.strict_hits = counters.strict_hits;
   r.unpred_bits = std::move(bw).finish();
   return r;
 }
@@ -79,14 +98,25 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
                                         CompressStats* stats) {
   if (data.size() != dims.count())
     throw std::invalid_argument("sz14: data size does not match dims");
-  const auto [lo, hi] = finite_range(data);
-  const double eb = resolve_error_bound(opts, hi - lo);
+  const double eb = resolve_error_bound_for(data, opts);
   if (std::isnan(eb))
     throw std::invalid_argument(
         "sz14: no usable error bound (set eb_abs and/or eb_rel)");
 
-  PassResultT<T> pass = prediction_quantization_pass<T>(
-      data, dims, opts.layers, opts.interval_bits, eb, opts.decorrelate);
+  // The walk writes every element of codes/recon, so both buffers skip
+  // value-initialization (the ~6 bytes/element memset is measurable at
+  // field scale); recon is scratch and dies with this scope.
+  const std::size_t n = data.size();
+  const auto codes = std::make_unique_for_overwrite<std::uint16_t[]>(n);
+  const auto recon = std::make_unique_for_overwrite<T[]>(n);
+  const LayerPredictor predictor(dims, opts.layers);
+  const LinearQuantizer quantizer(opts.interval_bits, eb);
+  const UnpredictableCodecT<T> unpred(eb);
+  BitWriter bw;
+  const detail::PassCounters counters = detail::pq_compress_walk<T>(
+      data, dims, predictor, quantizer, unpred, eb, opts.decorrelate,
+      {codes.get(), n}, {recon.get(), n}, bw);
+  const auto unpred_bits = std::move(bw).finish();
 
   ByteWriter out;
   StreamHeader h;
@@ -98,14 +128,13 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
   h.decorrelate = opts.decorrelate;
   write_header(h, out);
 
-  const LinearQuantizer quantizer(opts.interval_bits, eb);
-  huffman_encode(pass.codes, quantizer.alphabet_size(), out);
-  out.put_varint(pass.unpred_bits.size());
-  out.put_bytes(pass.unpred_bits);
+  huffman_encode({codes.get(), n}, quantizer.alphabet_size(), out);
+  out.put_varint(unpred_bits.size());
+  out.put_bytes(unpred_bits);
 
   if (stats) {
     stats->total = data.size();
-    stats->predictable = pass.predictable;
+    stats->predictable = counters.predictable;
     stats->resolved_eb = eb;
     stats->compressed_bytes = out.size();
   }

@@ -63,6 +63,18 @@ struct CompressStats {
 /// resolved bound of 0 selects the lossless raw-escape fallback.
 double resolve_error_bound(const Options& opts, double value_range);
 
+/// Resolve the bound against `data` itself: scans the finite value range
+/// only when a relative bound actually needs it (the common absolute-bound
+/// case skips the pass over the field).  Shared by the sequential and
+/// parallel whole-field entry points.
+template <typename T>
+double resolve_error_bound_for(std::span<const T> data, const Options& opts);
+
+extern template double resolve_error_bound_for<float>(std::span<const float>,
+                                                      const Options&);
+extern template double resolve_error_bound_for<double>(std::span<const double>,
+                                                       const Options&);
+
 /// Compress single-precision `data` shaped `dims`.  Throws
 /// std::invalid_argument when the element count mismatches dims or no
 /// usable error bound results.

@@ -60,7 +60,7 @@ struct CompressBodyRef {
   RowState begin_row(std::size_t) const { return {}; }
 
   template <typename PredFn>
-  void point(std::size_t i, RowState&, PredFn&& pred_fn) {
+  T point(std::size_t i, RowState&, PredFn&& pred_fn) {
     const double pred = pred_fn();
     if (std::fabs(pred - static_cast<double>(data[i])) <= eb) ++strict_hits;
     const double grid_pred = decorrelate ? pred + dither_for(i, eb) : pred;
@@ -69,10 +69,10 @@ struct CompressBodyRef {
       codes[i] = q.code;
       recon[i] = q.reconstructed;
       ++predictable;
-    } else {
-      codes[i] = 0;
-      recon[i] = unpred->encode(data[i], *bw);
+      return q.reconstructed;
     }
+    codes[i] = 0;
+    return recon[i] = unpred->encode(data[i], *bw);
   }
 
   [[nodiscard]] const T* basis() const noexcept { return recon; }
@@ -81,36 +81,72 @@ struct CompressBodyRef {
 /// LinearQuantizer::quantize with the quantizer state hoisted into scalars
 /// (two_eb == 2.0 * eb, radius_d == double(radius), radius_i ==
 /// int32(radius)) and the reference-mode rounding branch dropped — the fast
-/// bodies only ever run in HotPathMode::kFast.  Operation-for-operation the
-/// same arithmetic, so results stay bit-identical (enforced by
-/// tests/test_kernels.cpp).
-template <typename T>
+/// bodies only ever run in HotPathMode::kFast / kTurbo.  With kRecip ==
+/// false the arithmetic is operation-for-operation LinearQuantizer::
+/// quantize, so results stay bit-identical (enforced by
+/// tests/test_kernels.cpp).  With kRecip == true the divide on the serial
+/// prediction chain becomes a reciprocal multiply (inv_2eb == 1 / (2*eb)):
+/// the interval index may round differently near boundaries, but the final
+/// reconstruction check demotes any point whose stored value would violate
+/// the bound, so the stream stays |x - x'| <= eb conformant
+/// (tests/test_conformance.cpp).
+template <typename T, bool kRecip>
 inline QuantResultT<T> quantize_hoisted(T real, double pred, double eb,
-                                        double two_eb, double radius_d,
+                                        double two_eb, double inv_2eb,
+                                        double radius_d,
                                         std::int32_t radius_i) {
-  if (!(eb > 0.0) || !std::isfinite(static_cast<double>(real))) return {};
+  // No eb/isfinite preamble (the fast walks only run with eb > 0, and a
+  // non-finite `real` turns `scaled` into NaN/Inf, which the range check
+  // below rejects — same decision as LinearQuantizer::quantize, two branches
+  // cheaper per point).  All three accept/reject conditions fold into ONE
+  // predicate so the loop carries a single well-predicted branch instead of
+  // four data-dependent early exits; `in_range` zero-substitutes NaN/huge
+  // offsets before the int cast (whose behaviour would otherwise be
+  // undefined), and the unsigned compare is q in (-radius, radius) — both
+  // endpoints excluded: radius would overflow the code byte, -radius would
+  // collide with the unpredictable marker 0.
   const double diff = static_cast<double>(real) - pred;
-  const double scaled = diff / two_eb;
-  if (!(std::fabs(scaled) < radius_d)) return {};
-  const std::int32_t q = LinearQuantizer::round_half_away(scaled);
-  if (q <= -radius_i || q >= radius_i) return {};
+  const double scaled = kRecip ? diff * inv_2eb : diff / two_eb;
+  const bool in_range = std::fabs(scaled) < radius_d;
+  const double safe = in_range ? scaled : 0.0;
+  std::int32_t q;
+  if constexpr (kRecip) {
+    // trunc(x + copysign(0.5, x)) is 2 cheap ops on the serial chain where
+    // the exact compare-based round costs ~5.  It disagrees with
+    // round-half-away only when x + 0.5 rounds across an integer (the
+    // nextafter(0.5)-style ties) — a one-interval shift the reconstruction
+    // guard below keeps bound-conformant, which is all turbo promises.
+    q = static_cast<std::int32_t>(safe + std::copysign(0.5, safe));
+  } else {
+    q = LinearQuantizer::round_half_away(safe);
+  }
   const auto recon = static_cast<T>(pred + two_eb * q);
-  if (!(std::fabs(static_cast<double>(recon) -
-                  static_cast<double>(real)) <= eb))
-    return {};
-  return {true, static_cast<std::uint16_t>(radius_i + q), recon};
+  const bool ok =
+      in_range &
+      (static_cast<std::uint32_t>(q + radius_i - 1) <
+       static_cast<std::uint32_t>(2 * radius_i - 1)) &
+      (std::fabs(static_cast<double>(recon) - static_cast<double>(real)) <=
+       eb);
+  if (ok) return {true, static_cast<std::uint16_t>(radius_i + q), recon};
+  return {};
 }
 
 /// Wavefront-safe compress body: reconstructs unpredictable points without
 /// touching the bitstream (emitted in index order after the walk).
-template <typename T>
+/// kRecip selects the turbo reciprocal-multiply quantization (see above).
+/// The pointers are __restrict so input loads do not serialize against the
+/// reconstruction stores (data/codes/recon never alias by contract); turbo
+/// additionally skips the Sec. III-B strict-hit statistic — it is advisory
+/// (Table II layer study) and costs a compare-add on every point.
+template <typename T, bool kRecip>
 struct CompressBodyFast {
-  const T* data;
-  std::uint16_t* codes;
-  T* recon;
+  const T* __restrict data;
+  std::uint16_t* __restrict codes;
+  T* __restrict recon;
   const UnpredictableCodecT<T>* unpred;
   double eb;
   double two_eb;
+  double inv_2eb;
   double radius_d;
   std::int32_t radius_i;
   bool decorrelate;
@@ -120,20 +156,24 @@ struct CompressBodyFast {
   RowState begin_row(std::size_t) const { return {}; }
 
   template <typename PredFn>
-  void point(std::size_t i, RowState&, PredFn&& pred_fn) {
+  T point(std::size_t i, RowState&, PredFn&& pred_fn) {
     const double pred = pred_fn();
-    if (std::fabs(pred - static_cast<double>(data[i])) <= eb) ++strict_hits;
+    // Counted branchlessly: the hit test flips often enough on real data
+    // that a conditional increment mispredicts on the hot chain.
+    if constexpr (!kRecip)
+      strict_hits += static_cast<std::size_t>(
+          std::fabs(pred - static_cast<double>(data[i])) <= eb);
     const double grid_pred = decorrelate ? pred + dither_for(i, eb) : pred;
-    const QuantResultT<T> q = quantize_hoisted<T>(data[i], grid_pred, eb,
-                                                  two_eb, radius_d, radius_i);
+    const QuantResultT<T> q = quantize_hoisted<T, kRecip>(
+        data[i], grid_pred, eb, two_eb, inv_2eb, radius_d, radius_i);
     if (q.predictable) {
       codes[i] = q.code;
       recon[i] = q.reconstructed;
       ++predictable;
-    } else {
-      codes[i] = 0;
-      recon[i] = unpred->reconstruct(data[i]);
+      return q.reconstructed;
     }
+    codes[i] = 0;
+    return recon[i] = unpred->reconstruct(data[i]);
   }
 
   [[nodiscard]] const T* basis() const noexcept { return recon; }
@@ -154,14 +194,11 @@ struct DecompressBodyRef {
   RowState begin_row(std::size_t) const { return {}; }
 
   template <typename PredFn>
-  void point(std::size_t i, RowState&, PredFn&& pred_fn) {
-    if (codes[i] == 0) {
-      out[i] = unpred->decode(*br);
-      return;
-    }
+  T point(std::size_t i, RowState&, PredFn&& pred_fn) {
+    if (codes[i] == 0) return out[i] = unpred->decode(*br);
     const double pred = pred_fn();
     const double grid_pred = decorrelate ? pred + dither_for(i, eb) : pred;
-    out[i] = quantizer->reconstruct<T>(codes[i], grid_pred);
+    return out[i] = quantizer->reconstruct<T>(codes[i], grid_pred);
   }
 
   [[nodiscard]] const T* basis() const noexcept { return out; }
@@ -173,27 +210,24 @@ struct DecompressBodyRef {
 /// inlined with hoisted scalars like quantize_hoisted above.
 template <typename T>
 struct DecompressBodyFast {
-  const std::uint16_t* codes;
-  T* out;
+  const std::uint16_t* __restrict codes;
+  T* __restrict out;
   double eb;
   double two_eb;
   std::int32_t radius_i;
   bool decorrelate;
-  const T* unpred_vals;
-  const std::size_t* row_rank;  // one entry per natural row
+  const T* __restrict unpred_vals;
+  const std::size_t* __restrict row_rank;  // one entry per natural row
 
   RowState begin_row(std::size_t row) const { return {row_rank[row]}; }
 
   template <typename PredFn>
-  void point(std::size_t i, RowState& st, PredFn&& pred_fn) {
-    if (codes[i] == 0) {
-      out[i] = unpred_vals[st.cursor++];
-      return;
-    }
+  T point(std::size_t i, RowState& st, PredFn&& pred_fn) {
+    if (codes[i] == 0) return out[i] = unpred_vals[st.cursor++];
     const double pred = pred_fn();
     const double grid_pred = decorrelate ? pred + dither_for(i, eb) : pred;
     const std::int32_t q = static_cast<std::int32_t>(codes[i]) - radius_i;
-    out[i] = static_cast<T>(grid_pred + two_eb * q);
+    return out[i] = static_cast<T>(grid_pred + two_eb * q);
   }
 
   [[nodiscard]] const T* basis() const noexcept { return out; }
@@ -253,8 +287,13 @@ void walk1(const Dims& dims, const LayerPredictor& predictor, Body& body) {
   }
   const T* v = body.basis();
   if (L == 1) {
-    for (std::size_t i = nb; i < n; ++i)
-      body.point(i, st, [&] { return static_cast<double>(v[i - 1]); });
+    // One serial chain; carrying the previous reconstruction in a register
+    // removes the store-to-load forward (and its conversion) from it.
+    if (nb < n) {
+      T prev = v[nb - 1];
+      for (std::size_t i = nb; i < n; ++i)
+        prev = body.point(i, st, [&] { return static_cast<double>(prev); });
+    }
   } else {
     for (std::size_t i = nb; i < n; ++i)
       body.point(i, st,
@@ -359,12 +398,26 @@ wavefront_rows(Body body,  // by value: counters and
     return body;
   }
   for (std::size_t s = 0; s < steady_lo; ++s) general_step(s);
+  // Steady Lorenzo loops carry each row's previous-column reconstruction in
+  // a register: the (0,..,1) tap is the value this row stored one step ago,
+  // and reloading it costs a store-to-load forward plus a float->double
+  // conversion on the serial chain.  Registers hold the identical value, so
+  // results stay bit-for-bit the same.
+  std::array<T, kWave> prev{};
+  // i = row_base[j] + s replaces the per-point j * row_stride multiply.
+  std::array<std::size_t, kWave> row_base{};
+  if (L == 1 && (rank == 2 || rank == 3)) {
+    for (std::size_t j = 0; j < g; ++j) {
+      prev[j] = v[base0 + j * row_stride + (steady_lo - 1 - j)];
+      row_base[j] = base0 + j * row_stride - j;
+    }
+  }
   if (L == 1 && rank == 2) {
     for (std::size_t s = steady_lo; s < C; ++s) {
       for (std::size_t j = 0; j < g; ++j) {
-        const std::size_t i = base0 + j * row_stride + (s - j);
-        body.point(i, st[j], [&] {
-          return static_cast<double>(v[i - 1]) +
+        const std::size_t i = row_base[j] + s;
+        prev[j] = body.point(i, st[j], [&] {
+          return static_cast<double>(prev[j]) +
                  static_cast<double>(v[i - s0]) -
                  static_cast<double>(v[i - s0 - 1]);
         });
@@ -373,9 +426,9 @@ wavefront_rows(Body body,  // by value: counters and
   } else if (L == 1 && rank == 3) {
     for (std::size_t s = steady_lo; s < C; ++s) {
       for (std::size_t j = 0; j < g; ++j) {
-        const std::size_t i = base0 + j * row_stride + (s - j);
-        body.point(i, st[j], [&] {
-          return static_cast<double>(v[i - 1]) +
+        const std::size_t i = row_base[j] + s;
+        prev[j] = body.point(i, st[j], [&] {
+          return static_cast<double>(prev[j]) +
                  static_cast<double>(v[i - s1]) -
                  static_cast<double>(v[i - s1 - 1]) +
                  static_cast<double>(v[i - s0]) -
@@ -485,45 +538,61 @@ void walk_fast(const Dims& dims, const LayerPredictor& predictor,
 }  // namespace
 
 template <typename T>
-void pq_compress_walk(std::span<const T> data, const Dims& dims,
-                      const LayerPredictor& predictor,
-                      const LinearQuantizer& quantizer,
-                      const UnpredictableCodecT<T>& unpred, double eb,
-                      bool decorrelate, PassResultT<T>& r, BitWriter& bw) {
+PassCounters pq_compress_walk(std::span<const T> data, const Dims& dims,
+                              const LayerPredictor& predictor,
+                              const LinearQuantizer& quantizer,
+                              const UnpredictableCodecT<T>& unpred, double eb,
+                              bool decorrelate, std::span<std::uint16_t> codes,
+                              std::span<T> recon, BitWriter& bw) {
   // The lossless fallback (eb <= 0) makes every point unpredictable: the
   // wavefront would analyse each point twice (reconstruct in the walk,
   // encode in the emission pass) for zero overlap benefit, so that case
   // takes the inline-emitting reference walk too.
-  if (hot_path_mode() == HotPathMode::kReference || !(eb > 0.0)) {
-    CompressBodyRef<T> body{data.data(),  r.codes.data(),
-                            r.reconstructed.data(), &quantizer, &unpred,
-                            &bw, eb, decorrelate};
+  const HotPathMode mode = hot_path_mode();
+  if (mode == HotPathMode::kReference || !(eb > 0.0)) {
+    CompressBodyRef<T> body{data.data(), codes.data(), recon.data(),
+                            &quantizer, &unpred, &bw, eb, decorrelate};
     walk_generic<T>(dims, predictor, body);
-    r.predictable = body.predictable;
-    r.strict_hits = body.strict_hits;
-    return;
+    return {body.predictable, body.strict_hits};
   }
   const auto radius =
       static_cast<std::int32_t>(quantizer.alphabet_size() / 2);
-  CompressBodyFast<T> body{data.data(),
-                           r.codes.data(),
-                           r.reconstructed.data(),
-                           &unpred,
-                           quantizer.error_bound(),
-                           2.0 * quantizer.error_bound(),
-                           static_cast<double>(radius),
-                           radius,
-                           decorrelate};
-  walk_fast<T>(dims, predictor, body);
-  r.predictable = body.predictable;
-  r.strict_hits = body.strict_hits;
+  PassCounters counters;
+  if (mode == HotPathMode::kTurbo) {
+    CompressBodyFast<T, true> body{data.data(),
+                                   codes.data(),
+                                   recon.data(),
+                                   &unpred,
+                                   quantizer.error_bound(),
+                                   2.0 * quantizer.error_bound(),
+                                   quantizer.inv_interval(),
+                                   static_cast<double>(radius),
+                                   radius,
+                                   decorrelate};
+    walk_fast<T>(dims, predictor, body);
+    counters = {body.predictable, body.strict_hits};
+  } else {
+    CompressBodyFast<T, false> body{data.data(),
+                                    codes.data(),
+                                    recon.data(),
+                                    &unpred,
+                                    quantizer.error_bound(),
+                                    2.0 * quantizer.error_bound(),
+                                    quantizer.inv_interval(),
+                                    static_cast<double>(radius),
+                                    radius,
+                                    decorrelate};
+    walk_fast<T>(dims, predictor, body);
+    counters = {body.predictable, body.strict_hits};
+  }
   // Emit the unpredictable bitstream in index order (the wavefront visits
   // points out of order; bits must not).
-  if (r.predictable != data.size()) {
-    const std::uint16_t* codes = r.codes.data();
+  if (counters.predictable != data.size()) {
+    const std::uint16_t* c = codes.data();
     for (std::size_t i = 0; i < data.size(); ++i)
-      if (codes[i] == 0) (void)unpred.encode(data[i], bw);
+      if (c[i] == 0) (void)unpred.encode(data[i], bw);
   }
+  return counters;
 }
 
 template <typename T>
@@ -566,14 +635,14 @@ void pq_decompress_walk(std::span<const std::uint16_t> codes,
   walk_fast<T>(dims, predictor, body);
 }
 
-template void pq_compress_walk<float>(
+template PassCounters pq_compress_walk<float>(
     std::span<const float>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    PassResultT<float>&, BitWriter&);
-template void pq_compress_walk<double>(
+    std::span<std::uint16_t>, std::span<float>, BitWriter&);
+template PassCounters pq_compress_walk<double>(
     std::span<const double>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    PassResultT<double>&, BitWriter&);
+    std::span<std::uint16_t>, std::span<double>, BitWriter&);
 template void pq_decompress_walk<float>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,

@@ -10,7 +10,11 @@
 // LayerPredictor::predict tap-for-tap, so codes, reconstructions, and
 // unpredictable bitstreams are bit-identical to the generic pass (enforced
 // by tests/test_kernels.cpp); rank-4 shapes and HotPathMode::kReference
-// take the generic walk.
+// take the generic walk.  HotPathMode::kTurbo runs the same walks with the
+// divide on the prediction chain replaced by a reciprocal multiply — not
+// bit-identical to the seed stream, but every point stays within the error
+// bound (boundary-straddling points are demoted to unpredictable; enforced
+// by tests/test_conformance.cpp).
 #pragma once
 
 #include <span>
@@ -24,16 +28,24 @@
 
 namespace sz14::detail {
 
-/// Compress-side fused walk: fills r.codes / r.reconstructed / counters and
-/// appends unpredictable-point bits to bw.  Preconditions (checked by the
-/// caller): data.size() == dims.count() == r.codes.size() ==
-/// r.reconstructed.size().
+/// Walk statistics (see PassResultT for the two hit definitions).
+/// strict_hits is not computed by the turbo path (stays 0 there).
+struct PassCounters {
+  std::size_t predictable = 0;
+  std::size_t strict_hits = 0;
+};
+
+/// Compress-side fused walk: fills codes / recon (both caller-owned and
+/// written in full, so they may be uninitialized on entry) and appends
+/// unpredictable-point bits to bw.  Preconditions (checked by the caller):
+/// data.size() == dims.count() == codes.size() == recon.size().
 template <typename T>
-void pq_compress_walk(std::span<const T> data, const Dims& dims,
-                      const LayerPredictor& predictor,
-                      const LinearQuantizer& quantizer,
-                      const UnpredictableCodecT<T>& unpred, double eb,
-                      bool decorrelate, PassResultT<T>& r, BitWriter& bw);
+PassCounters pq_compress_walk(std::span<const T> data, const Dims& dims,
+                              const LayerPredictor& predictor,
+                              const LinearQuantizer& quantizer,
+                              const UnpredictableCodecT<T>& unpred, double eb,
+                              bool decorrelate, std::span<std::uint16_t> codes,
+                              std::span<T> recon, BitWriter& bw);
 
 /// Decompress-side mirror: consumes codes plus the unpredictable bitstream
 /// into out (out.size() == dims.count() == codes.size()).
@@ -44,14 +56,14 @@ void pq_decompress_walk(std::span<const std::uint16_t> codes,
                         const UnpredictableCodecT<T>& unpred, double eb,
                         bool decorrelate, std::span<T> out, BitReader& br);
 
-extern template void pq_compress_walk<float>(
+extern template PassCounters pq_compress_walk<float>(
     std::span<const float>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    PassResultT<float>&, BitWriter&);
-extern template void pq_compress_walk<double>(
+    std::span<std::uint16_t>, std::span<float>, BitWriter&);
+extern template PassCounters pq_compress_walk<double>(
     std::span<const double>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    PassResultT<double>&, BitWriter&);
+    std::span<std::uint16_t>, std::span<double>, BitWriter&);
 extern template void pq_decompress_walk<float>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,

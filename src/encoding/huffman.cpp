@@ -161,10 +161,10 @@ std::vector<std::uint32_t> huffman_canonical_codes(
   return codes;
 }
 
-void huffman_encode(std::span<const std::uint16_t> symbols,
-                    std::size_t alphabet_size, ByteWriter& out) {
+std::vector<std::uint64_t> huffman_histogram(
+    std::span<const std::uint16_t> symbols, std::size_t alphabet_size) {
   if (alphabet_size == 0 || alphabet_size > (1u << 16))
-    throw std::invalid_argument("huffman_encode: bad alphabet size");
+    throw std::invalid_argument("huffman_histogram: bad alphabet size");
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
   if (alphabet_size <= 2048 && symbols.size() >= 4 &&
       hot_path_mode() != HotPathMode::kReference) {
@@ -179,7 +179,7 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
                           s2 = symbols[i + 2], s3 = symbols[i + 3];
       if ((s0 >= alphabet_size) | (s1 >= alphabet_size) |
           (s2 >= alphabet_size) | (s3 >= alphabet_size))
-        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+        throw std::invalid_argument("huffman: symbol out of alphabet");
       ++h[s0];
       ++h[alphabet_size + s1];
       ++h[2 * alphabet_size + s2];
@@ -187,7 +187,7 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
     }
     for (std::size_t i = n4; i < symbols.size(); ++i) {
       if (symbols[i] >= alphabet_size)
-        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+        throw std::invalid_argument("huffman: symbol out of alphabet");
       ++h[symbols[i]];
     }
     for (std::size_t s = 0; s < alphabet_size; ++s)
@@ -196,32 +196,112 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
   } else {
     for (auto s : symbols) {
       if (s >= alphabet_size)
-        throw std::invalid_argument("huffman_encode: symbol out of alphabet");
+        throw std::invalid_argument("huffman: symbol out of alphabet");
       ++freqs[s];
     }
   }
-  const auto lengths = huffman_code_lengths(freqs);
-  const auto codes = huffman_canonical_codes(lengths);
+  return freqs;
+}
 
-  out.put_varint(alphabet_size);
+std::vector<std::uint64_t> huffman_pack_codes(
+    std::span<const std::uint8_t> lengths,
+    std::span<const std::uint32_t> codes) {
+  std::vector<std::uint64_t> packed(lengths.size());
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    packed[s] = (static_cast<std::uint64_t>(codes[s]) << 8) | lengths[s];
+  return packed;
+}
+
+void huffman_append_payload(std::span<const std::uint16_t> symbols,
+                            std::span<const std::uint64_t> packed,
+                            std::vector<std::uint8_t>& out,
+                            std::uint64_t total_bits_hint) {
+  // Canonical codes are pre-masked to their length, so the 64-bit
+  // accumulator never mixes stray high bits; lengths <= 32 keep fill < 40
+  // between flushes.  The exact payload size is resized up front so the
+  // emit loop stores through a raw pointer — no per-byte capacity check.
+  static_assert(kMaxHuffmanBits <= BitWriter::kBulkBits);
+  std::uint64_t total_bits = total_bits_hint;
+  if (total_bits == 0)
+    for (auto s : symbols) total_bits += packed[s] & 0xFF;
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>((total_bits + 7) / 8));
+  std::uint8_t* p = out.data() + base;
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  for (auto s : symbols) {
+    const std::uint64_t e = packed[s];
+    const unsigned len = static_cast<unsigned>(e & 0xFF);
+    acc = (acc << len) | (e >> 8);
+    fill += len;
+    // Flush 32 bits at a time: one rarely-taken branch per symbol (mean
+    // code length is a few bits) instead of a per-byte loop whose trip
+    // count the branch predictor cannot learn.  fill < 32 + 32 <= 64, so
+    // the accumulator never overflows; bytes emitted are identical.
+    if (fill >= 32) {
+      fill -= 32;
+      const auto w = static_cast<std::uint32_t>(acc >> fill);
+      p[0] = static_cast<std::uint8_t>(w >> 24);
+      p[1] = static_cast<std::uint8_t>(w >> 16);
+      p[2] = static_cast<std::uint8_t>(w >> 8);
+      p[3] = static_cast<std::uint8_t>(w);
+      p += 4;
+    }
+  }
+  while (fill >= 8) {
+    fill -= 8;
+    *p++ = static_cast<std::uint8_t>(acc >> fill);
+  }
+  if (fill > 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << fill) - 1;
+    *p++ = static_cast<std::uint8_t>((acc & mask) << (8 - fill));
+  }
+}
+
+void huffman_write_lengths(std::span<const std::uint8_t> lengths,
+                           ByteWriter& out) {
+  out.put_varint(lengths.size());
   std::size_t present = 0;
   for (auto l : lengths)
     if (l) ++present;
   out.put_varint(present);
   // Delta-coded symbol ids keep the table small when codes cluster.
   std::uint64_t prev = 0;
-  for (std::size_t s = 0; s < alphabet_size; ++s) {
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
     if (!lengths[s]) continue;
     out.put_varint(s - prev);
     prev = s;
     out.put<std::uint8_t>(lengths[s]);
   }
+}
+
+std::vector<std::uint8_t> huffman_read_lengths(ByteReader& in) {
+  const auto alphabet_size = static_cast<std::size_t>(in.get_varint());
+  if (alphabet_size == 0 || alphabet_size > (1u << 16))
+    throw std::runtime_error("huffman: bad alphabet size");
+  const auto present = static_cast<std::size_t>(in.get_varint());
+  std::vector<std::uint8_t> lengths(alphabet_size, 0);
+  std::uint64_t sym = 0;
+  for (std::size_t i = 0; i < present; ++i) {
+    sym += in.get_varint();
+    if (sym >= alphabet_size)
+      throw std::runtime_error("huffman: symbol out of range");
+    lengths[sym] = in.get<std::uint8_t>();
+  }
+  return lengths;
+}
+
+void huffman_encode(std::span<const std::uint16_t> symbols,
+                    std::size_t alphabet_size, ByteWriter& out) {
+  if (alphabet_size == 0 || alphabet_size > (1u << 16))
+    throw std::invalid_argument("huffman_encode: bad alphabet size");
+  const auto freqs = huffman_histogram(symbols, alphabet_size);
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lengths);
+
+  huffman_write_lengths(lengths, out);
   out.put_varint(symbols.size());
 
-  // Canonical codes are pre-masked to their length and kMaxHuffmanBits <=
-  // BitWriter::kBulkBits, so the accumulator fast path applies directly;
-  // one packed (code << 8 | len) table halves the per-symbol loads.
-  static_assert(kMaxHuffmanBits <= BitWriter::kBulkBits);
   if (hot_path_mode() == HotPathMode::kReference) {
     BitWriter bw;
     for (auto s : symbols) bw.put_bulk(codes[s], lengths[s]);
@@ -233,33 +313,12 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
   // Fast path: the histogram gives the payload size up front
   // (sum freq * length), so the bits go straight into `out` — no staging
   // buffer, no copy.  Byte-for-byte the same layout as the staged path.
-  std::vector<std::uint64_t> packed(alphabet_size);
+  const auto packed = huffman_pack_codes(lengths, codes);
   std::uint64_t total_bits = 0;
-  for (std::size_t s = 0; s < alphabet_size; ++s) {
-    packed[s] = (static_cast<std::uint64_t>(codes[s]) << 8) | lengths[s];
+  for (std::size_t s = 0; s < alphabet_size; ++s)
     total_bits += freqs[s] * lengths[s];
-  }
-  const std::size_t payload_bytes =
-      static_cast<std::size_t>((total_bits + 7) / 8);
-  out.put_varint(payload_bytes);
-  auto& vec = out.vector();
-  vec.reserve(vec.size() + payload_bytes);
-  std::uint64_t acc = 0;
-  unsigned fill = 0;
-  for (auto s : symbols) {
-    const std::uint64_t e = packed[s];
-    const unsigned len = static_cast<unsigned>(e & 0xFF);
-    acc = (acc << len) | (e >> 8);
-    fill += len;
-    while (fill >= 8) {
-      fill -= 8;
-      vec.push_back(static_cast<std::uint8_t>(acc >> fill));
-    }
-  }
-  if (fill > 0) {
-    const std::uint64_t mask = (std::uint64_t{1} << fill) - 1;
-    vec.push_back(static_cast<std::uint8_t>((acc & mask) << (8 - fill)));
-  }
+  out.put_varint(static_cast<std::size_t>((total_bits + 7) / 8));
+  huffman_append_payload(symbols, packed, out.vector(), total_bits);
 }
 
 HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
@@ -341,34 +400,19 @@ std::uint16_t HuffmanDecoder::decode_bitwise(BitReader& br) const {
   throw std::runtime_error("HuffmanDecoder: invalid codeword");
 }
 
-std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
-  const auto alphabet_size = static_cast<std::size_t>(in.get_varint());
-  if (alphabet_size == 0 || alphabet_size > (1u << 16))
-    throw std::runtime_error("huffman_decode: bad alphabet size");
-  const auto present = static_cast<std::size_t>(in.get_varint());
-  std::vector<std::uint8_t> lengths(alphabet_size, 0);
-  std::uint64_t sym = 0;
-  for (std::size_t i = 0; i < present; ++i) {
-    sym += in.get_varint();
-    if (sym >= alphabet_size)
-      throw std::runtime_error("huffman_decode: symbol out of range");
-    lengths[sym] = in.get<std::uint8_t>();
-  }
-  const auto n_symbols = static_cast<std::size_t>(in.get_varint());
-  const auto n_payload = static_cast<std::size_t>(in.get_varint());
-  const auto payload = in.get_bytes(n_payload);
-
+std::vector<std::uint16_t> huffman_decode_payload(
+    const HuffmanDecoder& dec, std::span<const std::uint8_t> payload,
+    std::size_t n_symbols) {
   std::vector<std::uint16_t> out;
   if (n_symbols == 0) return out;
-  HuffmanDecoder dec(lengths);
   // Sanity: every symbol costs at least min_length() payload bits, so a
   // declared count beyond payload_bits / min_length is corruption — reject
-  // before allocating the output.  (n_payload is bounded by the enclosing
-  // stream, so the multiplication cannot overflow.)
+  // before allocating the output.  (payload size is bounded by the
+  // enclosing stream, so the multiplication cannot overflow.)
   const unsigned min_len = dec.min_length();
   if (min_len == 0)
     throw std::runtime_error("huffman_decode: empty code table");
-  if (n_symbols > n_payload * 8 / min_len)
+  if (n_symbols > payload.size() * 8 / min_len)
     throw std::runtime_error("huffman_decode: symbol count exceeds payload");
 
   out.resize(n_symbols);
@@ -380,6 +424,16 @@ std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
     for (std::size_t i = 0; i < n_symbols; ++i) out[i] = dec.decode(br);
   }
   return out;
+}
+
+std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
+  const auto lengths = huffman_read_lengths(in);
+  const auto n_symbols = static_cast<std::size_t>(in.get_varint());
+  const auto n_payload = static_cast<std::size_t>(in.get_varint());
+  const auto payload = in.get_bytes(n_payload);
+  if (n_symbols == 0) return {};
+  const HuffmanDecoder dec(lengths);
+  return huffman_decode_payload(dec, payload, n_symbols);
 }
 
 double shannon_entropy_bits(std::span<const std::uint16_t> symbols,

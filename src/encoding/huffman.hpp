@@ -46,6 +46,55 @@ void huffman_encode(std::span<const std::uint16_t> symbols,
 /// input.
 std::vector<std::uint16_t> huffman_decode(ByteReader& in);
 
+// --- split-phase API -------------------------------------------------------
+//
+// The parallel slab codec shares ONE canonical table across all slabs of a
+// field: each worker histograms its own slab (huffman_histogram), the
+// histograms are merged before code assignment, and every slab's payload is
+// then emitted/decoded independently against the shared table.  These
+// pieces are exactly the phases huffman_encode()/huffman_decode() are built
+// from, exposed so the phases can run on different threads.
+
+/// Histogram of `symbols` over [0, alphabet_size).  Throws
+/// std::invalid_argument on an out-of-alphabet symbol.  Uses the 4-way
+/// interleaved counting fast path outside HotPathMode::kReference.
+std::vector<std::uint64_t> huffman_histogram(
+    std::span<const std::uint16_t> symbols, std::size_t alphabet_size);
+
+/// Packed per-symbol (code << 8 | length) entries, the table format the
+/// payload emitters consume (code lengths <= kMaxHuffmanBits <= 32, so a
+/// packed entry always fits 40 bits).
+std::vector<std::uint64_t> huffman_pack_codes(
+    std::span<const std::uint8_t> lengths,
+    std::span<const std::uint32_t> codes);
+
+/// Append the MSB-first bit payload of `symbols` (bits only — no table, no
+/// counts, final partial byte zero-padded) to `out`.  Byte-for-byte the
+/// payload layout huffman_encode() writes.  `total_bits_hint`, when
+/// nonzero, must equal the exact bit count of the payload (sum of
+/// freq * length — callers holding a histogram know it); 0 means "count by
+/// scanning the symbols first".
+void huffman_append_payload(std::span<const std::uint16_t> symbols,
+                            std::span<const std::uint64_t> packed,
+                            std::vector<std::uint8_t>& out,
+                            std::uint64_t total_bits_hint = 0);
+
+/// Serialize per-symbol code lengths in huffman_encode()'s table layout
+/// (varint alphabet | varint n_present | delta-coded (varint sym, u8 len)*).
+void huffman_write_lengths(std::span<const std::uint8_t> lengths,
+                           ByteWriter& out);
+
+/// Inverse of huffman_write_lengths().  Throws std::runtime_error on
+/// malformed input.
+std::vector<std::uint8_t> huffman_read_lengths(ByteReader& in);
+
+/// Decode exactly `n_symbols` from a raw bit payload produced by
+/// huffman_append_payload() with the same table.  Throws on truncated or
+/// corrupt payloads (declared symbol count must fit the payload bits).
+std::vector<std::uint16_t> huffman_decode_payload(
+    const class HuffmanDecoder& dec, std::span<const std::uint8_t> payload,
+    std::size_t n_symbols);
+
 /// Decoder table reusable across blocks.  decode() consults a primary
 /// kTableBits-wide prefix lookup table (one peek resolves any code of up to
 /// kTableBits bits); longer codes fall back to the canonical first-code

@@ -1,18 +1,30 @@
 #include "parallel/parallel_codec.hpp"
 
 #include <array>
-#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
+#include "common/bitstream.hpp"
 #include "common/bytebuffer.hpp"
 #include "common/timer.hpp"
-#include "parallel/thread_pool.hpp"
+#include "core/kernels.hpp"
+#include "core/predictor.hpp"
+#include "core/quantizer.hpp"
+#include "core/unpredictable.hpp"
+#include "encoding/huffman.hpp"
 
 namespace sz14 {
 
 namespace {
 
-constexpr std::uint32_t kParallelMagic = 0x535A'5043u;  // "SZPC"
+/// Container magic, v2 ("SZP2"): shared-Huffman-table slab layout.  The v1
+/// per-chunk-stream container ("SZPC") is retired; the format is internal
+/// to this module and never persisted by the archive.
+constexpr std::uint32_t kParallelMagic = 0x535A'5032u;
 
 /// Slab extents along axis 0 for chunk c of n.
 struct Slab {
@@ -30,50 +42,167 @@ Dims slab_dims(const Dims& dims, const Slab& s) {
   return Dims(std::span<const std::size_t>(ext.data(), dims.rank()));
 }
 
+/// Per-slab intermediate state between the walk phase and the encode phase.
+struct SlabWork {
+  std::size_t count = 0;
+  std::unique_ptr<std::uint16_t[]> codes;
+  std::vector<std::uint8_t> unpred_bits;
+  std::vector<std::uint64_t> hist;
+  std::size_t predictable = 0;
+  std::vector<std::uint8_t> payload;
+};
+
 }  // namespace
 
+bool is_parallel_stream(std::span<const std::uint8_t> stream) noexcept {
+  if (stream.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, stream.data(), 4);
+  return magic == kParallelMagic;
+}
+
 ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
-                                 const Options& opts, std::size_t threads,
+                                 const Options& opts, ThreadPool& pool,
                                  std::size_t chunks) {
   if (data.size() != dims.count())
     throw std::invalid_argument("parallel_compress: size mismatch");
-  if (threads == 0) threads = 1;
-  if (chunks == 0) chunks = threads;
-  chunks = std::min(chunks, dims.extent(0));
+  if (chunks == 0) chunks = pool.thread_count();
+  chunks = std::min(std::max<std::size_t>(chunks, 1), dims.extent(0));
+
+  // Resolve ONE bound against the whole field (v1 resolved per slab, which
+  // made eb_rel streams depend on the chunking).
+  const double eb = resolve_error_bound_for(data, opts);
+  if (std::isnan(eb))
+    throw std::invalid_argument(
+        "parallel_compress: no usable error bound (set eb_abs and/or eb_rel)");
 
   const std::size_t slab_stride = dims.count() / dims.extent(0);
-  std::vector<std::vector<std::uint8_t>> streams(chunks);
-  std::vector<std::size_t> predictable(chunks, 0);
+  const LinearQuantizer quantizer(opts.interval_bits, eb);
+  const std::size_t alphabet = quantizer.alphabet_size();
+  std::vector<SlabWork> slabs(chunks);
 
   Timer timer;
-  parallel_for(chunks, threads, [&](std::size_t c) {
+
+  // Phase 1 — prediction+quantization walk of every slab in parallel; each
+  // worker histograms its own slab's codes while they are cache-hot.
+  pool.run_batch(chunks, [&](std::size_t c) {
     const Slab s = slab_of(dims.extent(0), chunks, c);
     const Dims sub = slab_dims(dims, s);
-    CompressStats stats;
-    streams[c] = compress(
-        data.subspan(s.row_lo * slab_stride, sub.count()), sub, opts, &stats);
-    predictable[c] = stats.predictable;
+    SlabWork& w = slabs[c];
+    w.count = sub.count();
+    w.codes = std::make_unique_for_overwrite<std::uint16_t[]>(w.count);
+    const auto recon = std::make_unique_for_overwrite<float[]>(w.count);
+    const LayerPredictor predictor(sub, opts.layers);
+    const UnpredictableCodecT<float> unpred(eb);
+    BitWriter bw;
+    const detail::PassCounters counters = detail::pq_compress_walk<float>(
+        data.subspan(s.row_lo * slab_stride, w.count), sub, predictor,
+        quantizer, unpred, eb, opts.decorrelate, {w.codes.get(), w.count},
+        {recon.get(), w.count}, bw);
+    w.unpred_bits = std::move(bw).finish();
+    w.predictable = counters.predictable;
+    w.hist = huffman_histogram({w.codes.get(), w.count}, alphabet);
   });
+
+  // Merge the per-worker histograms BEFORE code assignment: one canonical
+  // table serves every slab (v1 paid one table per chunk).
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (const SlabWork& w : slabs)
+    for (std::size_t s = 0; s < alphabet; ++s) freqs[s] += w.hist[s];
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lengths);
+  const auto packed = huffman_pack_codes(lengths, codes);
+
   ParallelResult r;
-  r.seconds = timer.seconds();
   r.chunks = chunks;
-  for (auto p : predictable) r.predictable += p;
+  r.eb_abs = eb;
+  for (const SlabWork& w : slabs) r.predictable += w.predictable;
 
   ByteWriter out;
   out.put<std::uint32_t>(kParallelMagic);
   out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
   for (std::size_t a = 0; a < dims.rank(); ++a) out.put_varint(dims.extent(a));
   out.put_varint(chunks);
-  for (const auto& s : streams) {
-    out.put_varint(s.size());
-    out.put_bytes(s);
+  out.put<double>(eb);
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(opts.interval_bits));
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(opts.layers));
+  out.put<std::uint8_t>(opts.decorrelate ? 1 : 0);
+  huffman_write_lengths(lengths, out);
+
+  // Phase 2 — pipelined entropy encode: every slab's payload emit runs on
+  // the pool; this thread appends slab i to the container as soon as it is
+  // ready, while slabs i+1.. are still encoding.  Append order (and
+  // therefore the stream) depends only on the chunk count.
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<char> done(chunks, 0);
+  std::exception_ptr error;
+  // Every in-flight task references these stack locals, so NO path may
+  // leave this scope before all submitted tasks have flagged done[] —
+  // including a throw from submit() itself or from the append loop below.
+  std::size_t submitted = 0;
+  const auto drain_submitted = [&]() noexcept {
+    std::unique_lock lock(m);
+    for (std::size_t c = 0; c < submitted; ++c)
+      cv.wait(lock, [&] { return done[c] != 0; });
+  };
+  try {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      pool.submit([&, c] {
+        try {
+          SlabWork& w = slabs[c];
+          std::uint64_t bits = 0;
+          for (std::size_t s = 0; s < alphabet; ++s)
+            bits += w.hist[s] * lengths[s];
+          w.payload.reserve((bits + 7) / 8);
+          huffman_append_payload({w.codes.get(), w.count}, packed, w.payload,
+                                 bits);
+          w.codes.reset();
+        } catch (...) {
+          std::lock_guard lock(m);
+          if (!error) error = std::current_exception();
+        }
+        {
+          std::lock_guard lock(m);
+          done[c] = 1;
+          cv.notify_all();
+        }
+      });
+      ++submitted;
+    }
+    std::unique_lock lock(m);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      cv.wait(lock, [&] { return done[c] != 0; });
+      if (error) continue;  // keep draining so locals stay alive
+      lock.unlock();
+      SlabWork& w = slabs[c];
+      out.put_varint(w.payload.size());
+      out.put_bytes(w.payload);
+      out.put_varint(w.unpred_bits.size());
+      out.put_bytes(w.unpred_bits);
+      w = SlabWork{};  // release slab memory before later slabs finish
+      lock.lock();
+    }
+  } catch (...) {
+    drain_submitted();
+    throw;
   }
+  if (error) std::rethrow_exception(error);
+
+  r.seconds = timer.seconds();
   r.stream = std::move(out).take();
   return r;
 }
 
+ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
+                                 const Options& opts, std::size_t threads,
+                                 std::size_t chunks) {
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  return parallel_compress(data, dims, opts, pool, chunks);
+}
+
 ParallelDecompressResult parallel_decompress(
-    std::span<const std::uint8_t> stream, std::size_t threads) {
+    std::span<const std::uint8_t> stream, ThreadPool& pool) {
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kParallelMagic)
     throw std::runtime_error("parallel_decompress: bad magic");
@@ -87,39 +216,54 @@ ParallelDecompressResult parallel_decompress(
   const auto chunks = static_cast<std::size_t>(in.get_varint());
   if (chunks == 0 || chunks > dims.extent(0))
     throw std::runtime_error("parallel_decompress: bad chunk count");
+  const double eb = in.get<double>();
+  if (!std::isfinite(eb) || eb < 0.0)
+    throw std::runtime_error("parallel_decompress: bad error bound");
+  const auto interval_bits = in.get<std::uint8_t>();
+  if (interval_bits < 2 || interval_bits > 16)
+    throw std::runtime_error("parallel_decompress: bad interval bits");
+  const auto layers = in.get<std::uint8_t>();
+  if (layers == 0)
+    throw std::runtime_error("parallel_decompress: bad layer count");
+  const bool decorrelate = in.get<std::uint8_t>() != 0;
+  const auto lengths = huffman_read_lengths(in);
+  const HuffmanDecoder dec(lengths);
 
-  std::vector<std::span<const std::uint8_t>> spans(chunks);
+  std::vector<std::span<const std::uint8_t>> payloads(chunks);
+  std::vector<std::span<const std::uint8_t>> unpreds(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    const auto n = static_cast<std::size_t>(in.get_varint());
-    spans[c] = in.get_bytes(n);
+    payloads[c] = in.get_bytes(static_cast<std::size_t>(in.get_varint()));
+    unpreds[c] = in.get_bytes(static_cast<std::size_t>(in.get_varint()));
   }
 
   ParallelDecompressResult r;
   r.dims = dims;
   r.data.resize(dims.count());
   const std::size_t slab_stride = dims.count() / dims.extent(0);
-  std::atomic<bool> failed{false};
+  const LinearQuantizer quantizer(interval_bits, eb);
 
   Timer timer;
-  parallel_for(chunks, threads == 0 ? 1 : threads, [&](std::size_t c) {
-    try {
-      const Slab s = slab_of(dims.extent(0), chunks, c);
-      const Dims expect = slab_dims(dims, s);
-      // Decode straight into the slab's place in the output array — the
-      // specialized kernels write each chunk in place, no staging copy.
-      const StreamInfo info = decompress_into(
-          spans[c], std::span<float>(r.data.data() + s.row_lo * slab_stride,
-                                     expect.count()));
-      if (!(info.dims == expect))
-        throw std::runtime_error("slab shape mismatch");
-    } catch (...) {
-      failed.store(true);
-    }
+  // run_batch rethrows the first slab's failure on this thread.
+  pool.run_batch(chunks, [&](std::size_t c) {
+    const Slab s = slab_of(dims.extent(0), chunks, c);
+    const Dims sub = slab_dims(dims, s);
+    const auto codes = huffman_decode_payload(dec, payloads[c], sub.count());
+    const LayerPredictor predictor(sub, layers);
+    const UnpredictableCodecT<float> unpred(eb);
+    BitReader br(unpreds[c]);
+    detail::pq_decompress_walk<float>(
+        codes, sub, predictor, quantizer, unpred, eb, decorrelate,
+        std::span<float>(r.data.data() + s.row_lo * slab_stride, sub.count()),
+        br);
   });
   r.seconds = timer.seconds();
-  if (failed.load())
-    throw std::runtime_error("parallel_decompress: chunk decode failed");
   return r;
+}
+
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, std::size_t threads) {
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  return parallel_decompress(stream, pool);
 }
 
 }  // namespace sz14

@@ -1,11 +1,23 @@
-// Chunked parallel compression (paper Sec. VI).
+// Threaded whole-field slab codec (paper Sec. VI).
 //
 // The paper's off-line parallelism is embarrassingly parallel: each MPI
 // process compresses whole files independently, with no inter-process
-// communication.  Here each "process" is a worker compressing one chunk of
+// communication.  Here each "process" is a worker handling one chunk of
 // the domain (a contiguous slab along the slowest axis, so every chunk is
-// itself a valid d-dimensional array).  The container stores one complete
-// SZ-1.4 stream per chunk; decompression parallelizes identically.
+// itself a valid d-dimensional array), and this is the default whole-field
+// compression entry point: `ThreadPool::run_batch` walks all slabs in
+// parallel, the per-slab Huffman histograms are merged before code
+// assignment so the container carries ONE shared canonical table (v1
+// stored an independent stream — and table — per chunk), and the per-slab
+// entropy encodes then run as a pipeline: while slab i's payload is being
+// appended to the container on the calling thread, slabs i+1.. are still
+// encoding on the pool.  Decompression parallelizes identically (shared
+// decoder table, per-slab payload decode + reconstruction walk).
+//
+// The stream layout is a function of the chunk count alone, so the same
+// field + same chunk count is byte-identical for ANY worker count (and any
+// completion order).  Slab borders reset prediction, so the stream is not
+// bit-identical to the sequential single-stream codec.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +26,7 @@
 
 #include "common/dims.hpp"
 #include "core/compressor.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sz14 {
 
@@ -22,11 +35,21 @@ struct ParallelResult {
   std::size_t chunks = 0;
   double seconds = 0.0;       // wall-clock of the parallel region
   std::size_t predictable = 0;
+  double eb_abs = 0.0;        // the resolved whole-field bound
 };
 
-/// Compress with `threads` workers over `chunks` slabs (chunks == 0 picks
-/// one slab per worker).  Bit-exact with respect to chunk count, not with
-/// the sequential single-stream codec (chunk borders reset prediction).
+/// Compress on an existing pool over `chunks` slabs (chunks == 0 picks one
+/// slab per worker).  The error bound is resolved ONCE against the whole
+/// field's value range, so eb_rel no longer depends on the chunking.
+/// Honors the process-wide HotPathMode (kTurbo slabs are bound-conformant
+/// rather than bit-reproducible against kFast ones — but each mode is
+/// individually deterministic).
+ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
+                                 const Options& opts, ThreadPool& pool,
+                                 std::size_t chunks = 0);
+
+/// Convenience overload: run on a private pool of `threads` workers
+/// (threads == 0 selects one).
 ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
                                  const Options& opts, std::size_t threads,
                                  std::size_t chunks = 0);
@@ -38,6 +61,13 @@ struct ParallelDecompressResult {
 };
 
 ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, ThreadPool& pool);
+
+ParallelDecompressResult parallel_decompress(
     std::span<const std::uint8_t> stream, std::size_t threads);
+
+/// True when `stream` starts with the parallel container magic — the CLI
+/// uses this to route decompression without a dtype/format flag.
+bool is_parallel_stream(std::span<const std::uint8_t> stream) noexcept;
 
 }  // namespace sz14

@@ -81,6 +81,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool;  // joined at process exit
+  return pool;
+}
+
 void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn) {
   if (threads <= 1 || n <= 1) {

@@ -56,4 +56,11 @@ class ThreadPool {
 void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Process-wide pool (hardware_concurrency workers), created on first use.
+/// Callers that want "use all cores" without managing a pool — e.g. the
+/// CLI's `-t 0` compress/decompress paths — route through it so repeated
+/// calls don't re-spawn workers; code that needs a specific worker count
+/// constructs its own ThreadPool (the parallel codec accepts either).
+ThreadPool& shared_pool();
+
 }  // namespace sz14

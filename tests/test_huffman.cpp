@@ -346,6 +346,82 @@ TEST(HuffmanErrors, MinLengthCheckTighterThanOneBitPerSymbol) {
   EXPECT_THROW((void)huffman_decode(r), std::runtime_error);
 }
 
+// --- split-phase API (the parallel slab codec's building blocks) ----------
+
+TEST(HuffmanSplitPhase, HistogramMatchesNaiveCount) {
+  Rng rng(99);
+  std::vector<std::uint16_t> symbols(5000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.below(200));
+  const auto freqs = huffman_histogram(symbols, 256);
+  std::vector<std::uint64_t> naive(256, 0);
+  for (auto s : symbols) ++naive[s];
+  EXPECT_EQ(freqs, naive);
+  EXPECT_THROW((void)huffman_histogram(symbols, 100),
+               std::invalid_argument);  // out-of-alphabet symbol
+}
+
+TEST(HuffmanSplitPhase, MergedHistogramPayloadRoundTrip) {
+  // The parallel codec's exact flow: histogram two "slabs" independently,
+  // merge, assign one table, emit both payloads separately, decode both.
+  Rng rng(7);
+  std::vector<std::uint16_t> slab_a(3000), slab_b(1777);
+  for (auto& s : slab_a) s = static_cast<std::uint16_t>(rng.below(300));
+  for (auto& s : slab_b) s = static_cast<std::uint16_t>(rng.below(300));
+  const auto ha = huffman_histogram(slab_a, 512);
+  const auto hb = huffman_histogram(slab_b, 512);
+  std::vector<std::uint64_t> merged(512, 0);
+  for (std::size_t s = 0; s < 512; ++s) merged[s] = ha[s] + hb[s];
+  const auto lengths = huffman_code_lengths(merged);
+  const auto codes = huffman_canonical_codes(lengths);
+  const auto packed = huffman_pack_codes(lengths, codes);
+
+  std::vector<std::uint8_t> pa, pb;
+  huffman_append_payload(slab_a, packed, pa);
+  huffman_append_payload(slab_b, packed, pb);
+
+  ByteWriter tw;
+  huffman_write_lengths(lengths, tw);
+  auto table_bytes = std::move(tw).take();
+  ByteReader tr(table_bytes);
+  const auto read_lengths = huffman_read_lengths(tr);
+  EXPECT_EQ(read_lengths, lengths);
+
+  const HuffmanDecoder dec(read_lengths);
+  EXPECT_EQ(huffman_decode_payload(dec, pa, slab_a.size()), slab_a);
+  EXPECT_EQ(huffman_decode_payload(dec, pb, slab_b.size()), slab_b);
+}
+
+TEST(HuffmanSplitPhase, PayloadBitsHintMatchesScan) {
+  Rng rng(3);
+  std::vector<std::uint16_t> symbols(2048);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.below(64));
+  const auto freqs = huffman_histogram(symbols, 64);
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto packed = huffman_pack_codes(lengths,
+                                         huffman_canonical_codes(lengths));
+  std::uint64_t bits = 0;
+  for (std::size_t s = 0; s < 64; ++s) bits += freqs[s] * lengths[s];
+  std::vector<std::uint8_t> with_hint, without;
+  huffman_append_payload(symbols, packed, with_hint, bits);
+  huffman_append_payload(symbols, packed, without);
+  EXPECT_EQ(with_hint, without);
+}
+
+TEST(HuffmanSplitPhase, DecodePayloadRejectsOverdeclaredCount) {
+  std::vector<std::uint16_t> symbols(100, 1);
+  for (std::size_t i = 0; i < 50; ++i) symbols[i * 2] = 0;
+  const auto freqs = huffman_histogram(symbols, 4);
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto packed = huffman_pack_codes(lengths,
+                                         huffman_canonical_codes(lengths));
+  std::vector<std::uint8_t> payload;
+  huffman_append_payload(symbols, packed, payload);
+  const HuffmanDecoder dec(lengths);
+  EXPECT_EQ(huffman_decode_payload(dec, payload, 100), symbols);
+  EXPECT_THROW((void)huffman_decode_payload(dec, payload, 100000),
+               std::runtime_error);
+}
+
 class HuffmanAlphabetSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HuffmanAlphabetSweep, RoundTripRandomSymbols) {

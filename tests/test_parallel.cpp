@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
+#include "common/hotpath.hpp"
 #include "data/generators.hpp"
 #include "parallel/io_model.hpp"
 #include "parallel/parallel_codec.hpp"
@@ -34,6 +36,41 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RunBatchPropagatesFirstWorkerException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.run_batch(16, [&](std::size_t i) {
+      ++ran;
+      if (i == 5) throw std::runtime_error("task 5 failed");
+    });
+    FAIL() << "run_batch swallowed the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 5 failed");
+  }
+  // Every task still ran (the batch drains before rethrowing) and the pool
+  // remains usable afterwards.
+  EXPECT_EQ(ran.load(), 16);
+  std::atomic<int> after{0};
+  pool.run_batch(4, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, RunBatchPropagatesNonStdExceptionType) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_batch(3, [](std::size_t i) {
+        if (i == 0) throw std::invalid_argument("bad");
+      }),
+      std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsable) {
+  std::atomic<int> n{0};
+  shared_pool().run_batch(8, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 8);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
@@ -70,6 +107,73 @@ TEST(ParallelCodec, StreamIsDeterministicAcrossThreadCounts) {
   const auto a = parallel_compress(f.values, f.dims, opts, 1, 8);
   const auto b = parallel_compress(f.values, f.dims, opts, 4, 8);
   EXPECT_EQ(a.stream, b.stream);
+}
+
+TEST(ParallelCodec, StreamIsDeterministicAcrossRepeatedRuns) {
+  // Same field + same chunk count => byte-identical stream run over run
+  // (the phase-2 pipeline completes out of order; assembly must not).
+  const auto f = data::climate2d(96, 64);
+  Options opts;
+  opts.eb_abs = 0.01;
+  const auto a = parallel_compress(f.values, f.dims, opts, 3, 6);
+  const auto b = parallel_compress(f.values, f.dims, opts, 3, 6);
+  const auto c = parallel_compress(f.values, f.dims, opts, 2, 6);
+  EXPECT_EQ(a.stream, b.stream);
+  EXPECT_EQ(a.stream, c.stream);
+}
+
+TEST(ParallelCodec, TurboStreamDeterministicAndConformant) {
+  const auto f = data::hurricane3d(12, 16, 16);
+  Options opts;
+  opts.eb_abs = 1e-3;
+  HotPathScope scope(HotPathMode::kTurbo);
+  const auto a = parallel_compress(f.values, f.dims, opts, 1, 4);
+  const auto b = parallel_compress(f.values, f.dims, opts, 4, 4);
+  EXPECT_EQ(a.stream, b.stream);
+  // Cross-check: a turbo slab container decodes through parallel_decompress
+  // within the bound, at any worker count.
+  for (const std::size_t threads : {1u, 3u}) {
+    const auto out = parallel_decompress(a.stream, threads);
+    ASSERT_EQ(out.data.size(), f.values.size());
+    for (std::size_t i = 0; i < f.values.size(); ++i)
+      ASSERT_LE(std::fabs(static_cast<double>(f.values[i]) -
+                          static_cast<double>(out.data[i])),
+                1e-3);
+  }
+}
+
+TEST(ParallelCodec, SharedTableBeatsPerChunkTables) {
+  // The v2 container carries ONE Huffman table; many chunks must not
+  // multiply the table overhead.  Compare 2 vs 16 chunks: stream growth
+  // should stay well under one extra table per chunk (v1 paid ~1KB each).
+  const auto f = data::climate2d(128, 128);
+  Options opts;
+  opts.eb_abs = 1e-3;
+  const auto few = parallel_compress(f.values, f.dims, opts, 2, 2);
+  const auto many = parallel_compress(f.values, f.dims, opts, 2, 16);
+  EXPECT_LT(many.stream.size(),
+            few.stream.size() + 14 * 256);  // << 14 extra tables
+}
+
+TEST(ParallelCodec, RelativeBoundIndependentOfChunking) {
+  // v2 resolves eb against the WHOLE field once, so eb_rel streams are a
+  // function of the chunk count only through slab borders — and the bound
+  // used is identical for any chunking.
+  const auto f = data::climate2d(64, 64);
+  Options opts;
+  opts.eb_rel = 1e-3;
+  const auto a = parallel_compress(f.values, f.dims, opts, 2, 4);
+  const auto out = parallel_decompress(a.stream, 2);
+  double lo = f.values[0], hi = f.values[0];
+  for (const float v : f.values) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  const double eb = 1e-3 * (hi - lo);
+  for (std::size_t i = 0; i < f.values.size(); ++i)
+    ASSERT_LE(std::fabs(static_cast<double>(f.values[i]) -
+                        static_cast<double>(out.data[i])),
+              eb * (1 + 1e-12));
 }
 
 TEST(ParallelCodec, ChunkCountCappedByRows) {

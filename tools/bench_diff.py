@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Schema guard for the tracked perf baseline (BENCH_PR*.json).
+"""Schema + regression guard for the tracked perf baseline (BENCH_PR*.json).
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--speedups]
+                     [--max-regress R]
 
-Compares the two bench outputs structurally: every record kind (the
-"bench" field, plus "mode" where present) must expose the same set of
-keys in both files, so a bench refactor cannot silently drop or rename
-a metric the perf trajectory depends on.  Exits 1 on drift.
+Default mode compares the two bench outputs structurally: every record kind
+(the "bench" field, plus "mode" where present) must expose the same set of
+keys in both files, so a bench refactor cannot silently drop or rename a
+metric the perf trajectory depends on.  Exits 1 on drift.
+
+With --max-regress R, the structural check is replaced by a throughput
+regression gate: for every (field, mode) record present in BOTH files,
+require current compress_gbps/decompress_gbps >= R * baseline.  Use this
+between two committed BENCH_PRn.json files measured on the same machine
+(e.g. `bench_diff.py BENCH_PR2.json BENCH_PR3.json --max-regress 0.9`);
+schema may legitimately differ across PR generations, so only shared
+records are compared — but the current file must cover every per-field
+record the baseline has, so a field cannot silently drop out of the suite.
 
 With --speedups, also prints the per-field speedup records (informational;
-absolute numbers are machine-dependent, so they are never compared).
+absolute numbers are machine-dependent, so they are never compared across
+machines).
 """
 import json
 import sys
@@ -22,7 +33,12 @@ def record_kind(rec):
     return kind
 
 
-def schema_of(path):
+def record_identity(rec):
+    """Stable identity for cross-file throughput comparison."""
+    return (rec.get("bench"), rec.get("field"), rec.get("mode"))
+
+
+def load(path):
     try:
         with open(path) as f:
             records = json.load(f)
@@ -33,6 +49,10 @@ def schema_of(path):
         print(f"bench_diff: {path}: expected a non-empty JSON array",
               file=sys.stderr)
         sys.exit(1)
+    return records
+
+
+def schema_of(path, records):
     schema = {}
     for rec in records:
         kind = record_kind(rec)
@@ -42,26 +62,19 @@ def schema_of(path):
                   f"'{kind}'", file=sys.stderr)
             sys.exit(1)
         schema[kind] = keys
-    return schema, records
+    return schema
 
 
-def main():
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    flags = {a for a in sys.argv[1:] if a.startswith("--")}
-    if len(args) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    base_schema, _ = schema_of(args[0])
-    cur_schema, cur_records = schema_of(args[1])
-
+def check_schema(base_path, base_records, cur_path, cur_records):
+    base_schema = schema_of(base_path, base_records)
+    cur_schema = schema_of(cur_path, cur_records)
     ok = True
     for kind in sorted(set(base_schema) | set(cur_schema)):
         if kind not in cur_schema:
-            print(f"bench_diff: record kind '{kind}' missing from {args[1]}")
+            print(f"bench_diff: record kind '{kind}' missing from {cur_path}")
             ok = False
         elif kind not in base_schema:
-            print(f"bench_diff: record kind '{kind}' new in {args[1]} "
+            print(f"bench_diff: record kind '{kind}' new in {cur_path} "
                   f"(not in baseline)")
             ok = False
         elif base_schema[kind] != cur_schema[kind]:
@@ -70,8 +83,67 @@ def main():
             print(f"bench_diff: key drift in '{kind}': removed={gone} "
                   f"added={new}")
             ok = False
+    if ok:
+        print(f"bench_diff: schemas match ({len(cur_schema)} record kinds)")
+    return ok
 
-    if "--speedups" in flags:
+
+def check_regression(base_records, cur_records, ratio):
+    base = {record_identity(r): r for r in base_records
+            if "compress_gbps" in r and r.get("field")}
+    cur = {record_identity(r): r for r in cur_records
+           if "compress_gbps" in r and r.get("field")}
+    if not base:
+        print("bench_diff: baseline has no throughput records to gate on")
+        return False
+    ok = True
+    compared = 0
+    for ident in sorted(set(base) & set(cur), key=str):
+        compared += 1
+        for metric in ("compress_gbps", "decompress_gbps"):
+            b, c = base[ident].get(metric), cur[ident].get(metric)
+            if b is None or c is None or b <= 0:
+                continue
+            if c < ratio * b:
+                print(f"bench_diff: REGRESSION {ident}: {metric} "
+                      f"{b:.4f} -> {c:.4f} ({c / b:.2f}x < {ratio:.2f}x)")
+                ok = False
+    # A field silently dropped from the suite must not pass the gate.
+    missing = sorted(set(base) - set(cur), key=str)
+    for ident in missing:
+        print(f"bench_diff: baseline record {ident} missing from current")
+        ok = False
+    if compared == 0:
+        print("bench_diff: no overlapping throughput records to compare")
+        return False
+    if ok:
+        print(f"bench_diff: no regressions below {ratio:.2f}x across "
+              f"{compared} records")
+    return ok
+
+
+def main():
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--speedups", action="store_true")
+    parser.add_argument("--max-regress", type=float, default=None,
+                        metavar="R")
+    ns = parser.parse_args()
+
+    base_records = load(ns.baseline)
+    cur_records = load(ns.current)
+
+    if ns.max_regress is not None:
+        ok = check_regression(base_records, cur_records, ns.max_regress)
+    else:
+        ok = check_schema(ns.baseline, base_records, ns.current, cur_records)
+
+    if ns.speedups:
         for rec in cur_records:
             if rec.get("bench") == "perf_suite_speedup":
                 print(f"{rec['field']}: compress "
@@ -79,11 +151,7 @@ def main():
                       f"{rec['speedup_decompress']:.2f}x, identical="
                       f"{rec['streams_identical']}")
 
-    if not ok:
-        return 1
-    print("bench_diff: schemas match "
-          f"({len(cur_schema)} record kinds)")
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "archive/archive.hpp"
+#include "common/hotpath.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/analysis.hpp"
@@ -41,6 +42,8 @@
 #include "core/pointwise.hpp"
 #include "data/io.hpp"
 #include "metrics/metrics.hpp"
+#include "parallel/parallel_codec.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -54,6 +57,8 @@ struct Args {
   std::string dtype = "f32";
   Options opts;
   double pwrel = std::numeric_limits<double>::quiet_NaN();
+  std::size_t threads = 1;  // > 1 selects the parallel slab container
+  bool turbo = false;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -62,14 +67,15 @@ struct Args {
                "usage:\n"
                "  sz14 compress   -i IN -o OUT -d D1xD2[xD3[xD4]] "
                "(--abs EB | --rel EB | --pwrel P) [--dtype f32|f64] "
-               "[-m BITS] [-n LAYERS] [--decorrelate]\n"
-               "  sz14 decompress -i IN -o OUT\n"
+               "[-m BITS] [-n LAYERS] [--decorrelate] [--turbo] "
+               "[-t THREADS]   (-t: f32 slab container; 0 = all cores)\n"
+               "  sz14 decompress -i IN -o OUT [-t THREADS]\n"
                "  sz14 info       -i IN\n"
                "  sz14 analyze    -i IN -d DIMS (--abs EB | --rel EB) "
                "[--dtype f32|f64]\n"
                "  sz14 archive create  -o OUT --field NAME=FILE:DIMS "
                "[--field ...] [--codec C] (--abs EB | --rel R) "
-               "[--dtype f32|f64] [--block DIMS] [-t THREADS]\n"
+               "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo]\n"
                "  sz14 archive ls      -i IN\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
                "[--origin DIMS --shape DIMS]\n"
@@ -122,6 +128,10 @@ Args parse(int argc, char** argv) {
       a.opts.layers = static_cast<unsigned>(std::stoul(next()));
     } else if (flag == "--decorrelate") {
       a.opts.decorrelate = true;
+    } else if (flag == "-t") {
+      a.threads = std::stoull(next());
+    } else if (flag == "--turbo") {
+      a.turbo = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -144,20 +154,48 @@ int cmd_compress(const Args& a) {
   if (a.output.empty() || a.dims_text.empty())
     usage("compress needs -o and -d");
   const Dims dims = parse_dims(a.dims_text);
+  // --turbo pins the reciprocal-multiply kernels for this invocation; the
+  // stream stays |x - x'| <= eb conformant and decodes normally.
+  const std::optional<HotPathScope> turbo =
+      a.turbo ? std::optional<HotPathScope>(std::in_place, HotPathMode::kTurbo)
+              : std::nullopt;
   CompressStats stats;
   Timer timer;
   std::vector<std::uint8_t> stream;
   std::size_t raw_bytes = 0;
+  const bool threaded = a.threads != 1;  // -t 0 = all cores (shared pool)
   if (!std::isnan(a.pwrel)) {
     if (a.dtype != "f32") usage("--pwrel supports --dtype f32 only");
+    if (threaded)
+      std::fprintf(stderr,
+                   "warning: -t is ignored with --pwrel (sequential path)\n");
     const auto values = data::read_f32(a.input);
     raw_bytes = values.size() * sizeof(float);
     stream = compress_pointwise_rel(values, dims, a.pwrel, a.opts, &stats);
+  } else if (a.dtype == "f32" && threaded) {
+    // Whole-field threaded path: slab container, shared Huffman table.
+    // -t 0 reuses the process-wide pool (one worker per core); an explicit
+    // count gets its own pool.
+    const auto values = data::read_f32(a.input);
+    raw_bytes = values.size() * sizeof(float);
+    std::optional<ThreadPool> own;
+    if (a.threads != 0) own.emplace(a.threads);
+    auto result =
+        parallel_compress(values, dims, a.opts, own ? *own : shared_pool());
+    stats.total = values.size();
+    stats.predictable = result.predictable;
+    stats.compressed_bytes = result.stream.size();
+    stats.resolved_eb = result.eb_abs;
+    stream = std::move(result.stream);
   } else if (a.dtype == "f32") {
     const auto values = data::read_f32(a.input);
     raw_bytes = values.size() * sizeof(float);
     stream = compress(std::span<const float>(values), dims, a.opts, &stats);
   } else {
+    if (threaded)
+      std::fprintf(
+          stderr,
+          "warning: -t is ignored for --dtype f64 (sequential path)\n");
     const auto values = read_f64(a.input);
     raw_bytes = values.size() * sizeof(double);
     stream = compress(std::span<const double>(values), dims, a.opts, &stats);
@@ -179,6 +217,19 @@ int cmd_decompress(const Args& a) {
   if (a.output.empty()) usage("decompress needs -o");
   const auto stream = data::read_bytes(a.input);
   Timer timer;
+  // Parallel slab containers carry their own magic ("SZP2").
+  if (is_parallel_stream(stream)) {
+    std::optional<ThreadPool> own;
+    if (a.threads != 0) own.emplace(a.threads);
+    ThreadPool& pool = own ? *own : shared_pool();
+    const auto out = parallel_decompress(stream, pool);
+    data::write_f32(a.output, out.data);
+    std::printf("decompressed %s f32 (parallel container, %zu threads) "
+                "in %.3fs\n",
+                out.dims.to_string().c_str(), pool.thread_count(),
+                timer.seconds());
+    return 0;
+  }
   // Pointwise containers carry their own magic ("SZPR").
   if (stream.size() >= 4 && stream[0] == 0x52 && stream[1] == 0x50 &&
       stream[2] == 0x5A && stream[3] == 0x53) {
@@ -292,6 +343,7 @@ struct ArchiveArgs {
   double eb_rel = std::numeric_limits<double>::quiet_NaN();
   std::size_t threads = 0;
   std::size_t limit = 0;  // 0 = no limit
+  bool turbo = false;
 };
 
 ArchiveArgs parse_archive(int argc, char** argv) {
@@ -328,6 +380,8 @@ ArchiveArgs parse_archive(int argc, char** argv) {
       a.eb_rel = std::stod(next());
     } else if (flag == "-t") {
       a.threads = std::stoull(next());
+    } else if (flag == "--turbo") {
+      a.turbo = true;
     } else if (flag == "--limit") {
       a.limit = std::stoull(next());
     } else {
@@ -385,7 +439,10 @@ int cmd_archive_create(const ArchiveArgs& a) {
   if (ops->lossy && std::isnan(a.eb_abs) && std::isnan(a.eb_rel))
     usage("lossy archive codecs need --abs or --rel");
 
-  archive::ArchiveWriter writer(a.output, a.threads);
+  archive::ArchiveWriter writer(
+      a.output, a.threads,
+      a.turbo ? std::optional<HotPathMode>(HotPathMode::kTurbo)
+              : std::nullopt);
   Timer timer;
   const auto do_append = [&](const FieldSpec& spec, const Dims& block,
                              const auto& values) {
