@@ -42,8 +42,10 @@ int main() {
       // Best of 3 to damp scheduler noise.
       double best_c = 0, best_d = 0;
       ParallelResult pr;
+      Options popts = opts;
+      popts.exec.threads = p;  // worker count rides the policy
       for (int rep = 0; rep < 3; ++rep) {
-        pr = parallel_compress(f.values, f.dims, opts, p, p);
+        pr = parallel_compress(f.values, f.dims, popts, p);
         best_c = std::max(best_c, static_cast<double>(raw) / 1e9 / pr.seconds);
         const auto out = parallel_decompress(pr.stream, p);
         best_d = std::max(best_d, static_cast<double>(raw) / 1e9 / out.seconds);

@@ -34,7 +34,7 @@
 
 #include "bench_util.hpp"
 #include "common/bytebuffer.hpp"
-#include "common/hotpath.hpp"
+#include "common/exec_policy.hpp"
 #include "common/timer.hpp"
 #include "core/compressor.hpp"
 #include "core/format.hpp"
@@ -85,19 +85,27 @@ double max_abs_error(std::span<const float> a, std::span<const float> b) {
   return m;
 }
 
+/// Measure one hot-path mode.  The mode rides opts.exec (per-call policy,
+/// no scope guards), and a per-measure scratch arena is reused across reps
+/// exactly as a batch workload would.
 StageTimes measure(const data::Field& f, const Options& opts, int reps,
                    std::vector<std::uint8_t>* stream_out,
                    std::vector<float>* recon_out) {
+  const HotPathMode mode = opts.exec.resolved_mode();
+  CodecScratch scratch;
+  Options timed = opts;
+  timed.exec.scratch = &scratch;
+
   StageTimes st;
   std::vector<std::uint8_t> stream;
   st.compress_s = best_of(reps, [&] {
-    stream = compress(f.values, f.dims, opts);
+    stream = compress(f.values, f.dims, timed);
   });
   st.stream_bytes = stream.size();
 
   std::vector<float> out(f.dims.count());
   st.decompress_s = best_of(reps, [&] {
-    (void)decompress_into(stream, out);
+    (void)decompress_into(stream, out, timed.exec);
   });
   st.max_error = max_abs_error(f.values, out);
 
@@ -105,19 +113,25 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
   // eb_abs explicitly), so the standalone pass matches compress() work.
   st.pass_s = best_of(reps, [&] {
     (void)prediction_quantization_pass(f.values, f.dims, opts.layers,
-                                       opts.interval_bits, opts.eb_abs);
+                                       opts.interval_bits, opts.eb_abs,
+                                       false, timed.exec);
   });
   const auto pass = prediction_quantization_pass(
-      f.values, f.dims, opts.layers, opts.interval_bits, opts.eb_abs);
-  const LinearQuantizer quantizer(opts.interval_bits, opts.eb_abs);
+      f.values, f.dims, opts.layers, opts.interval_bits, opts.eb_abs, false,
+      timed.exec);
+  const LinearQuantizer quantizer(opts.interval_bits, opts.eb_abs, mode);
   st.entropy_encode_s = best_of(reps, [&] {
     ByteWriter w;
-    huffman_encode(pass.codes, quantizer.alphabet_size(), w);
+    huffman_encode(pass.codes, quantizer.alphabet_size(), w, mode);
   });
+  // Reuse a code vector across reps like decompress_into does with the
+  // arena, so entropy_decode_s and decompress_s amortize allocation the
+  // same way and their difference (kernel_decode_s) stays meaningful.
+  std::vector<std::uint16_t> decode_codes;
   st.entropy_decode_s = best_of(reps, [&] {
     ByteReader in(stream);
     (void)read_header(in);
-    (void)huffman_decode(in);
+    huffman_decode_into(in, decode_codes, mode);
   });
   st.kernel_decode_s = st.decompress_s - st.entropy_decode_s;
 
@@ -136,16 +150,21 @@ struct ParallelTimes {
 
 ParallelTimes measure_parallel(const data::Field& f, const Options& opts,
                                int reps, ThreadPool& pool) {
+  // Pool and scratch travel on the policy; mode already set by the caller.
+  CodecScratch scratch;
+  Options timed = opts;
+  timed.exec.pool = &pool;
+  timed.exec.scratch = &scratch;
   ParallelTimes pt;
   ParallelResult result;
   pt.compress_s = best_of(reps, [&] {
-    result = parallel_compress(f.values, f.dims, opts, pool);
+    result = parallel_compress(f.values, f.dims, timed);
   });
   pt.stream_bytes = result.stream.size();
   pt.chunks = result.chunks;
   ParallelDecompressResult out;
   pt.decompress_s = best_of(reps, [&] {
-    out = parallel_decompress(result.stream, pool);
+    out = parallel_decompress(result.stream, timed.exec);
   });
   pt.max_error = max_abs_error(f.values, out.data);
   return pt;
@@ -258,20 +277,25 @@ int main(int argc, char** argv) {
       Options opts;
       opts.eb_abs = 1e-3;
 
+      // Three-way comparison through per-call policies: same process, no
+      // scope guards, no global state.
       std::vector<std::uint8_t> ref_stream, fast_stream;
       std::vector<float> ref_recon, fast_recon;
       StageTimes ref, fast, turbo;
       {
-        HotPathScope scope(HotPathMode::kReference);
-        ref = measure(f, opts, reps, &ref_stream, &ref_recon);
+        Options o = opts;
+        o.exec.mode = HotPathMode::kReference;
+        ref = measure(f, o, reps, &ref_stream, &ref_recon);
       }
       {
-        HotPathScope scope(HotPathMode::kFast);
-        fast = measure(f, opts, reps, &fast_stream, &fast_recon);
+        Options o = opts;
+        o.exec.mode = HotPathMode::kFast;
+        fast = measure(f, o, reps, &fast_stream, &fast_recon);
       }
       {
-        HotPathScope scope(HotPathMode::kTurbo);
-        turbo = measure(f, opts, reps, nullptr, nullptr);
+        Options o = opts;
+        o.exec.mode = HotPathMode::kTurbo;
+        turbo = measure(f, o, reps, nullptr, nullptr);
       }
       const bool identical =
           ref_stream == fast_stream &&
@@ -301,12 +325,14 @@ int main(int argc, char** argv) {
       // Threaded slab codec, fast + turbo.
       ParallelTimes par_fast, par_turbo;
       {
-        HotPathScope scope(HotPathMode::kFast);
-        par_fast = measure_parallel(f, opts, reps, pool);
+        Options o = opts;
+        o.exec.mode = HotPathMode::kFast;
+        par_fast = measure_parallel(f, o, reps, pool);
       }
       {
-        HotPathScope scope(HotPathMode::kTurbo);
-        par_turbo = measure_parallel(f, opts, reps, pool);
+        Options o = opts;
+        o.exec.mode = HotPathMode::kTurbo;
+        par_turbo = measure_parallel(f, o, reps, pool);
       }
       for (const auto* p : {&par_fast, &par_turbo}) {
         if (!(p->max_error <= opts.eb_abs)) {

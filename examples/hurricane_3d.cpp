@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
 
     sz14::Options opts;
     opts.eb_abs = eb;
-    const auto par = sz14::parallel_compress(f.values, f.dims, opts, threads);
+    opts.exec.threads = threads;  // worker count rides the policy
+    const auto par = sz14::parallel_compress(f.values, f.dims, opts);
     const auto out = sz14::parallel_decompress(par.stream, threads);
     const auto s = sz14::error_summary(f.values, out.data);
     if (s.max_abs_error > eb) {

@@ -13,16 +13,19 @@ namespace {
 
 // --- sz14: native f32 and f64 error-bounded paths ------------------------
 //
-// These run the full specialized kernel stack and honor the process-wide
-// HotPathMode: an ArchiveWriter pinned to kTurbo compresses every block
-// through the reciprocal-multiply kernels (bound-conformant, not
-// bit-identical to kFast archives of the same data — each mode is
-// individually deterministic, so CRCs reproduce within a mode).
+// These run the full specialized kernel stack under the caller's per-call
+// ExecPolicy: an ArchiveWriter whose policy selects kTurbo compresses
+// every block through the reciprocal-multiply kernels (bound-conformant,
+// not bit-identical to kFast archives of the same data — each mode is
+// individually deterministic, so CRCs reproduce within a mode), and the
+// writer's scratch arena serves every block task.
 
 std::vector<std::uint8_t> sz14_c32(std::span<const float> block,
-                                   const Dims& dims, double eb_abs) {
+                                   const Dims& dims, double eb_abs,
+                                   const ExecPolicy& exec) {
   Options opts;
   opts.eb_abs = eb_abs;
+  opts.exec = exec;
   return compress(block, dims, opts);
 }
 
@@ -31,9 +34,11 @@ std::vector<float> sz14_d32(std::span<const std::uint8_t> stream) {
 }
 
 std::vector<std::uint8_t> sz14_c64(std::span<const double> block,
-                                   const Dims& dims, double eb_abs) {
+                                   const Dims& dims, double eb_abs,
+                                   const ExecPolicy& exec) {
   Options opts;
   opts.eb_abs = eb_abs;
+  opts.exec = exec;
   return compress(block, dims, opts);
 }
 
@@ -44,7 +49,8 @@ std::vector<double> sz14_d64(std::span<const std::uint8_t> stream) {
 // --- zfp_like / fpzip_like: f32 through the baseline classes --------------
 
 std::vector<std::uint8_t> zfp_c32(std::span<const float> block,
-                                  const Dims& dims, double eb_abs) {
+                                  const Dims& dims, double eb_abs,
+                                  const ExecPolicy& /*exec*/) {
   return baselines::Zfp().compress(block, dims, eb_abs);
 }
 
@@ -53,7 +59,8 @@ std::vector<float> zfp_d32(std::span<const std::uint8_t> stream) {
 }
 
 std::vector<std::uint8_t> fpzip_c32(std::span<const float> block,
-                                    const Dims& dims, double eb_abs) {
+                                    const Dims& dims, double eb_abs,
+                                    const ExecPolicy& /*exec*/) {
   return baselines::Fpzip().compress(block, dims, eb_abs);
 }
 
@@ -64,7 +71,8 @@ std::vector<float> fpzip_d32(std::span<const std::uint8_t> stream) {
 // --- gzip_like: f32 via the baseline class, f64 as raw deflated bytes -----
 
 std::vector<std::uint8_t> gzip_c32(std::span<const float> block,
-                                   const Dims& dims, double eb_abs) {
+                                   const Dims& dims, double eb_abs,
+                                   const ExecPolicy& /*exec*/) {
   return baselines::Gzip().compress(block, dims, eb_abs);
 }
 
@@ -73,7 +81,8 @@ std::vector<float> gzip_d32(std::span<const std::uint8_t> stream) {
 }
 
 std::vector<std::uint8_t> gzip_c64(std::span<const double> block,
-                                   const Dims& /*dims*/, double /*eb_abs*/) {
+                                   const Dims& /*dims*/, double /*eb_abs*/,
+                                   const ExecPolicy& /*exec*/) {
   return deflate_like_compress(
       {reinterpret_cast<const std::uint8_t*>(block.data()),
        block.size() * sizeof(double)});

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/dims.hpp"
+#include "common/exec_policy.hpp"
 
 namespace sz14::archive {
 
@@ -25,6 +26,10 @@ inline constexpr std::uint8_t kCodecGzip = 4;
 
 /// Operations table row.  `compress64`/`decompress64` are null for backends
 /// without a double-precision path; the writer rejects f64 fields for them.
+/// The compress hooks receive the caller's ExecPolicy (per-call hot-path
+/// mode + scratch arena — the sz14 backend honors both; the baseline
+/// backends ignore it).  Execution policy never reaches the on-disk
+/// format: decode needs no policy to reproduce the data.
 struct CodecOps {
   std::uint8_t id;
   const char* name;
@@ -32,12 +37,14 @@ struct CodecOps {
 
   std::vector<std::uint8_t> (*compress32)(std::span<const float> block,
                                           const Dims& block_dims,
-                                          double eb_abs);
+                                          double eb_abs,
+                                          const ExecPolicy& exec);
   std::vector<float> (*decompress32)(std::span<const std::uint8_t> stream);
 
   std::vector<std::uint8_t> (*compress64)(std::span<const double> block,
                                           const Dims& block_dims,
-                                          double eb_abs);
+                                          double eb_abs,
+                                          const ExecPolicy& exec);
   std::vector<double> (*decompress64)(std::span<const std::uint8_t> stream);
 };
 

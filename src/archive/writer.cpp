@@ -15,20 +15,21 @@ namespace {
 template <typename T>
 std::vector<std::uint8_t> codec_compress(const CodecOps& ops,
                                          std::span<const T> block,
-                                         const Dims& dims, double eb_abs) {
+                                         const Dims& dims, double eb_abs,
+                                         const ExecPolicy& exec) {
   if constexpr (std::is_same_v<T, float>) {
-    return ops.compress32(block, dims, eb_abs);
+    return ops.compress32(block, dims, eb_abs, exec);
   } else {
-    return ops.compress64(block, dims, eb_abs);
+    return ops.compress64(block, dims, eb_abs, exec);
   }
 }
 
 }  // namespace
 
 ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
-                             std::optional<HotPathMode> mode)
+                             ExecPolicy policy)
     : path_(path), out_(path, std::ios::binary | std::ios::trunc),
-      mode_(mode) {
+      policy_(policy) {
   if (!out_) throw std::runtime_error("archive: cannot create: " + path);
   ByteWriter sb;
   write_superblock(sb);
@@ -36,7 +37,15 @@ ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
              static_cast<std::streamsize>(sb.size()));
   if (!out_) throw std::runtime_error("archive: write failed: " + path);
   offset_ = sb.size();
-  pool_ = std::make_unique<ThreadPool>(threads);
+  if (policy_.pool != nullptr) {
+    pool_ = policy_.pool;
+  } else {
+    // The explicit ctor argument wins; otherwise the policy's worker
+    // count applies (0 = hardware_concurrency), per the ExecPolicy docs.
+    owned_pool_ = std::make_unique<ThreadPool>(
+        threads != 0 ? threads : policy_.threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 ArchiveWriter::~ArchiveWriter() {
@@ -74,14 +83,17 @@ void ArchiveWriter::append_impl(const std::string& name,
   const BlockGrid grid(dims, block_dims);
   const std::size_t n = grid.block_count();
 
-  // Pin the writer's hot-path mode (if any) around the batch; the block
-  // codecs read the process-wide selector from the worker threads.  Each
-  // block task is a complete walk+encode, so with several blocks in flight
-  // block i+1's prediction pass naturally overlaps block i's entropy
-  // encode — the same pipeline shape as the parallel slab codec.
-  const std::optional<HotPathScope> scope =
-      mode_ ? std::optional<HotPathScope>(std::in_place, *mode_)
-            : std::nullopt;
+  // Per-writer execution policy: resolve the mode once on this thread
+  // (workers never consult process state) and hand every block task the
+  // writer's scratch arena — per-worker buffer slots that persist across
+  // appends, so batch ingest allocates walk buffers only on first touch.
+  // Each block task is a complete walk+encode, so with several blocks in
+  // flight block i+1's prediction pass naturally overlaps block i's
+  // entropy encode — the same pipeline shape as the parallel slab codec.
+  ExecPolicy block_exec = policy_;
+  block_exec.mode = policy_.resolved_mode();
+  block_exec.pool = nullptr;  // block tasks are single-threaded
+  block_exec.scratch = &scratch_;
 
   // Gather + compress every block in parallel; payloads land in order.
   std::vector<std::vector<std::uint8_t>> payloads(n);
@@ -90,7 +102,10 @@ void ArchiveWriter::append_impl(const std::string& name,
     std::array<std::size_t, kMaxDims> origin{};
     grid.block_origin(i, origin);
     const Dims be = grid.block_extents(i);
-    std::vector<T> block(be.count());
+    // Gather staging comes from the arena too (its own buffer — the codec
+    // uses the recon slot while the gathered block is still live), so
+    // steady-state ingest allocates nothing per block.
+    const std::span<T> block = scratch_.local().gather<T>(be.count());
     const std::array<std::size_t, kMaxDims> zero{};
     copy_subcuboid(data.data(), dims,
                    std::span<const std::size_t>(origin.data(), dims.rank()),
@@ -99,7 +114,7 @@ void ArchiveWriter::append_impl(const std::string& name,
                    be.extents());
     const auto [lo, hi] = std::minmax_element(block.begin(), block.end());
     ranges[i] = {static_cast<double>(*lo), static_cast<double>(*hi)};
-    payloads[i] = codec_compress<T>(*ops, block, be, eb_abs);
+    payloads[i] = codec_compress<T>(*ops, block, be, eb_abs, block_exec);
   });
 
   FieldEntry f;

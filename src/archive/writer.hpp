@@ -9,30 +9,34 @@
 
 #include <fstream>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "archive/archive_format.hpp"
 #include "common/dims.hpp"
-#include "common/hotpath.hpp"
+#include "common/exec_policy.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sz14::archive {
 
 class ArchiveWriter {
  public:
-  /// Creates (truncates) `path` and writes the superblock.  `threads == 0`
-  /// selects hardware_concurrency() for block compression.  `mode`, when
-  /// set, pins the hot-path mode for every append_field() call (e.g.
-  /// HotPathMode::kTurbo for maximum-throughput ingest); unset inherits the
-  /// ambient process-wide mode.  The pin flips the process-wide selector
-  /// for the duration of each append (the block codecs read it on the
-  /// worker threads), so don't run other codec work concurrently with a
-  /// pinned writer.
+  /// Creates (truncates) `path` and writes the superblock.  `policy` is
+  /// this writer's per-call execution strategy, applied to every
+  /// append_field(): `policy.mode` selects the hot path for block
+  /// compression (e.g. HotPathMode::kTurbo for maximum-throughput ingest;
+  /// unset resolves the process default once per append), `policy.pool`
+  /// supplies the block-compression pool (null: the writer owns a private
+  /// pool of `threads` workers, falling back to `policy.threads` when the
+  /// ctor argument is 0; both 0 selects hardware_concurrency()).  The
+  /// policy is plain per-writer state —
+  /// concurrent codec work elsewhere in the process is unaffected.  The
+  /// writer keeps one scratch arena across appends, so batch ingest stops
+  /// paying per-block buffer allocation; `policy.scratch` is ignored (the
+  /// writer's own arena is already per-worker).
   explicit ArchiveWriter(const std::string& path, std::size_t threads = 0,
-                         std::optional<HotPathMode> mode = std::nullopt);
+                         ExecPolicy policy = {});
 
   /// Seals the archive on destruction if finish() was not called
   /// (best-effort: errors are swallowed; call finish() to observe them).
@@ -76,8 +80,10 @@ class ArchiveWriter {
   std::ofstream out_;
   std::uint64_t offset_ = 0;
   std::vector<FieldEntry> fields_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::optional<HotPathMode> mode_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // owned_pool_ or the policy's borrow
+  ExecPolicy policy_;
+  CodecScratch scratch_;  // reused across appends (per-worker slots)
   bool finished_ = false;
 };
 

@@ -2,14 +2,7 @@
 
 #include <algorithm>
 
-#include "common/hotpath.hpp"
-
 namespace sz14 {
-
-BitWriter::BitWriter() : legacy_(hot_path_mode() == HotPathMode::kReference) {}
-
-BitReader::BitReader(std::span<const std::uint8_t> data)
-    : data_(data), legacy_(hot_path_mode() == HotPathMode::kReference) {}
 
 void BitWriter::put(std::uint64_t value, unsigned nbits) {
   if (nbits > 64) throw std::invalid_argument("BitWriter::put: nbits > 64");

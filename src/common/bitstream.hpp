@@ -15,12 +15,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/hotpath.hpp"
+
 namespace sz14 {
 
-/// Append-only MSB-first bit writer.
+/// Append-only MSB-first bit writer.  `mode` arrives per call from the
+/// caller's ExecPolicy; kReference selects the seed byte-at-a-time feed
+/// (identical output, kept as the measured baseline).
 class BitWriter {
  public:
-  BitWriter();
+  explicit BitWriter(HotPathMode mode = HotPathMode::kFast)
+      : legacy_(mode == HotPathMode::kReference) {}
 
   /// Append the low `nbits` bits of `value`, most significant first.
   /// nbits may be 0 (no-op) up to 64.  Validates and masks `value`.
@@ -58,8 +63,8 @@ class BitWriter {
 
  private:
   // The original byte-at-a-time feed, kept as the measured pre-kernel
-  // baseline: HotPathMode::kReference (sampled at construction) routes
-  // every put through it.  Output is identical either way.
+  // baseline: a kReference-constructed writer routes every put through
+  // it.  Output is identical either way.
   void put_legacy(std::uint64_t value, unsigned nbits);
 
   std::vector<std::uint8_t> bytes_;
@@ -70,10 +75,13 @@ class BitWriter {
   bool legacy_;
 };
 
-/// Bounds-checked MSB-first bit reader over a borrowed span.
+/// Bounds-checked MSB-first bit reader over a borrowed span.  `mode`
+/// arrives per call from the caller's ExecPolicy (see BitWriter).
 class BitReader {
  public:
-  explicit BitReader(std::span<const std::uint8_t> data);
+  explicit BitReader(std::span<const std::uint8_t> data,
+                     HotPathMode mode = HotPathMode::kFast)
+      : data_(data), legacy_(mode == HotPathMode::kReference) {}
 
   /// Read `nbits` (0..64) bits, MSB-first.
   [[nodiscard]] std::uint64_t get(unsigned nbits);
@@ -132,8 +140,8 @@ class BitReader {
 #endif
   }
 
-  // Seed-baseline read path (per-byte chunks), selected by
-  // HotPathMode::kReference at construction; see BitWriter::put_legacy.
+  // Seed-baseline read path (per-byte chunks), selected by a kReference
+  // construction mode; see BitWriter::put_legacy.
   std::uint64_t get_legacy(unsigned nbits);
 
   std::span<const std::uint8_t> data_;

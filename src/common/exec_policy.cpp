@@ -1,0 +1,16 @@
+#include "common/exec_policy.hpp"
+
+namespace sz14 {
+
+CodecScratch::Buffers& CodecScratch::local() {
+  // Keyed by thread identity, so an arena shared across ANY mix of
+  // threads (pool workers, plain std::threads, multiple pools) hands out
+  // disjoint buffer sets.  A reused thread id can only inherit buffers
+  // from a thread that has already exited — never a live aliasing.
+  std::lock_guard lock(mutex_);
+  std::unique_ptr<Buffers>& slot = slots_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<Buffers>();
+  return *slot;
+}
+
+}  // namespace sz14

@@ -1,0 +1,181 @@
+// Per-call execution policy for the codec stack.
+//
+// Everything the paper's codec computes is a function of (data, dims, eb,
+// m, n) — the *execution strategy* (which hot-path implementation runs,
+// which thread pool carries slab/block batches, which scratch arena
+// supplies working buffers) is orthogonal to the stream contents.
+// ExecPolicy makes that strategy an explicit per-call value carried on
+// Options (compress side) or passed to the decompress entry points, so
+// many concurrent calls with heterogeneous settings coexist in one
+// process: no layer below the public API reads process-global mutable
+// state to decide how to execute.
+//
+// `mode` left unset falls back to the process default (common/hotpath.hpp,
+// a test-ergonomics shim) — resolved ONCE at the API boundary by
+// resolved_mode(), never re-read on worker threads or inside kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hotpath.hpp"
+
+namespace sz14 {
+
+class ThreadPool;
+
+/// Reusable working-buffer arena for repeated codec calls (batch
+/// workloads: archive appends, slab pipelines, bench reps).  Buffers only
+/// ever grow, so steady-state calls allocate nothing; contents are
+/// scratch — reuse never changes a single output byte (enforced by
+/// tests/test_exec_policy.cpp).
+///
+/// One CodecScratch may be shared by any set of threads — pool workers,
+/// plain std::threads, several pools at once: local() keys the buffer set
+/// by thread identity (the per-call slot lookup is the only synchronized
+/// step; the buffers themselves are strictly thread-private), so sharing
+/// an arena can never race.  Slots are never evicted (thread ids can be
+/// reused, so a slot cannot safely be freed on thread exit): size an
+/// arena's lifetime to a bounded set of threads — a pool's workers, a
+/// writer's batches, a bench loop — not to an unbounded stream of
+/// short-lived threads, or its footprint grows with every new thread id.
+class CodecScratch {
+ public:
+  /// One thread's buffer set.
+  class Buffers {
+   public:
+    [[nodiscard]] std::span<std::uint16_t> codes(std::size_t n) {
+      return codes_.get(n);
+    }
+    template <typename T>
+    [[nodiscard]] std::span<T> recon(std::size_t n) {
+      if constexpr (sizeof(T) == 4) {
+        return recon32_.get(n);
+      } else {
+        return recon64_.get(n);
+      }
+    }
+    /// Decode-side code array (huffman_decode target), reused by capacity.
+    [[nodiscard]] std::vector<std::uint16_t>& code_vector() {
+      return code_vec_;
+    }
+    /// Decode-side pre-decoded unpredictable values.
+    template <typename T>
+    [[nodiscard]] std::vector<T>& unpredictable_values() {
+      if constexpr (sizeof(T) == 4) {
+        return unpred32_;
+      } else {
+        return unpred64_;
+      }
+    }
+    /// Decode-side per-row unpredictable ranks.
+    [[nodiscard]] std::vector<std::size_t>& row_ranks() { return row_ranks_; }
+
+    /// Block-gather staging buffer (archive writer's subcuboid copy) —
+    /// deliberately distinct from recon(): the codec call inside the same
+    /// block task uses recon() while the gathered input is still live.
+    template <typename T>
+    [[nodiscard]] std::span<T> gather(std::size_t n) {
+      if constexpr (sizeof(T) == 4) {
+        return gather32_.get(n);
+      } else {
+        return gather64_.get(n);
+      }
+    }
+
+   private:
+    /// Grow-only buffer that skips value-initialization (the walks write
+    /// every element) — reuse is allocation- and memset-free.
+    template <typename T>
+    struct Grow {
+      std::unique_ptr<T[]> data;
+      std::size_t cap = 0;
+      [[nodiscard]] std::span<T> get(std::size_t n) {
+        if (n > cap) {
+          data = std::make_unique_for_overwrite<T[]>(n);
+          cap = n;
+        }
+        return {data.get(), n};
+      }
+    };
+    Grow<std::uint16_t> codes_;
+    Grow<float> recon32_;
+    Grow<double> recon64_;
+    Grow<float> gather32_;
+    Grow<double> gather64_;
+    std::vector<std::uint16_t> code_vec_;
+    std::vector<float> unpred32_;
+    std::vector<double> unpred64_;
+    std::vector<std::size_t> row_ranks_;
+  };
+
+  /// The calling thread's buffer set (created on first use).
+  [[nodiscard]] Buffers& local();
+
+ private:
+  std::mutex mutex_;  // guards the slot map only
+  std::unordered_map<std::thread::id, std::unique_ptr<Buffers>> slots_;
+};
+
+/// Execution strategy for one codec call.  Value type: copy freely; the
+/// pointers are non-owning borrows that must outlive the call.
+struct ExecPolicy {
+  /// Hot-path implementation (kFast/kReference/kTurbo).  Unset inherits
+  /// the process default (hot_path_mode()), resolved once at the API
+  /// boundary — set it explicitly for mixed-mode concurrency.
+  std::optional<HotPathMode> mode;
+  /// Pool for the threaded entry points (parallel codec, archive writer).
+  /// Null: the callee builds a private pool of `threads` workers.
+  ThreadPool* pool = nullptr;
+  /// Worker count when `pool` is null (0 = hardware_concurrency).
+  std::size_t threads = 0;
+  /// Reusable buffer arena; null = fresh allocations per call.
+  CodecScratch* scratch = nullptr;
+
+  [[nodiscard]] HotPathMode resolved_mode() const noexcept {
+    return mode ? *mode : hot_path_mode();
+  }
+
+  [[nodiscard]] static ExecPolicy with_mode(HotPathMode m) {
+    ExecPolicy p;
+    p.mode = m;
+    return p;
+  }
+};
+
+/// Working buffer from `scratch`'s arena, or a fresh caller-owned
+/// allocation when it is null (`own` keeps it alive; uninitialized either
+/// way — callers write every element).  These three helpers are the only
+/// scratch-or-fresh selection logic in the codebase.
+[[nodiscard]] inline std::span<std::uint16_t> scratch_codes_or(
+    CodecScratch* scratch, std::unique_ptr<std::uint16_t[]>& own,
+    std::size_t n) {
+  if (scratch != nullptr) return scratch->local().codes(n);
+  own = std::make_unique_for_overwrite<std::uint16_t[]>(n);
+  return {own.get(), n};
+}
+
+template <typename T>
+[[nodiscard]] inline std::span<T> scratch_recon_or(CodecScratch* scratch,
+                                                   std::unique_ptr<T[]>& own,
+                                                   std::size_t n) {
+  if (scratch != nullptr) return scratch->local().recon<T>(n);
+  own = std::make_unique_for_overwrite<T[]>(n);
+  return {own.get(), n};
+}
+
+/// Decode-side code vector from the arena (reused by capacity) or the
+/// caller's fallback vector.
+[[nodiscard]] inline std::vector<std::uint16_t>& scratch_code_vector_or(
+    CodecScratch* scratch, std::vector<std::uint16_t>& own) {
+  return scratch != nullptr ? scratch->local().code_vector() : own;
+}
+
+}  // namespace sz14

@@ -1,4 +1,4 @@
-// Process-wide hot-path selector.
+// Hot-path implementation selector.
 //
 // The compressor's prediction/quantization walk and the Huffman decoder
 // have three implementations: a straightforward reference path (the code
@@ -11,15 +11,18 @@
 // streams remain fully error-bound conformant (|x - x'| <= eb for every
 // reconstructed point, enforced by a per-point demotion guard in the
 // kernels and by tests/test_conformance.cpp) and decode through the
-// ordinary decompressor.  The reference path exists so equivalence tests
-// and `run_perf_suite` can compare all three in the same process.
+// ordinary decompressor.
 //
-// The default is kFast and decompression is mode-agnostic, so most code
-// never touches this knob; kTurbo is an opt-in production feature (CLI
-// --turbo, ArchiveWriter mode pin).  The selector is process-global — an
-// atomic the kernels read per call — so pin it once before starting codec
-// work, not concurrently with unrelated compress() calls on other threads
-// (they would silently pick the pinned mode up).
+// The mode is PER-CALL state: it travels on ExecPolicy
+// (common/exec_policy.hpp) and is passed as a plain argument into every
+// layer that branches on it — kernels, Huffman coder, bit I/O, quantizer.
+// Concurrent calls with different modes are correct by construction.
+//
+// set_hot_path_mode()/HotPathScope below are a thin process-DEFAULT shim
+// kept for test ergonomics: they set the mode used by calls whose
+// ExecPolicy leaves `mode` unset, consulted exactly once per call at the
+// public API boundary (ExecPolicy::resolved_mode()) — never inside the
+// codec layers.
 #pragma once
 
 namespace sz14 {
@@ -31,13 +34,15 @@ enum class HotPathMode {
                // bound-conformant but not bit-identical to the seed stream
 };
 
-/// Set the process-wide hot-path mode (testing/benchmark knob; not
-/// intended to be flipped concurrently with codec calls in flight).
+/// Set the process-default mode, used only by calls whose ExecPolicy does
+/// not set one (testing/benchmark ergonomics).
 void set_hot_path_mode(HotPathMode mode) noexcept;
 
+/// The current process-default mode (kFast unless overridden).
 [[nodiscard]] HotPathMode hot_path_mode() noexcept;
 
-/// RAII scope guard for tests: forces a mode, restores the previous one.
+/// RAII scope guard for tests: forces a process-default mode, restores the
+/// previous one.  Per-call ExecPolicy.mode always wins over this default.
 class HotPathScope {
  public:
   explicit HotPathScope(HotPathMode mode) : prev_(hot_path_mode()) {

@@ -61,10 +61,12 @@ template <typename T>
 PassResultT<T> prediction_quantization_pass(std::span<const T> data,
                                             const Dims& dims, unsigned layers,
                                             unsigned interval_bits, double eb,
-                                            bool decorrelate) {
+                                            bool decorrelate,
+                                            const ExecPolicy& exec) {
   if (data.size() != dims.count())
     throw std::invalid_argument("sz14: data size does not match dims");
   const std::size_t n = data.size();
+  const HotPathMode mode = exec.resolved_mode();
   PassResultT<T> r;
   r.codes.resize(n);
   r.reconstructed.resize(n);
@@ -73,12 +75,12 @@ PassResultT<T> prediction_quantization_pass(std::span<const T> data,
   // Decorrelation dithers the quantization grid by a per-index offset; the
   // rounding guarantee is unaffected, but the error loses its spatial
   // structure (the paper's future-work item for high-CF data).
-  const LinearQuantizer quantizer(interval_bits, eb);
+  const LinearQuantizer quantizer(interval_bits, eb, mode);
   const UnpredictableCodecT<T> unpred(eb);
-  BitWriter bw;
+  BitWriter bw(mode);
   const detail::PassCounters counters = detail::pq_compress_walk<T>(
-      data, dims, predictor, quantizer, unpred, eb, decorrelate, r.codes,
-      r.reconstructed, bw);
+      data, dims, predictor, quantizer, unpred, eb, decorrelate, mode,
+      r.codes, r.reconstructed, bw);
   r.predictable = counters.predictable;
   r.strict_hits = counters.strict_hits;
   r.unpred_bits = std::move(bw).finish();
@@ -86,9 +88,11 @@ PassResultT<T> prediction_quantization_pass(std::span<const T> data,
 }
 
 template PassResultT<float> prediction_quantization_pass<float>(
-    std::span<const float>, const Dims&, unsigned, unsigned, double, bool);
+    std::span<const float>, const Dims&, unsigned, unsigned, double, bool,
+    const ExecPolicy&);
 template PassResultT<double> prediction_quantization_pass<double>(
-    std::span<const double>, const Dims&, unsigned, unsigned, double, bool);
+    std::span<const double>, const Dims&, unsigned, unsigned, double, bool,
+    const ExecPolicy&);
 
 namespace {
 
@@ -105,17 +109,23 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
 
   // The walk writes every element of codes/recon, so both buffers skip
   // value-initialization (the ~6 bytes/element memset is measurable at
-  // field scale); recon is scratch and dies with this scope.
+  // field scale); recon is scratch and dies with this scope — or comes
+  // from the caller's arena, where it survives for the next call.
   const std::size_t n = data.size();
-  const auto codes = std::make_unique_for_overwrite<std::uint16_t[]>(n);
-  const auto recon = std::make_unique_for_overwrite<T[]>(n);
+  const HotPathMode mode = opts.exec.resolved_mode();
+  std::unique_ptr<std::uint16_t[]> codes_own;
+  std::unique_ptr<T[]> recon_own;
+  const std::span<std::uint16_t> codes =
+      scratch_codes_or(opts.exec.scratch, codes_own, n);
+  const std::span<T> recon =
+      scratch_recon_or<T>(opts.exec.scratch, recon_own, n);
   const LayerPredictor predictor(dims, opts.layers);
-  const LinearQuantizer quantizer(opts.interval_bits, eb);
+  const LinearQuantizer quantizer(opts.interval_bits, eb, mode);
   const UnpredictableCodecT<T> unpred(eb);
-  BitWriter bw;
+  BitWriter bw(mode);
   const detail::PassCounters counters = detail::pq_compress_walk<T>(
-      data, dims, predictor, quantizer, unpred, eb, opts.decorrelate,
-      {codes.get(), n}, {recon.get(), n}, bw);
+      data, dims, predictor, quantizer, unpred, eb, opts.decorrelate, mode,
+      codes, recon, bw);
   const auto unpred_bits = std::move(bw).finish();
 
   ByteWriter out;
@@ -128,7 +138,7 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
   h.decorrelate = opts.decorrelate;
   write_header(h, out);
 
-  huffman_encode({codes.get(), n}, quantizer.alphabet_size(), out);
+  huffman_encode(codes, quantizer.alphabet_size(), out, mode);
   out.put_varint(unpred_bits.size());
   out.put_bytes(unpred_bits);
 
@@ -148,8 +158,9 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
 /// non-null.
 template <typename T>
 StreamInfo decompress_core(std::span<const std::uint8_t> stream,
-                           std::span<T> fixed_out,
-                           std::vector<T>* owned_out) {
+                           std::span<T> fixed_out, std::vector<T>* owned_out,
+                           const ExecPolicy& exec) {
+  const HotPathMode mode = exec.resolved_mode();
   ByteReader in(stream);
   const StreamHeader h = read_header(in);
   if (h.dtype != dtype_of<T>())
@@ -160,8 +171,13 @@ StreamInfo decompress_core(std::span<const std::uint8_t> stream,
     throw std::invalid_argument("sz14: output buffer size mismatch");
 
   // huffman_decode bounds its symbol count by the actual payload size, so
-  // this also caps the allocation a hostile header can trigger.
-  const auto codes = huffman_decode(in);
+  // this also caps the allocation a hostile header can trigger.  The code
+  // array is the largest decode-side working buffer; the arena keeps it
+  // (and the walk's staging vectors) alive across calls.
+  std::vector<std::uint16_t> codes_own;
+  std::vector<std::uint16_t>& codes =
+      scratch_code_vector_or(exec.scratch, codes_own);
+  huffman_decode_into(in, codes, mode);
   if (codes.size() != h.dims.count())
     throw std::runtime_error("sz14: quantization array size mismatch");
   const auto n_unpred_bytes = static_cast<std::size_t>(in.get_varint());
@@ -174,18 +190,20 @@ StreamInfo decompress_core(std::span<const std::uint8_t> stream,
   }
 
   const LayerPredictor predictor(h.dims, h.layers);
-  const LinearQuantizer quantizer(h.interval_bits, h.eb_abs);
+  const LinearQuantizer quantizer(h.interval_bits, h.eb_abs, mode);
   const UnpredictableCodecT<T> unpred(h.eb_abs);
-  BitReader br(unpred_bytes);
+  BitReader br(unpred_bytes, mode);
   detail::pq_decompress_walk<T>(codes, h.dims, predictor, quantizer, unpred,
-                                h.eb_abs, h.decorrelate, out, br);
+                                h.eb_abs, h.decorrelate, mode, out, br,
+                                exec.scratch);
   return {h.dims, h.eb_abs};
 }
 
 template <typename T, typename Result>
-Result decompress_impl(std::span<const std::uint8_t> stream) {
+Result decompress_impl(std::span<const std::uint8_t> stream,
+                       const ExecPolicy& exec) {
   Result r;
-  const StreamInfo info = decompress_core<T>(stream, {}, &r.data);
+  const StreamInfo info = decompress_core<T>(stream, {}, &r.data, exec);
   r.dims = info.dims;
   r.eb_abs = info.eb_abs;
   return r;
@@ -212,21 +230,41 @@ StreamDtype stream_dtype(std::span<const std::uint8_t> stream) {
 }
 
 DecompressResult decompress(std::span<const std::uint8_t> stream) {
-  return decompress_impl<float, DecompressResult>(stream);
+  return decompress_impl<float, DecompressResult>(stream, {});
+}
+
+DecompressResult decompress(std::span<const std::uint8_t> stream,
+                            const ExecPolicy& exec) {
+  return decompress_impl<float, DecompressResult>(stream, exec);
 }
 
 DecompressResult64 decompress64(std::span<const std::uint8_t> stream) {
-  return decompress_impl<double, DecompressResult64>(stream);
+  return decompress_impl<double, DecompressResult64>(stream, {});
+}
+
+DecompressResult64 decompress64(std::span<const std::uint8_t> stream,
+                                const ExecPolicy& exec) {
+  return decompress_impl<double, DecompressResult64>(stream, exec);
 }
 
 StreamInfo decompress_into(std::span<const std::uint8_t> stream,
                            std::span<float> out) {
-  return decompress_core<float>(stream, out, nullptr);
+  return decompress_core<float>(stream, out, nullptr, {});
 }
 
 StreamInfo decompress_into(std::span<const std::uint8_t> stream,
                            std::span<double> out) {
-  return decompress_core<double>(stream, out, nullptr);
+  return decompress_core<double>(stream, out, nullptr, {});
+}
+
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<float> out, const ExecPolicy& exec) {
+  return decompress_core<float>(stream, out, nullptr, exec);
+}
+
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<double> out, const ExecPolicy& exec) {
+  return decompress_core<double>(stream, out, nullptr, exec);
 }
 
 }  // namespace sz14

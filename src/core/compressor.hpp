@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/dims.hpp"
+#include "common/exec_policy.hpp"
 
 namespace sz14 {
 
@@ -41,6 +42,11 @@ struct Options {
   /// the reconstruction.  The pointwise bound still holds; the compression
   /// factor drops slightly (one extra bit of interval resolution is spent).
   bool decorrelate = false;
+  /// Execution strategy for this call (hot-path mode, pool, scratch).
+  /// Never part of the stream CONTENTS contract except through kTurbo's
+  /// explicit speed-for-bit-identity trade: kFast/kReference produce
+  /// identical bytes and scratch/pool choices are invisible in the output.
+  ExecPolicy exec;
 };
 
 /// Per-call statistics, optionally returned by compress().
@@ -104,11 +110,17 @@ struct DecompressResult64 {
 };
 
 /// Decompress a float32 stream.  Throws std::runtime_error on malformed
-/// input or dtype mismatch.
+/// input or dtype mismatch.  The ExecPolicy overloads select the decode
+/// hot path and scratch arena per call; results are identical in every
+/// mode (decompression is mode-agnostic).
 DecompressResult decompress(std::span<const std::uint8_t> stream);
+DecompressResult decompress(std::span<const std::uint8_t> stream,
+                            const ExecPolicy& exec);
 
 /// Decompress a float64 stream.
 DecompressResult64 decompress64(std::span<const std::uint8_t> stream);
+DecompressResult64 decompress64(std::span<const std::uint8_t> stream,
+                                const ExecPolicy& exec);
 
 /// Header facts returned by the in-place decompressors.
 struct StreamInfo {
@@ -125,6 +137,10 @@ StreamInfo decompress_into(std::span<const std::uint8_t> stream,
                            std::span<float> out);
 StreamInfo decompress_into(std::span<const std::uint8_t> stream,
                            std::span<double> out);
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<float> out, const ExecPolicy& exec);
+StreamInfo decompress_into(std::span<const std::uint8_t> stream,
+                           std::span<double> out, const ExecPolicy& exec);
 
 /// Intermediate products of the prediction + quantization pass — the shared
 /// kernel behind compress(), the best-layer analysis (Sec. III-B), and the
@@ -144,11 +160,14 @@ struct PassResultT {
 using PassResult = PassResultT<float>;
 
 /// Run the pass on its own (codes + reconstruction, no entropy stage).
+/// `exec` selects the hot path per call (scratch is unused here — the
+/// result owns its buffers).
 template <typename T>
 PassResultT<T> prediction_quantization_pass(std::span<const T> data,
                                             const Dims& dims, unsigned layers,
                                             unsigned interval_bits, double eb,
-                                            bool decorrelate = false);
+                                            bool decorrelate = false,
+                                            const ExecPolicy& exec = {});
 
 /// Convenience overload so float callers keep working without explicit
 /// template arguments.
@@ -157,14 +176,18 @@ inline PassResult prediction_quantization_pass(std::span<const float> data,
                                                unsigned layers,
                                                unsigned interval_bits,
                                                double eb,
-                                               bool decorrelate = false) {
+                                               bool decorrelate = false,
+                                               const ExecPolicy& exec = {}) {
   return prediction_quantization_pass<float>(data, dims, layers,
-                                             interval_bits, eb, decorrelate);
+                                             interval_bits, eb, decorrelate,
+                                             exec);
 }
 
 extern template PassResultT<float> prediction_quantization_pass<float>(
-    std::span<const float>, const Dims&, unsigned, unsigned, double, bool);
+    std::span<const float>, const Dims&, unsigned, unsigned, double, bool,
+    const ExecPolicy&);
 extern template PassResultT<double> prediction_quantization_pass<double>(
-    std::span<const double>, const Dims&, unsigned, unsigned, double, bool);
+    std::span<const double>, const Dims&, unsigned, unsigned, double, bool,
+    const ExecPolicy&);
 
 }  // namespace sz14

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <vector>
 
-#include "common/hotpath.hpp"
 #include "core/field_utils.hpp"
 
 namespace sz14::detail {
@@ -542,13 +541,13 @@ PassCounters pq_compress_walk(std::span<const T> data, const Dims& dims,
                               const LayerPredictor& predictor,
                               const LinearQuantizer& quantizer,
                               const UnpredictableCodecT<T>& unpred, double eb,
-                              bool decorrelate, std::span<std::uint16_t> codes,
+                              bool decorrelate, HotPathMode mode,
+                              std::span<std::uint16_t> codes,
                               std::span<T> recon, BitWriter& bw) {
   // The lossless fallback (eb <= 0) makes every point unpredictable: the
   // wavefront would analyse each point twice (reconstruct in the walk,
   // encode in the emission pass) for zero overlap benefit, so that case
   // takes the inline-emitting reference walk too.
-  const HotPathMode mode = hot_path_mode();
   if (mode == HotPathMode::kReference || !(eb > 0.0)) {
     CompressBodyRef<T> body{data.data(), codes.data(), recon.data(),
                             &quantizer, &unpred, &bw, eb, decorrelate};
@@ -600,8 +599,9 @@ void pq_decompress_walk(std::span<const std::uint16_t> codes,
                         const Dims& dims, const LayerPredictor& predictor,
                         const LinearQuantizer& quantizer,
                         const UnpredictableCodecT<T>& unpred, double eb,
-                        bool decorrelate, std::span<T> out, BitReader& br) {
-  if (hot_path_mode() == HotPathMode::kReference) {
+                        bool decorrelate, HotPathMode mode, std::span<T> out,
+                        BitReader& br, CodecScratch* scratch) {
+  if (mode == HotPathMode::kReference) {
     DecompressBodyRef<T> body{codes.data(), out.data(), &quantizer, &unpred,
                               &br, eb, decorrelate};
     walk_generic<T>(dims, predictor, body);
@@ -609,13 +609,22 @@ void pq_decompress_walk(std::span<const std::uint16_t> codes,
   }
   // Pre-decode the unpredictable stream in index order and record each
   // natural row's starting rank so wavefront rows can pull independently.
+  // With a scratch arena both staging vectors keep their capacity across
+  // calls; they are consumed within this walk, so reuse is invisible.
   const std::size_t n = codes.size();
   const std::size_t rank = dims.rank();
   const std::size_t rowlen =
       (rank == 2 || rank == 3) ? dims.extent(rank - 1) : n;
   const std::size_t nrows = rowlen ? n / rowlen : 0;
-  std::vector<std::size_t> row_rank(nrows ? nrows : 1, 0);
-  std::vector<T> unpred_vals;
+  std::vector<std::size_t> local_row_rank;
+  std::vector<T> local_unpred_vals;
+  CodecScratch::Buffers* bufs = scratch ? &scratch->local() : nullptr;
+  std::vector<std::size_t>& row_rank =
+      bufs ? bufs->row_ranks() : local_row_rank;
+  std::vector<T>& unpred_vals =
+      bufs ? bufs->unpredictable_values<T>() : local_unpred_vals;
+  row_rank.assign(nrows ? nrows : 1, 0);
+  unpred_vals.clear();
   std::size_t i = 0;
   for (std::size_t row = 0; row < nrows; ++row) {
     row_rank[row] = unpred_vals.size();
@@ -638,18 +647,18 @@ void pq_decompress_walk(std::span<const std::uint16_t> codes,
 template PassCounters pq_compress_walk<float>(
     std::span<const float>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    std::span<std::uint16_t>, std::span<float>, BitWriter&);
+    HotPathMode, std::span<std::uint16_t>, std::span<float>, BitWriter&);
 template PassCounters pq_compress_walk<double>(
     std::span<const double>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    std::span<std::uint16_t>, std::span<double>, BitWriter&);
+    HotPathMode, std::span<std::uint16_t>, std::span<double>, BitWriter&);
 template void pq_decompress_walk<float>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    std::span<float>, BitReader&);
+    HotPathMode, std::span<float>, BitReader&, CodecScratch*);
 template void pq_decompress_walk<double>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    std::span<double>, BitReader&);
+    HotPathMode, std::span<double>, BitReader&, CodecScratch*);
 
 }  // namespace sz14::detail

@@ -15,12 +15,16 @@
 // bit-identical to the seed stream, but every point stays within the error
 // bound (boundary-straddling points are demoted to unpredictable; enforced
 // by tests/test_conformance.cpp).
+//
+// The mode is a plain argument: the walks never read process state, so
+// concurrent calls with different modes are independent by construction.
 #pragma once
 
 #include <span>
 
 #include "common/bitstream.hpp"
 #include "common/dims.hpp"
+#include "common/exec_policy.hpp"
 #include "core/compressor.hpp"
 #include "core/predictor.hpp"
 #include "core/quantizer.hpp"
@@ -44,33 +48,37 @@ PassCounters pq_compress_walk(std::span<const T> data, const Dims& dims,
                               const LayerPredictor& predictor,
                               const LinearQuantizer& quantizer,
                               const UnpredictableCodecT<T>& unpred, double eb,
-                              bool decorrelate, std::span<std::uint16_t> codes,
+                              bool decorrelate, HotPathMode mode,
+                              std::span<std::uint16_t> codes,
                               std::span<T> recon, BitWriter& bw);
 
 /// Decompress-side mirror: consumes codes plus the unpredictable bitstream
-/// into out (out.size() == dims.count() == codes.size()).
+/// into out (out.size() == dims.count() == codes.size()).  `scratch`, when
+/// non-null, supplies the fast path's pre-decoded unpredictable-value and
+/// row-rank buffers (reused across calls, never visible in the output).
 template <typename T>
 void pq_decompress_walk(std::span<const std::uint16_t> codes,
                         const Dims& dims, const LayerPredictor& predictor,
                         const LinearQuantizer& quantizer,
                         const UnpredictableCodecT<T>& unpred, double eb,
-                        bool decorrelate, std::span<T> out, BitReader& br);
+                        bool decorrelate, HotPathMode mode, std::span<T> out,
+                        BitReader& br, CodecScratch* scratch = nullptr);
 
 extern template PassCounters pq_compress_walk<float>(
     std::span<const float>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    std::span<std::uint16_t>, std::span<float>, BitWriter&);
+    HotPathMode, std::span<std::uint16_t>, std::span<float>, BitWriter&);
 extern template PassCounters pq_compress_walk<double>(
     std::span<const double>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    std::span<std::uint16_t>, std::span<double>, BitWriter&);
+    HotPathMode, std::span<std::uint16_t>, std::span<double>, BitWriter&);
 extern template void pq_decompress_walk<float>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<float>&, double, bool,
-    std::span<float>, BitReader&);
+    HotPathMode, std::span<float>, BitReader&, CodecScratch*);
 extern template void pq_decompress_walk<double>(
     std::span<const std::uint16_t>, const Dims&, const LayerPredictor&,
     const LinearQuantizer&, const UnpredictableCodecT<double>&, double, bool,
-    std::span<double>, BitReader&);
+    HotPathMode, std::span<double>, BitReader&, CodecScratch*);
 
 }  // namespace sz14::detail

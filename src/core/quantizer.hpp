@@ -35,10 +35,14 @@ class LinearQuantizer {
   /// 2^m codes including the unpredictable marker.  `eb` is the absolute
   /// error bound; eb <= 0 degenerates to "everything unpredictable"
   /// (lossless fallback used for zero-range / pathological inputs).
-  LinearQuantizer(unsigned interval_bits, double eb)
+  /// `mode` arrives per call from the caller's ExecPolicy; kReference
+  /// keeps quantize() on the seed's libm llround (identical results,
+  /// honest baseline timings).
+  LinearQuantizer(unsigned interval_bits, double eb,
+                  HotPathMode mode = HotPathMode::kFast)
       : eb_(eb),
         inv_2eb_(eb > 0.0 ? 1.0 / (2.0 * eb) : 0.0),
-        legacy_(hot_path_mode() == HotPathMode::kReference) {
+        legacy_(mode == HotPathMode::kReference) {
     if (interval_bits < 2 || interval_bits > 16)
       throw std::invalid_argument("LinearQuantizer: m must be in [2, 16]");
     bits_ = interval_bits;
@@ -69,7 +73,7 @@ class LinearQuantizer {
     const double scaled = diff / (2.0 * eb_);
     if (!(std::fabs(scaled) < static_cast<double>(radius_))) return {};
     // Identical results either way (see round_half_away); the libm call is
-    // what the seed measured, kept for HotPathMode::kReference timings.
+    // what the seed measured, kept for kReference-mode timings.
     const std::int32_t q =
         legacy_ ? static_cast<std::int32_t>(std::llround(scaled))
                 : round_half_away(scaled);

@@ -7,7 +7,6 @@
 #include <stdexcept>
 
 #include "common/bitstream.hpp"
-#include "common/hotpath.hpp"
 
 namespace sz14 {
 
@@ -162,12 +161,13 @@ std::vector<std::uint32_t> huffman_canonical_codes(
 }
 
 std::vector<std::uint64_t> huffman_histogram(
-    std::span<const std::uint16_t> symbols, std::size_t alphabet_size) {
+    std::span<const std::uint16_t> symbols, std::size_t alphabet_size,
+    HotPathMode mode) {
   if (alphabet_size == 0 || alphabet_size > (1u << 16))
     throw std::invalid_argument("huffman_histogram: bad alphabet size");
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
   if (alphabet_size <= 2048 && symbols.size() >= 4 &&
-      hot_path_mode() != HotPathMode::kReference) {
+      mode != HotPathMode::kReference) {
     // Four interleaved sub-histograms break the store-to-load dependency
     // runs of skewed symbol streams (the quantization-code distribution
     // concentrates on the centre code); summed at the end.
@@ -292,18 +292,19 @@ std::vector<std::uint8_t> huffman_read_lengths(ByteReader& in) {
 }
 
 void huffman_encode(std::span<const std::uint16_t> symbols,
-                    std::size_t alphabet_size, ByteWriter& out) {
+                    std::size_t alphabet_size, ByteWriter& out,
+                    HotPathMode mode) {
   if (alphabet_size == 0 || alphabet_size > (1u << 16))
     throw std::invalid_argument("huffman_encode: bad alphabet size");
-  const auto freqs = huffman_histogram(symbols, alphabet_size);
+  const auto freqs = huffman_histogram(symbols, alphabet_size, mode);
   const auto lengths = huffman_code_lengths(freqs);
   const auto codes = huffman_canonical_codes(lengths);
 
   huffman_write_lengths(lengths, out);
   out.put_varint(symbols.size());
 
-  if (hot_path_mode() == HotPathMode::kReference) {
-    BitWriter bw;
+  if (mode == HotPathMode::kReference) {
+    BitWriter bw(mode);
     for (auto s : symbols) bw.put_bulk(codes[s], lengths[s]);
     auto payload = std::move(bw).finish();
     out.put_varint(payload.size());
@@ -400,11 +401,15 @@ std::uint16_t HuffmanDecoder::decode_bitwise(BitReader& br) const {
   throw std::runtime_error("HuffmanDecoder: invalid codeword");
 }
 
-std::vector<std::uint16_t> huffman_decode_payload(
-    const HuffmanDecoder& dec, std::span<const std::uint8_t> payload,
-    std::size_t n_symbols) {
-  std::vector<std::uint16_t> out;
-  if (n_symbols == 0) return out;
+void huffman_decode_payload_into(const HuffmanDecoder& dec,
+                                 std::span<const std::uint8_t> payload,
+                                 std::size_t n_symbols,
+                                 std::vector<std::uint16_t>& out,
+                                 HotPathMode mode) {
+  if (n_symbols == 0) {
+    out.clear();
+    return;
+  }
   // Sanity: every symbol costs at least min_length() payload bits, so a
   // declared count beyond payload_bits / min_length is corruption — reject
   // before allocating the output.  (payload size is bounded by the
@@ -415,25 +420,45 @@ std::vector<std::uint16_t> huffman_decode_payload(
   if (n_symbols > payload.size() * 8 / min_len)
     throw std::runtime_error("huffman_decode: symbol count exceeds payload");
 
+  // resize without a preceding clear(): the decode loop writes every
+  // element, so a reused vector only pays value-initialization for the
+  // grown tail — not a full per-call memset.
   out.resize(n_symbols);
-  BitReader br(payload);
-  if (hot_path_mode() == HotPathMode::kReference) {
+  BitReader br(payload, mode);
+  if (mode == HotPathMode::kReference) {
     for (std::size_t i = 0; i < n_symbols; ++i)
       out[i] = dec.decode_bitwise(br);
   } else {
     for (std::size_t i = 0; i < n_symbols; ++i) out[i] = dec.decode(br);
   }
+}
+
+std::vector<std::uint16_t> huffman_decode_payload(
+    const HuffmanDecoder& dec, std::span<const std::uint8_t> payload,
+    std::size_t n_symbols, HotPathMode mode) {
+  std::vector<std::uint16_t> out;
+  huffman_decode_payload_into(dec, payload, n_symbols, out, mode);
   return out;
 }
 
-std::vector<std::uint16_t> huffman_decode(ByteReader& in) {
+void huffman_decode_into(ByteReader& in, std::vector<std::uint16_t>& out,
+                         HotPathMode mode) {
   const auto lengths = huffman_read_lengths(in);
   const auto n_symbols = static_cast<std::size_t>(in.get_varint());
   const auto n_payload = static_cast<std::size_t>(in.get_varint());
   const auto payload = in.get_bytes(n_payload);
-  if (n_symbols == 0) return {};
+  if (n_symbols == 0) {
+    out.clear();
+    return;
+  }
   const HuffmanDecoder dec(lengths);
-  return huffman_decode_payload(dec, payload, n_symbols);
+  huffman_decode_payload_into(dec, payload, n_symbols, out, mode);
+}
+
+std::vector<std::uint16_t> huffman_decode(ByteReader& in, HotPathMode mode) {
+  std::vector<std::uint16_t> out;
+  huffman_decode_into(in, out, mode);
+  return out;
 }
 
 double shannon_entropy_bits(std::span<const std::uint16_t> symbols,

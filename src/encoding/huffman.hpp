@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytebuffer.hpp"
+#include "common/hotpath.hpp"
 
 namespace sz14 {
 
@@ -36,15 +37,24 @@ std::vector<std::uint32_t> huffman_canonical_codes(
 
 /// One-shot encoder: histogram -> canonical table -> serialized
 /// (table + bit-packed payload).  `alphabet_size` must be > every symbol.
+/// `mode` arrives per call from the caller's ExecPolicy (kReference keeps
+/// the staged seed emit path for honest baselining; output is identical).
 /// Layout:
 ///   varint alphabet_size | varint n_present | (varint sym, u8 len)* |
 ///   varint n_symbols | varint n_payload_bytes | payload bytes
 void huffman_encode(std::span<const std::uint16_t> symbols,
-                    std::size_t alphabet_size, ByteWriter& out);
+                    std::size_t alphabet_size, ByteWriter& out,
+                    HotPathMode mode = HotPathMode::kFast);
 
 /// Inverse of huffman_encode().  Throws std::runtime_error on malformed
-/// input.
-std::vector<std::uint16_t> huffman_decode(ByteReader& in);
+/// input.  kReference selects the bit-by-bit decoder.
+std::vector<std::uint16_t> huffman_decode(ByteReader& in,
+                                          HotPathMode mode = HotPathMode::kFast);
+
+/// huffman_decode() into a caller-owned vector (resized to the symbol
+/// count) so batch decoders can reuse its capacity across calls.
+void huffman_decode_into(ByteReader& in, std::vector<std::uint16_t>& out,
+                         HotPathMode mode = HotPathMode::kFast);
 
 // --- split-phase API -------------------------------------------------------
 //
@@ -57,9 +67,10 @@ std::vector<std::uint16_t> huffman_decode(ByteReader& in);
 
 /// Histogram of `symbols` over [0, alphabet_size).  Throws
 /// std::invalid_argument on an out-of-alphabet symbol.  Uses the 4-way
-/// interleaved counting fast path outside HotPathMode::kReference.
+/// interleaved counting fast path outside kReference mode.
 std::vector<std::uint64_t> huffman_histogram(
-    std::span<const std::uint16_t> symbols, std::size_t alphabet_size);
+    std::span<const std::uint16_t> symbols, std::size_t alphabet_size,
+    HotPathMode mode = HotPathMode::kFast);
 
 /// Packed per-symbol (code << 8 | length) entries, the table format the
 /// payload emitters consume (code lengths <= kMaxHuffmanBits <= 32, so a
@@ -93,7 +104,15 @@ std::vector<std::uint8_t> huffman_read_lengths(ByteReader& in);
 /// corrupt payloads (declared symbol count must fit the payload bits).
 std::vector<std::uint16_t> huffman_decode_payload(
     const class HuffmanDecoder& dec, std::span<const std::uint8_t> payload,
-    std::size_t n_symbols);
+    std::size_t n_symbols, HotPathMode mode = HotPathMode::kFast);
+
+/// huffman_decode_payload() into a caller-owned vector (see
+/// huffman_decode_into).
+void huffman_decode_payload_into(const class HuffmanDecoder& dec,
+                                 std::span<const std::uint8_t> payload,
+                                 std::size_t n_symbols,
+                                 std::vector<std::uint16_t>& out,
+                                 HotPathMode mode = HotPathMode::kFast);
 
 /// Decoder table reusable across blocks.  decode() consults a primary
 /// kTableBits-wide prefix lookup table (one peek resolves any code of up to

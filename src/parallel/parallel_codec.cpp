@@ -69,6 +69,11 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
   if (chunks == 0) chunks = pool.thread_count();
   chunks = std::min(std::max<std::size_t>(chunks, 1), dims.extent(0));
 
+  // Resolve the mode ONCE on the calling thread: slab tasks never consult
+  // process state, so concurrent calls with different policies coexist.
+  const HotPathMode mode = opts.exec.resolved_mode();
+  CodecScratch* const scratch = opts.exec.scratch;
+
   // Resolve ONE bound against the whole field (v1 resolved per slab, which
   // made eb_rel streams depend on the chunking).
   const double eb = resolve_error_bound_for(data, opts);
@@ -77,31 +82,35 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
         "parallel_compress: no usable error bound (set eb_abs and/or eb_rel)");
 
   const std::size_t slab_stride = dims.count() / dims.extent(0);
-  const LinearQuantizer quantizer(opts.interval_bits, eb);
+  const LinearQuantizer quantizer(opts.interval_bits, eb, mode);
   const std::size_t alphabet = quantizer.alphabet_size();
   std::vector<SlabWork> slabs(chunks);
 
   Timer timer;
 
   // Phase 1 — prediction+quantization walk of every slab in parallel; each
-  // worker histograms its own slab's codes while they are cache-hot.
+  // worker histograms its own slab's codes while they are cache-hot.  The
+  // recon buffer is pure slab-local scratch, so it comes from the arena's
+  // per-worker slot when the policy carries one.
   pool.run_batch(chunks, [&](std::size_t c) {
     const Slab s = slab_of(dims.extent(0), chunks, c);
     const Dims sub = slab_dims(dims, s);
     SlabWork& w = slabs[c];
     w.count = sub.count();
     w.codes = std::make_unique_for_overwrite<std::uint16_t[]>(w.count);
-    const auto recon = std::make_unique_for_overwrite<float[]>(w.count);
+    std::unique_ptr<float[]> recon_own;
+    const std::span<float> recon =
+        scratch_recon_or<float>(scratch, recon_own, w.count);
     const LayerPredictor predictor(sub, opts.layers);
     const UnpredictableCodecT<float> unpred(eb);
-    BitWriter bw;
+    BitWriter bw(mode);
     const detail::PassCounters counters = detail::pq_compress_walk<float>(
         data.subspan(s.row_lo * slab_stride, w.count), sub, predictor,
-        quantizer, unpred, eb, opts.decorrelate, {w.codes.get(), w.count},
-        {recon.get(), w.count}, bw);
+        quantizer, unpred, eb, opts.decorrelate, mode,
+        {w.codes.get(), w.count}, recon, bw);
     w.unpred_bits = std::move(bw).finish();
     w.predictable = counters.predictable;
-    w.hist = huffman_histogram({w.codes.get(), w.count}, alphabet);
+    w.hist = huffman_histogram({w.codes.get(), w.count}, alphabet, mode);
   });
 
   // Merge the per-worker histograms BEFORE code assignment: one canonical
@@ -195,14 +204,18 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
 }
 
 ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
-                                 const Options& opts, std::size_t threads,
-                                 std::size_t chunks) {
-  ThreadPool pool(threads == 0 ? 1 : threads);
+                                 const Options& opts, std::size_t chunks) {
+  if (opts.exec.pool != nullptr)
+    return parallel_compress(data, dims, opts, *opts.exec.pool, chunks);
+  ThreadPool pool(opts.exec.threads);  // 0 = hardware_concurrency
   return parallel_compress(data, dims, opts, pool, chunks);
 }
 
-ParallelDecompressResult parallel_decompress(
-    std::span<const std::uint8_t> stream, ThreadPool& pool) {
+namespace {
+
+ParallelDecompressResult parallel_decompress_impl(
+    std::span<const std::uint8_t> stream, ThreadPool& pool, HotPathMode mode,
+    CodecScratch* scratch) {
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kParallelMagic)
     throw std::runtime_error("parallel_decompress: bad magic");
@@ -240,24 +253,46 @@ ParallelDecompressResult parallel_decompress(
   r.dims = dims;
   r.data.resize(dims.count());
   const std::size_t slab_stride = dims.count() / dims.extent(0);
-  const LinearQuantizer quantizer(interval_bits, eb);
+  const LinearQuantizer quantizer(interval_bits, eb, mode);
 
   Timer timer;
-  // run_batch rethrows the first slab's failure on this thread.
+  // run_batch rethrows the first slab's failure on this thread.  Each
+  // slab's code array lives only inside its task, so with an arena it
+  // comes from the worker's reusable code vector.
   pool.run_batch(chunks, [&](std::size_t c) {
     const Slab s = slab_of(dims.extent(0), chunks, c);
     const Dims sub = slab_dims(dims, s);
-    const auto codes = huffman_decode_payload(dec, payloads[c], sub.count());
+    std::vector<std::uint16_t> codes_own;
+    std::vector<std::uint16_t>& codes =
+        scratch_code_vector_or(scratch, codes_own);
+    huffman_decode_payload_into(dec, payloads[c], sub.count(), codes, mode);
     const LayerPredictor predictor(sub, layers);
     const UnpredictableCodecT<float> unpred(eb);
-    BitReader br(unpreds[c]);
+    BitReader br(unpreds[c], mode);
     detail::pq_decompress_walk<float>(
-        codes, sub, predictor, quantizer, unpred, eb, decorrelate,
+        codes, sub, predictor, quantizer, unpred, eb, decorrelate, mode,
         std::span<float>(r.data.data() + s.row_lo * slab_stride, sub.count()),
-        br);
+        br, scratch);
   });
   r.seconds = timer.seconds();
   return r;
+}
+
+}  // namespace
+
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, const ExecPolicy& exec) {
+  const HotPathMode mode = exec.resolved_mode();
+  if (exec.pool != nullptr)
+    return parallel_decompress_impl(stream, *exec.pool, mode, exec.scratch);
+  ThreadPool pool(exec.threads);  // 0 = hardware_concurrency
+  return parallel_decompress_impl(stream, pool, mode, exec.scratch);
+}
+
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, ThreadPool& pool) {
+  return parallel_decompress_impl(stream, pool, ExecPolicy{}.resolved_mode(),
+                                  nullptr);
 }
 
 ParallelDecompressResult parallel_decompress(

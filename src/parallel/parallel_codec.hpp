@@ -18,6 +18,11 @@
 // field + same chunk count is byte-identical for ANY worker count (and any
 // completion order).  Slab borders reset prediction, so the stream is not
 // bit-identical to the sequential single-stream codec.
+//
+// Execution strategy (pool, hot-path mode, scratch) comes from the
+// caller's ExecPolicy (opts.exec); the mode is resolved once on the
+// calling thread, so concurrent calls with different policies never
+// interact.
 #pragma once
 
 #include <cstdint>
@@ -38,20 +43,32 @@ struct ParallelResult {
   double eb_abs = 0.0;        // the resolved whole-field bound
 };
 
-/// Compress on an existing pool over `chunks` slabs (chunks == 0 picks one
-/// slab per worker).  The error bound is resolved ONCE against the whole
-/// field's value range, so eb_rel no longer depends on the chunking.
-/// Honors the process-wide HotPathMode (kTurbo slabs are bound-conformant
-/// rather than bit-reproducible against kFast ones — but each mode is
-/// individually deterministic).
+/// Whole-field threaded compression driven by `opts.exec`: the pool comes
+/// from the policy (`exec.pool`; null builds a private pool of
+/// `exec.threads` workers), the hot-path mode is resolved once on the
+/// calling thread and carried into every slab task (kTurbo slabs are
+/// bound-conformant rather than bit-reproducible against kFast ones — but
+/// each mode is individually deterministic), and `exec.scratch` hands each
+/// worker reusable walk buffers.  `chunks == 0` picks one slab per worker.
+/// The error bound is resolved ONCE against the whole field's value range,
+/// so eb_rel does not depend on the chunking.
+///
+/// NOTE: the 4th positional argument is the CHUNK count (it shapes the
+/// stream), not a worker count.  The retired (threads, chunks) overload is
+/// deleted below, so stale TWO-integer call sites fail to compile; a stale
+/// single-integer call (previously "threads") still compiles and now means
+/// chunks — audit such call sites when migrating (worker count belongs on
+/// opts.exec.threads / opts.exec.pool).
+ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
+                                 const Options& opts, std::size_t chunks = 0);
+ParallelResult parallel_compress(std::span<const float>, const Dims&,
+                                 const Options&, std::size_t,
+                                 std::size_t) = delete;
+
+/// Explicit-pool overload (ignores opts.exec.pool/threads; everything else
+/// still comes from the policy).
 ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
                                  const Options& opts, ThreadPool& pool,
-                                 std::size_t chunks = 0);
-
-/// Convenience overload: run on a private pool of `threads` workers
-/// (threads == 0 selects one).
-ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
-                                 const Options& opts, std::size_t threads,
                                  std::size_t chunks = 0);
 
 struct ParallelDecompressResult {
@@ -59,6 +76,12 @@ struct ParallelDecompressResult {
   Dims dims;
   double seconds = 0.0;
 };
+
+/// Decompression parallelizes identically; results are mode-agnostic.
+/// The ExecPolicy overload sources pool, decode mode, and scratch from the
+/// policy like parallel_compress.
+ParallelDecompressResult parallel_decompress(
+    std::span<const std::uint8_t> stream, const ExecPolicy& exec);
 
 ParallelDecompressResult parallel_decompress(
     std::span<const std::uint8_t> stream, ThreadPool& pool);

@@ -14,6 +14,15 @@
 namespace sz14 {
 namespace {
 
+/// Worker count now travels on the policy (opts.exec); this helper keeps
+/// the call sites as terse as the retired (threads, chunks) overload.
+ParallelResult compress_with(std::span<const float> data, const Dims& dims,
+                             Options opts, std::size_t threads,
+                             std::size_t chunks = 0) {
+  opts.exec.threads = threads;
+  return parallel_compress(data, dims, opts, chunks);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
@@ -89,7 +98,7 @@ TEST(ParallelCodec, RoundTripMatchesBound) {
   const auto f = data::climate2d(64, 96);
   Options opts;
   opts.eb_abs = 0.01;
-  const auto result = parallel_compress(f.values, f.dims, opts, 4);
+  const auto result = compress_with(f.values, f.dims, opts, 4);
   const auto out = parallel_decompress(result.stream, 4);
   EXPECT_EQ(out.dims, f.dims);
   for (std::size_t i = 0; i < f.values.size(); ++i)
@@ -104,8 +113,8 @@ TEST(ParallelCodec, StreamIsDeterministicAcrossThreadCounts) {
   const auto f = data::hurricane3d(8, 16, 16);
   Options opts;
   opts.eb_abs = 0.05;
-  const auto a = parallel_compress(f.values, f.dims, opts, 1, 8);
-  const auto b = parallel_compress(f.values, f.dims, opts, 4, 8);
+  const auto a = compress_with(f.values, f.dims, opts, 1, 8);
+  const auto b = compress_with(f.values, f.dims, opts, 4, 8);
   EXPECT_EQ(a.stream, b.stream);
 }
 
@@ -115,9 +124,9 @@ TEST(ParallelCodec, StreamIsDeterministicAcrossRepeatedRuns) {
   const auto f = data::climate2d(96, 64);
   Options opts;
   opts.eb_abs = 0.01;
-  const auto a = parallel_compress(f.values, f.dims, opts, 3, 6);
-  const auto b = parallel_compress(f.values, f.dims, opts, 3, 6);
-  const auto c = parallel_compress(f.values, f.dims, opts, 2, 6);
+  const auto a = compress_with(f.values, f.dims, opts, 3, 6);
+  const auto b = compress_with(f.values, f.dims, opts, 3, 6);
+  const auto c = compress_with(f.values, f.dims, opts, 2, 6);
   EXPECT_EQ(a.stream, b.stream);
   EXPECT_EQ(a.stream, c.stream);
 }
@@ -127,8 +136,8 @@ TEST(ParallelCodec, TurboStreamDeterministicAndConformant) {
   Options opts;
   opts.eb_abs = 1e-3;
   HotPathScope scope(HotPathMode::kTurbo);
-  const auto a = parallel_compress(f.values, f.dims, opts, 1, 4);
-  const auto b = parallel_compress(f.values, f.dims, opts, 4, 4);
+  const auto a = compress_with(f.values, f.dims, opts, 1, 4);
+  const auto b = compress_with(f.values, f.dims, opts, 4, 4);
   EXPECT_EQ(a.stream, b.stream);
   // Cross-check: a turbo slab container decodes through parallel_decompress
   // within the bound, at any worker count.
@@ -149,8 +158,8 @@ TEST(ParallelCodec, SharedTableBeatsPerChunkTables) {
   const auto f = data::climate2d(128, 128);
   Options opts;
   opts.eb_abs = 1e-3;
-  const auto few = parallel_compress(f.values, f.dims, opts, 2, 2);
-  const auto many = parallel_compress(f.values, f.dims, opts, 2, 16);
+  const auto few = compress_with(f.values, f.dims, opts, 2, 2);
+  const auto many = compress_with(f.values, f.dims, opts, 2, 16);
   EXPECT_LT(many.stream.size(),
             few.stream.size() + 14 * 256);  // << 14 extra tables
 }
@@ -162,7 +171,7 @@ TEST(ParallelCodec, RelativeBoundIndependentOfChunking) {
   const auto f = data::climate2d(64, 64);
   Options opts;
   opts.eb_rel = 1e-3;
-  const auto a = parallel_compress(f.values, f.dims, opts, 2, 4);
+  const auto a = compress_with(f.values, f.dims, opts, 2, 4);
   const auto out = parallel_decompress(a.stream, 2);
   double lo = f.values[0], hi = f.values[0];
   for (const float v : f.values) {
@@ -180,7 +189,7 @@ TEST(ParallelCodec, ChunkCountCappedByRows) {
   const auto f = data::climate2d(4, 64);  // only 4 rows
   Options opts;
   opts.eb_abs = 0.01;
-  const auto result = parallel_compress(f.values, f.dims, opts, 16, 16);
+  const auto result = compress_with(f.values, f.dims, opts, 16, 16);
   EXPECT_LE(result.chunks, 4u);
   const auto out = parallel_decompress(result.stream, 2);
   EXPECT_EQ(out.data.size(), f.values.size());
@@ -190,7 +199,7 @@ TEST(ParallelCodec, SingleChunkMatchesSequentialCodec) {
   const auto f = data::climate2d(32, 32);
   Options opts;
   opts.eb_abs = 0.01;
-  const auto par = parallel_compress(f.values, f.dims, opts, 1, 1);
+  const auto par = compress_with(f.values, f.dims, opts, 1, 1);
   const auto seq_out = decompress(compress(f.values, f.dims, opts));
   const auto par_out = parallel_decompress(par.stream, 1);
   EXPECT_EQ(seq_out.data, par_out.data);
@@ -200,7 +209,7 @@ TEST(ParallelCodec, PredictableCountAggregates) {
   const auto f = data::climate2d(64, 64);
   Options opts;
   opts.eb_abs = 0.05;
-  const auto result = parallel_compress(f.values, f.dims, opts, 4, 4);
+  const auto result = compress_with(f.values, f.dims, opts, 4, 4);
   EXPECT_GT(result.predictable, f.values.size() / 2);
   EXPECT_LE(result.predictable, f.values.size());
 }

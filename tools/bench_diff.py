@@ -3,6 +3,7 @@
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--speedups]
                      [--max-regress R]
+       bench_diff.py --selftest
 
 Default mode compares the two bench outputs structurally: every record kind
 (the "bench" field, plus "mode" where present) must expose the same set of
@@ -13,7 +14,7 @@ With --max-regress R, the structural check is replaced by a throughput
 regression gate: for every (field, mode) record present in BOTH files,
 require current compress_gbps/decompress_gbps >= R * baseline.  Use this
 between two committed BENCH_PRn.json files measured on the same machine
-(e.g. `bench_diff.py BENCH_PR2.json BENCH_PR3.json --max-regress 0.9`);
+(e.g. `bench_diff.py BENCH_PR3.json BENCH_PR4.json --max-regress 0.9`);
 schema may legitimately differ across PR generations, so only shared
 records are compared — but the current file must cover every per-field
 record the baseline has, so a field cannot silently drop out of the suite.
@@ -21,9 +22,20 @@ record the baseline has, so a field cannot silently drop out of the suite.
 With --speedups, also prints the per-field speedup records (informational;
 absolute numbers are machine-dependent, so they are never compared across
 machines).
+
+Malformed input — a file that is not a JSON array of objects, a record
+missing a section the other file has, or a gated metric missing from one
+side — always produces a one-line `bench_diff: ...` diagnostic and exit
+code 1, never a traceback.  `--selftest` exercises those failure paths
+(CI runs it so the error handling cannot bit-rot).
 """
 import json
 import sys
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(1)
 
 
 def record_kind(rec):
@@ -43,12 +55,15 @@ def load(path):
         with open(path) as f:
             records = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(1)
+        fail(f"cannot read {path}: {e}")
     if not isinstance(records, list) or not records:
-        print(f"bench_diff: {path}: expected a non-empty JSON array",
-              file=sys.stderr)
-        sys.exit(1)
+        fail(f"{path}: expected a non-empty JSON array")
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(f"{path}: record {i} is not a JSON object "
+                 f"(got {type(rec).__name__})")
+        if "bench" not in rec:
+            fail(f"{path}: record {i} is missing the 'bench' section key")
     return records
 
 
@@ -58,9 +73,7 @@ def schema_of(path, records):
         kind = record_kind(rec)
         keys = frozenset(rec.keys())
         if kind in schema and schema[kind] != keys:
-            print(f"bench_diff: {path}: inconsistent keys within kind "
-                  f"'{kind}'", file=sys.stderr)
-            sys.exit(1)
+            fail(f"{path}: inconsistent keys within kind '{kind}'")
         schema[kind] = keys
     return schema
 
@@ -102,7 +115,15 @@ def check_regression(base_records, cur_records, ratio):
         compared += 1
         for metric in ("compress_gbps", "decompress_gbps"):
             b, c = base[ident].get(metric), cur[ident].get(metric)
-            if b is None or c is None or b <= 0:
+            if b is None or c is None:
+                # A gated metric absent on either side is a broken bench,
+                # not a pass.
+                side = "baseline" if b is None else "current"
+                print(f"bench_diff: record {ident} is missing '{metric}' "
+                      f"in the {side} file")
+                ok = False
+                continue
+            if b <= 0:
                 continue
             if c < ratio * b:
                 print(f"bench_diff: REGRESSION {ident}: {metric} "
@@ -122,18 +143,129 @@ def check_regression(base_records, cur_records, ratio):
     return ok
 
 
+def print_speedups(cur_records):
+    fields = ("speedup_compress", "speedup_decompress", "streams_identical")
+    for rec in cur_records:
+        if rec.get("bench") != "perf_suite_speedup":
+            continue
+        missing = [k for k in ("field",) + fields if k not in rec]
+        if missing:
+            fail(f"speedup record is missing {missing} "
+                 f"(have: {sorted(rec.keys())})")
+        print(f"{rec['field']}: compress "
+              f"{rec['speedup_compress']:.2f}x, decompress "
+              f"{rec['speedup_decompress']:.2f}x, identical="
+              f"{rec['streams_identical']}")
+
+
+def selftest():
+    """Exercise every failure path end-to-end: each bad input must produce
+    a clean one-line diagnostic and exit 1 — no traceback."""
+    import subprocess
+    import tempfile
+    import os
+
+    def run(args):
+        return subprocess.run(
+            [sys.executable, os.path.abspath(__file__)] + args,
+            capture_output=True, text=True)
+
+    def record(**kw):
+        base = {"bench": "perf_suite", "field": "f", "mode": "fast",
+                "compress_gbps": 1.0, "decompress_gbps": 2.0}
+        base.update(kw)
+        return base
+
+    cases = []  # (name, file_a, file_b, extra_args, expect_rc, expect_text)
+    good = [record(), {"bench": "machine", "reps": 1},
+            {"bench": "perf_suite_speedup", "field": "f",
+             "speedup_compress": 1.5, "speedup_decompress": 2.5,
+             "streams_identical": 1}]
+    cases.append(("identical schemas pass", good, good, [], 0,
+                  "schemas match"))
+    cases.append(("speedups print", good, good, ["--speedups"], 0,
+                  "compress 1.50x"))
+    cases.append(("regression gate passes", good, good,
+                  ["--max-regress", "0.9"], 0, "no regressions"))
+    cases.append(("not an array", {"bench": "x"}, good, [], 1,
+                  "expected a non-empty JSON array"))
+    cases.append(("non-object record", [42], good, [], 1,
+                  "is not a JSON object"))
+    cases.append(("missing bench key", [{"field": "f"}], good, [], 1,
+                  "missing the 'bench' section key"))
+    cases.append(("dropped record kind", good, [record()], [], 1,
+                  "record kind"))
+    cases.append(("key drift", good,
+                  [record(extra=1), good[1], good[2]], [], 1, "key drift"))
+    cases.append(("regression flagged", good,
+                  [record(compress_gbps=0.1), good[1], good[2]],
+                  ["--max-regress", "0.9"], 1, "REGRESSION"))
+    cases.append(("missing gated metric", good,
+                  [{k: v for k, v in record().items()
+                    if k != "decompress_gbps"}, good[1], good[2]],
+                  ["--max-regress", "0.9"], 1,
+                  "missing 'decompress_gbps'"))
+    cases.append(("dropped field in gate", good,
+                  [record(field="other"), good[1], good[2]],
+                  ["--max-regress", "0.9"], 1, "missing from current"))
+    cases.append(("broken speedup record", good,
+                  [good[0], good[1], {"bench": "perf_suite_speedup",
+                                      "field": "f"}],
+                  ["--speedups"], 1, "speedup record is missing"))
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        missing_path = os.path.join(tmp, "does_not_exist.json")
+        for i, (name, a, b, args, want_rc, want_text) in enumerate(cases):
+            pa = os.path.join(tmp, f"a{i}.json")
+            pb = os.path.join(tmp, f"b{i}.json")
+            with open(pa, "w") as f:
+                json.dump(a, f)
+            with open(pb, "w") as f:
+                json.dump(b, f)
+            r = run([pa, pb] + args)
+            out = r.stdout + r.stderr
+            problems = []
+            if r.returncode != want_rc:
+                problems.append(f"exit {r.returncode} != {want_rc}")
+            if want_text not in out:
+                problems.append(f"output lacks {want_text!r}")
+            if "Traceback" in out:
+                problems.append("raised a traceback")
+            status = "ok" if not problems else "FAIL " + "; ".join(problems)
+            print(f"selftest: {name}: {status}")
+            failures += bool(problems)
+
+        r = run([missing_path, missing_path])
+        if r.returncode != 1 or "cannot read" not in r.stdout + r.stderr:
+            print("selftest: unreadable file: FAIL")
+            failures += 1
+        else:
+            print("selftest: unreadable file: ok")
+
+    print(f"selftest: {'PASS' if failures == 0 else f'{failures} FAILURES'}")
+    return 0 if failures == 0 else 1
+
+
 def main():
     import argparse
     parser = argparse.ArgumentParser(
         prog="bench_diff.py",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--speedups", action="store_true")
     parser.add_argument("--max-regress", type=float, default=None,
                         metavar="R")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in failure-path tests")
     ns = parser.parse_args()
+
+    if ns.selftest:
+        return selftest()
+    if not ns.baseline or not ns.current:
+        parser.error("baseline and current are required (or use --selftest)")
 
     base_records = load(ns.baseline)
     cur_records = load(ns.current)
@@ -144,12 +276,7 @@ def main():
         ok = check_schema(ns.baseline, base_records, ns.current, cur_records)
 
     if ns.speedups:
-        for rec in cur_records:
-            if rec.get("bench") == "perf_suite_speedup":
-                print(f"{rec['field']}: compress "
-                      f"{rec['speedup_compress']:.2f}x, decompress "
-                      f"{rec['speedup_decompress']:.2f}x, identical="
-                      f"{rec['streams_identical']}")
+        print_speedups(cur_records)
 
     return 0 if ok else 1
 

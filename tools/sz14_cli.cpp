@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "archive/archive.hpp"
-#include "common/hotpath.hpp"
+#include "common/exec_policy.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/analysis.hpp"
@@ -154,11 +154,11 @@ int cmd_compress(const Args& a) {
   if (a.output.empty() || a.dims_text.empty())
     usage("compress needs -o and -d");
   const Dims dims = parse_dims(a.dims_text);
-  // --turbo pins the reciprocal-multiply kernels for this invocation; the
-  // stream stays |x - x'| <= eb conformant and decodes normally.
-  const std::optional<HotPathScope> turbo =
-      a.turbo ? std::optional<HotPathScope>(std::in_place, HotPathMode::kTurbo)
-              : std::nullopt;
+  // --turbo selects the reciprocal-multiply kernels for this call via the
+  // per-call ExecPolicy; the stream stays |x - x'| <= eb conformant and
+  // decodes normally.  Nothing process-wide is touched.
+  Options opts = a.opts;
+  if (a.turbo) opts.exec.mode = HotPathMode::kTurbo;
   CompressStats stats;
   Timer timer;
   std::vector<std::uint8_t> stream;
@@ -171,17 +171,17 @@ int cmd_compress(const Args& a) {
                    "warning: -t is ignored with --pwrel (sequential path)\n");
     const auto values = data::read_f32(a.input);
     raw_bytes = values.size() * sizeof(float);
-    stream = compress_pointwise_rel(values, dims, a.pwrel, a.opts, &stats);
+    stream = compress_pointwise_rel(values, dims, a.pwrel, opts, &stats);
   } else if (a.dtype == "f32" && threaded) {
     // Whole-field threaded path: slab container, shared Huffman table.
-    // -t 0 reuses the process-wide pool (one worker per core); an explicit
-    // count gets its own pool.
+    // The pool travels on the policy: -t 0 borrows the process-wide pool
+    // (one worker per core); an explicit count gets a private pool.
     const auto values = data::read_f32(a.input);
     raw_bytes = values.size() * sizeof(float);
     std::optional<ThreadPool> own;
     if (a.threads != 0) own.emplace(a.threads);
-    auto result =
-        parallel_compress(values, dims, a.opts, own ? *own : shared_pool());
+    opts.exec.pool = own ? &*own : &shared_pool();
+    auto result = parallel_compress(values, dims, opts);
     stats.total = values.size();
     stats.predictable = result.predictable;
     stats.compressed_bytes = result.stream.size();
@@ -190,7 +190,7 @@ int cmd_compress(const Args& a) {
   } else if (a.dtype == "f32") {
     const auto values = data::read_f32(a.input);
     raw_bytes = values.size() * sizeof(float);
-    stream = compress(std::span<const float>(values), dims, a.opts, &stats);
+    stream = compress(std::span<const float>(values), dims, opts, &stats);
   } else {
     if (threaded)
       std::fprintf(
@@ -198,7 +198,7 @@ int cmd_compress(const Args& a) {
           "warning: -t is ignored for --dtype f64 (sequential path)\n");
     const auto values = read_f64(a.input);
     raw_bytes = values.size() * sizeof(double);
-    stream = compress(std::span<const double>(values), dims, a.opts, &stats);
+    stream = compress(std::span<const double>(values), dims, opts, &stats);
   }
   const double seconds = timer.seconds();
   data::write_bytes(a.output, stream);
@@ -222,7 +222,9 @@ int cmd_decompress(const Args& a) {
     std::optional<ThreadPool> own;
     if (a.threads != 0) own.emplace(a.threads);
     ThreadPool& pool = own ? *own : shared_pool();
-    const auto out = parallel_decompress(stream, pool);
+    ExecPolicy exec;
+    exec.pool = &pool;
+    const auto out = parallel_decompress(stream, exec);
     data::write_f32(a.output, out.data);
     std::printf("decompressed %s f32 (parallel container, %zu threads) "
                 "in %.3fs\n",
@@ -439,10 +441,10 @@ int cmd_archive_create(const ArchiveArgs& a) {
   if (ops->lossy && std::isnan(a.eb_abs) && std::isnan(a.eb_rel))
     usage("lossy archive codecs need --abs or --rel");
 
-  archive::ArchiveWriter writer(
-      a.output, a.threads,
-      a.turbo ? std::optional<HotPathMode>(HotPathMode::kTurbo)
-              : std::nullopt);
+  // --turbo rides the writer's per-call ExecPolicy; nothing global moves.
+  ExecPolicy policy;
+  if (a.turbo) policy.mode = HotPathMode::kTurbo;
+  archive::ArchiveWriter writer(a.output, a.threads, policy);
   Timer timer;
   const auto do_append = [&](const FieldSpec& spec, const Dims& block,
                              const auto& values) {
