@@ -29,8 +29,9 @@ std::vector<std::uint8_t> sz14_c32(std::span<const float> block,
   return compress(block, dims, opts);
 }
 
-std::vector<float> sz14_d32(std::span<const std::uint8_t> stream) {
-  return decompress(stream).data;
+std::vector<float> sz14_d32(std::span<const std::uint8_t> stream,
+                            const ExecPolicy& exec) {
+  return decompress(stream, exec).data;
 }
 
 std::vector<std::uint8_t> sz14_c64(std::span<const double> block,
@@ -42,8 +43,9 @@ std::vector<std::uint8_t> sz14_c64(std::span<const double> block,
   return compress(block, dims, opts);
 }
 
-std::vector<double> sz14_d64(std::span<const std::uint8_t> stream) {
-  return decompress64(stream).data;
+std::vector<double> sz14_d64(std::span<const std::uint8_t> stream,
+                             const ExecPolicy& exec) {
+  return decompress64(stream, exec).data;
 }
 
 // --- zfp_like / fpzip_like: f32 through the baseline classes --------------
@@ -54,8 +56,9 @@ std::vector<std::uint8_t> zfp_c32(std::span<const float> block,
   return baselines::Zfp().compress(block, dims, eb_abs);
 }
 
-std::vector<float> zfp_d32(std::span<const std::uint8_t> stream) {
-  return baselines::Zfp().decompress(stream);
+std::vector<float> zfp_d32(std::span<const std::uint8_t> stream,
+                           const ExecPolicy& exec) {
+  return baselines::Zfp().decompress(stream, exec);
 }
 
 std::vector<std::uint8_t> fpzip_c32(std::span<const float> block,
@@ -64,8 +67,9 @@ std::vector<std::uint8_t> fpzip_c32(std::span<const float> block,
   return baselines::Fpzip().compress(block, dims, eb_abs);
 }
 
-std::vector<float> fpzip_d32(std::span<const std::uint8_t> stream) {
-  return baselines::Fpzip().decompress(stream);
+std::vector<float> fpzip_d32(std::span<const std::uint8_t> stream,
+                             const ExecPolicy& exec) {
+  return baselines::Fpzip().decompress(stream, exec);
 }
 
 // --- gzip_like: f32 via the baseline class, f64 as raw deflated bytes -----
@@ -76,8 +80,9 @@ std::vector<std::uint8_t> gzip_c32(std::span<const float> block,
   return baselines::Gzip().compress(block, dims, eb_abs);
 }
 
-std::vector<float> gzip_d32(std::span<const std::uint8_t> stream) {
-  return baselines::Gzip().decompress(stream);
+std::vector<float> gzip_d32(std::span<const std::uint8_t> stream,
+                            const ExecPolicy& exec) {
+  return baselines::Gzip().decompress(stream, exec);
 }
 
 std::vector<std::uint8_t> gzip_c64(std::span<const double> block,
@@ -88,7 +93,8 @@ std::vector<std::uint8_t> gzip_c64(std::span<const double> block,
        block.size() * sizeof(double)});
 }
 
-std::vector<double> gzip_d64(std::span<const std::uint8_t> stream) {
+std::vector<double> gzip_d64(std::span<const std::uint8_t> stream,
+                             const ExecPolicy& /*exec*/) {
   const auto bytes = deflate_like_decompress(stream);
   if (bytes.size() % sizeof(double) != 0)
     throw std::runtime_error("archive: gzip_like f64 payload not 8-aligned");

@@ -26,10 +26,12 @@ inline constexpr std::uint8_t kCodecGzip = 4;
 
 /// Operations table row.  `compress64`/`decompress64` are null for backends
 /// without a double-precision path; the writer rejects f64 fields for them.
-/// The compress hooks receive the caller's ExecPolicy (per-call hot-path
-/// mode + scratch arena — the sz14 backend honors both; the baseline
-/// backends ignore it).  Execution policy never reaches the on-disk
-/// format: decode needs no policy to reproduce the data.
+/// Both directions receive the caller's ExecPolicy (per-call hot-path mode +
+/// scratch arena — the sz14 backend honors both; the baseline backends
+/// accept and ignore it).  Execution policy never reaches the on-disk
+/// format: compressed bytes and decoded values are policy-independent
+/// (modulo kTurbo's explicit compress-side bit-identity trade), so scratch
+/// and pool choices are invisible in the data.
 struct CodecOps {
   std::uint8_t id;
   const char* name;
@@ -39,13 +41,15 @@ struct CodecOps {
                                           const Dims& block_dims,
                                           double eb_abs,
                                           const ExecPolicy& exec);
-  std::vector<float> (*decompress32)(std::span<const std::uint8_t> stream);
+  std::vector<float> (*decompress32)(std::span<const std::uint8_t> stream,
+                                     const ExecPolicy& exec);
 
   std::vector<std::uint8_t> (*compress64)(std::span<const double> block,
                                           const Dims& block_dims,
                                           double eb_abs,
                                           const ExecPolicy& exec);
-  std::vector<double> (*decompress64)(std::span<const std::uint8_t> stream);
+  std::vector<double> (*decompress64)(std::span<const std::uint8_t> stream,
+                                      const ExecPolicy& exec);
 };
 
 /// All registered codecs, id-ascending.

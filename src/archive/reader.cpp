@@ -13,14 +13,15 @@ namespace {
 
 template <typename T>
 std::vector<T> codec_decompress(const CodecOps& ops,
-                                std::span<const std::uint8_t> payload) {
+                                std::span<const std::uint8_t> payload,
+                                const ExecPolicy& exec) {
   if constexpr (std::is_same_v<T, float>) {
-    return ops.decompress32(payload);
+    return ops.decompress32(payload, exec);
   } else {
     if (ops.decompress64 == nullptr)
       throw std::runtime_error(std::string("archive: codec '") + ops.name +
                                "' has no f64 path");
-    return ops.decompress64(payload);
+    return ops.decompress64(payload, exec);
   }
 }
 
@@ -145,7 +146,7 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
     grid.block_origin(i, bo);
     const Dims be = grid.block_extents(i);
 
-    const std::vector<T> block = codec_decompress<T>(ops, payloads[t]);
+    const std::vector<T> block = codec_decompress<T>(ops, payloads[t], {});
     blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
     if (block.size() != be.count())
       throw std::runtime_error("archive: block " + std::to_string(i) +

@@ -17,6 +17,7 @@ class Gzip final : public CompressorBase {
                                                    double eb_abs) override;
   [[nodiscard]] std::vector<float> decompress(
       std::span<const std::uint8_t> stream) override;
+  using CompressorBase::decompress;  // keep the ExecPolicy overload visible
 };
 
 }  // namespace sz14::baselines
