@@ -27,84 +27,103 @@ std::vector<T> codec_decompress(const CodecOps& ops,
 
 }  // namespace
 
-ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads)
-    : path_(path), threads_(threads),
-      in_(path, std::ios::binary | std::ios::ate) {
-  if (!in_) throw std::runtime_error("archive: cannot open: " + path);
-  file_size_ = static_cast<std::uint64_t>(in_.tellg());
-  if (file_size_ < kSuperblockSize + kTrailerSize)
+ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
+                             ExecPolicy policy)
+    : file_(path), threads_(threads), policy_(policy) {
+  if (file_.size() < kSuperblockSize + kTrailerSize)
     throw std::runtime_error("archive: file too small: " + path);
 
   // Superblock.
   std::array<std::uint8_t, kSuperblockSize> sb{};
-  in_.seekg(0);
-  in_.read(reinterpret_cast<char*>(sb.data()), sb.size());
-  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  file_.read_at(0, sb);
   ByteReader sbr(sb);
   read_superblock(sbr);
 
   // Trailer.
   std::array<std::uint8_t, kTrailerSize> tr{};
-  in_.seekg(static_cast<std::streamoff>(file_size_ - kTrailerSize));
-  in_.read(reinterpret_cast<char*>(tr.data()), tr.size());
-  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  file_.read_at(file_.size() - kTrailerSize, tr);
   ByteReader trr(tr);
   const auto footer_size = trr.get<std::uint64_t>();
   const auto footer_crc = trr.get<std::uint32_t>();
   if (trr.get<std::uint32_t>() != kFooterMagic)
     throw std::runtime_error("archive: bad footer magic (truncated or not "
                              "finalized): " + path);
-  if (footer_size > file_size_ - kSuperblockSize - kTrailerSize)
+  if (footer_size > file_.size() - kSuperblockSize - kTrailerSize)
     throw std::runtime_error("archive: footer size exceeds file: " + path);
 
   // Footer.
   std::vector<std::uint8_t> footer(footer_size);
-  in_.seekg(static_cast<std::streamoff>(file_size_ - kTrailerSize -
-                                        footer_size));
-  in_.read(reinterpret_cast<char*>(footer.data()),
-           static_cast<std::streamsize>(footer.size()));
-  if (!in_) throw std::runtime_error("archive: read failed: " + path);
+  file_.read_at(file_.size() - kTrailerSize - footer_size, footer);
   if (crc32(footer) != footer_crc)
     throw std::runtime_error("archive: footer checksum mismatch: " + path);
   ByteReader fr(footer);
   fields_ = read_footer(fr);
 
-  // Index sanity: every payload must lie between superblock and footer.
-  const std::uint64_t payload_end = file_size_ - kTrailerSize - footer_size;
-  for (const auto& f : fields_)
+  // Name index (read_footer rejects duplicate names) + index sanity: every
+  // payload must lie between superblock and footer.
+  const std::uint64_t payload_end = file_.size() - kTrailerSize - footer_size;
+  index_.reserve(fields_.size());
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    index_.emplace(f.name, i);
     for (const auto& b : f.blocks)
       // Overflow-safe: offset + size can wrap in a crafted footer.
       if (b.offset < kSuperblockSize || b.size > payload_end ||
           b.offset > payload_end - b.size)
         throw std::runtime_error("archive: block offset out of bounds in "
                                  "field '" + f.name + "'");
+  }
+}
+
+std::size_t ArchiveReader::field_index(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end())
+    throw std::invalid_argument("archive: no such field: " +
+                                std::string(name));
+  return it->second;
 }
 
 const FieldEntry& ArchiveReader::field(std::string_view name) const {
-  for (const auto& f : fields_)
-    if (f.name == name) return f;
-  throw std::invalid_argument("archive: no such field: " + std::string(name));
+  return fields_[field_index(name)];
 }
 
-std::vector<std::uint8_t> ArchiveReader::read_payload(
-    const BlockEntry& b, const std::string& field_name,
-    std::size_t block_index) {
-  std::vector<std::uint8_t> payload(b.size);
-  in_.seekg(static_cast<std::streamoff>(b.offset));
-  in_.read(reinterpret_cast<char*>(payload.data()),
-           static_cast<std::streamsize>(payload.size()));
-  if (!in_) throw std::runtime_error("archive: read failed: " + path_);
+ThreadPool& ArchiveReader::serving_pool() const {
+  std::call_once(pool_once_, [this] {
+    if (policy_.pool != nullptr) {
+      pool_ = policy_.pool;
+      return;
+    }
+    owned_pool_ = std::make_unique<ThreadPool>(
+        threads_ != 0 ? threads_ : policy_.threads);
+    pool_ = owned_pool_.get();
+  });
+  return *pool_;
+}
+
+template <typename T>
+std::vector<T> ArchiveReader::decode_block(const FieldEntry& f,
+                                           std::size_t block_index,
+                                           const ExecPolicy& exec) const {
+  const BlockEntry& b = f.blocks[block_index];
+  // Payload staging comes from this thread's arena slot: steady-state
+  // serving preads into the same buffer every time, allocation-free.
+  const std::span<std::uint8_t> payload = scratch_.local().payload(b.size);
+  file_.read_at(b.offset, payload);
   if (crc32(payload) != b.crc)
     throw std::runtime_error("archive: block " + std::to_string(block_index) +
-                             " checksum mismatch in field '" + field_name +
+                             " checksum mismatch in field '" + f.name +
                              "' (corrupted payload)");
-  return payload;
+  const CodecOps& ops = *codec_by_id(f.codec);  // validated in read_footer
+  std::vector<T> block = codec_decompress<T>(ops, payload, exec);
+  blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+  return block;
 }
 
 template <typename T>
 std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
-                                               const Region& region) {
-  const FieldEntry& f = field(name);
+                                               const Region& region) const {
+  const std::size_t fi = field_index(name);
+  const FieldEntry& f = fields_[fi];
   constexpr std::uint8_t want = std::is_same_v<T, double> ? kDtypeF64
                                                           : kDtypeF32;
   if (f.dtype != want)
@@ -123,39 +142,26 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
                                   "axis " + std::to_string(a));
   }
 
-  const CodecOps& ops = *codec_by_id(f.codec);  // validated in read_footer
   const BlockGrid grid(f.dims, f.block_dims);
   const Dims out_dims = region.shape();
   std::vector<T> out(out_dims.count());
 
-  // Select intersecting blocks, then read payloads sequentially (shared
-  // file handle) and decode + scatter in parallel.
   std::vector<std::size_t> touched;
   for (std::size_t i = 0; i < grid.block_count(); ++i)
     if (grid.intersects(i, region)) touched.push_back(i);
 
-  std::vector<std::vector<std::uint8_t>> payloads(touched.size());
-  for (std::size_t t = 0; t < touched.size(); ++t)
-    payloads[t] = read_payload(f.blocks[touched[t]], f.name, touched[t]);
+  // Per-read execution policy: resolve the mode once on the calling thread
+  // (workers never consult process state); scratch is the reader's arena.
+  ExecPolicy exec = policy_;
+  exec.mode = policy_.resolved_mode();
+  exec.pool = nullptr;  // block tasks are single-threaded
+  exec.scratch = &scratch_;
 
-  // Lazy: metadata-only consumers (e.g. `archive ls`) never pay for a pool.
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
-  pool_->run_batch(touched.size(), [&](std::size_t t) {
-    const std::size_t i = touched[t];
+  // Intersection of block cuboid and region, then strided copy.
+  const auto scatter_block = [&](std::size_t i, const std::vector<T>& block) {
     std::array<std::size_t, kMaxDims> bo{};
     grid.block_origin(i, bo);
     const Dims be = grid.block_extents(i);
-
-    const std::vector<T> block = codec_decompress<T>(ops, payloads[t], {});
-    blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
-    if (block.size() != be.count())
-      throw std::runtime_error("archive: block " + std::to_string(i) +
-                               " of field '" + f.name + "' decoded to " +
-                               std::to_string(block.size()) +
-                               " values, expected " +
-                               std::to_string(be.count()));
-
-    // Intersection of block cuboid and region, then strided copy.
     std::array<std::size_t, kMaxDims> src_origin{};  // block-local
     std::array<std::size_t, kMaxDims> dst_origin{};  // region-local
     std::array<std::size_t, kMaxDims> ext{};
@@ -174,25 +180,74 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
                    std::span<const std::size_t>(dst_origin.data(),
                                                 region.rank),
                    std::span<const std::size_t>(ext.data(), region.rank));
-  });
+  };
+
+  const auto try_cached = [&](std::size_t i) -> bool {
+    const auto cached = cache_.get<T>(fi, i);
+    if (!cached) return false;
+    scatter_block(i, *cached);
+    return true;
+  };
+
+  const auto decode_and_scatter = [&](std::size_t i) {
+    std::vector<T> decoded = decode_block<T>(f, i, exec);
+    const std::size_t expect = grid.block_extents(i).count();
+    if (decoded.size() != expect)
+      throw std::runtime_error("archive: block " + std::to_string(i) +
+                               " of field '" + f.name + "' decoded to " +
+                               std::to_string(decoded.size()) +
+                               " values, expected " + std::to_string(expect));
+    if (cache_.enabled()) {
+      const auto owned =
+          std::make_shared<const std::vector<T>>(std::move(decoded));
+      cache_.put<T>(fi, i, owned);
+      scatter_block(i, *owned);
+    } else {
+      scatter_block(i, decoded);
+    }
+  };
+
+  const auto serve_block = [&](std::size_t t) {
+    const std::size_t i = touched[t];
+    if (!try_cached(i)) decode_and_scatter(i);
+  };
+
+  // A single-block read probes the cache ONCE inline: a hit scatters with
+  // no decode and no pool dispatch — the hot-serving fast path — and a
+  // known miss goes straight to a pool decode without re-probing, so the
+  // hit/miss counters see exactly one lookup per block served.
+  if (touched.size() == 1) {
+    const std::size_t i = touched[0];
+    if (!try_cached(i))
+      serving_pool().run_batch(1, [&](std::size_t) { decode_and_scatter(i); });
+    return out;
+  }
+
+  // Pipelined serving: each pool task preads its own payload and decodes
+  // immediately, so one block's I/O overlaps another's decompression (the
+  // old path read every payload through a shared cursor before decoding
+  // anything).  Decodes run ONLY on pool workers — a bounded thread set —
+  // so the reader's scratch arena cannot grow with an unbounded stream of
+  // short-lived caller threads (see the CodecScratch lifetime note).
+  serving_pool().run_batch(touched.size(), serve_block);
   return out;
 }
 
 std::vector<float> ArchiveReader::read_region(std::string_view name,
-                                              const Region& region) {
+                                              const Region& region) const {
   return read_region_impl<float>(name, region);
 }
 
 std::vector<double> ArchiveReader::read_region64(std::string_view name,
-                                                 const Region& region) {
+                                                 const Region& region) const {
   return read_region_impl<double>(name, region);
 }
 
-std::vector<float> ArchiveReader::read_field(std::string_view name) {
+std::vector<float> ArchiveReader::read_field(std::string_view name) const {
   return read_region_impl<float>(name, Region::whole(field(name).dims));
 }
 
-std::vector<double> ArchiveReader::read_field64(std::string_view name) {
+std::vector<double> ArchiveReader::read_field64(std::string_view name) const {
   return read_region_impl<double>(name, Region::whole(field(name).dims));
 }
 

@@ -1,23 +1,36 @@
-// SZA archive reader: validates the footer index (trailer magic + CRC-32)
-// at open, then serves O(blocks-touched) random access — read_region()
-// seeks to, checksums, and decodes ONLY the blocks whose cuboid intersects
-// the requested hyperslab.  Block payload reads are sequential (one shared
-// file handle); decoding and scattering run in parallel on a thread pool.
+// SZA archive reader, built as a concurrent serving component: validates
+// the footer index (trailer magic + CRC-32) at open, then serves
+// O(blocks-touched) random access from ANY number of threads sharing one
+// reader.  All state mutated after construction is synchronized — block
+// payload reads are positional (pread, no shared cursor), the decode pool
+// is once-initialized, scratch buffers are per-thread arena slots, and the
+// optional decoded-block cache is an internally locked LRU — so
+// read_region()/read_field() are const and data-race-free.
+//
+// Each intersecting block is served as ONE pool task that preads its
+// payload, checksums, decodes, and scatters — so block i's I/O overlaps
+// block j's decompression instead of an all-payloads-first barrier.
 //
 // `blocks_decoded()` counts every block decode since construction (or the
 // last reset), which is how tests and benches verify that a region read
-// really touched only the intersecting blocks.
+// really touched only the intersecting blocks — and, with the cache
+// enabled, that hot repeats decoded nothing at all.
 #pragma once
 
 #include <atomic>
-#include <fstream>
+#include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "archive/archive_format.hpp"
+#include "archive/block_cache.hpp"
 #include "archive/blocking.hpp"
+#include "common/exec_policy.hpp"
+#include "common/pread_file.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sz14::archive {
@@ -26,8 +39,20 @@ class ArchiveReader {
  public:
   /// Opens and indexes `path`.  Throws std::runtime_error on bad magic,
   /// truncated trailer, footer checksum mismatch, or malformed index.
-  /// `threads == 0` selects hardware_concurrency() for block decoding.
-  explicit ArchiveReader(const std::string& path, std::size_t threads = 0);
+  ///
+  /// `policy` is the reader's per-call execution strategy, applied to every
+  /// read: `policy.mode` selects the decode hot path (decoded values are
+  /// identical in every mode), `policy.pool` supplies the block-serving
+  /// pool (null: the reader lazily owns a private pool of `threads`
+  /// workers, falling back to `policy.threads` when the ctor argument is
+  /// 0; both 0 selects hardware_concurrency()).  `policy.scratch` is
+  /// ignored — the reader keeps its own arena so repeated reads are
+  /// allocation-free per block regardless of caller discipline; its slots
+  /// belong to the pool's bounded worker set (decodes never run on caller
+  /// threads), so serving an unbounded stream of short-lived threads
+  /// cannot grow reader state.
+  explicit ArchiveReader(const std::string& path, std::size_t threads = 0,
+                         ExecPolicy policy = {});
 
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
@@ -36,48 +61,93 @@ class ArchiveReader {
     return fields_;
   }
 
-  /// Throws std::invalid_argument when no field has this name.
+  /// O(1) name lookup (index built at open).  Throws std::invalid_argument
+  /// when no field has this name.
   [[nodiscard]] const FieldEntry& field(std::string_view name) const;
 
-  /// Decode an entire f32 field (all blocks).
-  [[nodiscard]] std::vector<float> read_field(std::string_view name);
+  /// Position of `name` in fields(); same lookup/throw as field().
+  [[nodiscard]] std::size_t field_index(std::string_view name) const;
+
+  /// Decode an entire f32 field (all blocks).  Thread-safe.
+  [[nodiscard]] std::vector<float> read_field(std::string_view name) const;
 
   /// Decode only the blocks intersecting `region`; returns the hyperslab
   /// row-major, shaped region.extent.  Throws std::invalid_argument when
   /// the region's rank mismatches, has a zero extent, or exceeds the field
-  /// bounds; std::runtime_error on checksum/decode failure.
+  /// bounds; std::runtime_error on checksum/decode failure.  Thread-safe:
+  /// any number of threads may call concurrently on one reader, with
+  /// results bit-identical to sequential calls.
   [[nodiscard]] std::vector<float> read_region(std::string_view name,
-                                               const Region& region);
+                                               const Region& region) const;
 
   /// Double-precision variants for f64 fields.
-  [[nodiscard]] std::vector<double> read_field64(std::string_view name);
+  [[nodiscard]] std::vector<double> read_field64(std::string_view name) const;
   [[nodiscard]] std::vector<double> read_region64(std::string_view name,
-                                                  const Region& region);
+                                                  const Region& region) const;
 
-  /// Blocks decoded since construction or reset_counters().
+  /// Opt into the decoded-block LRU cache with a byte budget (decoded
+  /// size); 0 (the default) disables it.  Safe to call at any time, also
+  /// while reads are in flight.
+  void set_cache_capacity(std::size_t bytes) { cache_.set_capacity(bytes); }
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_.hits();
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return cache_.misses();
+  }
+  [[nodiscard]] std::size_t cache_resident_bytes() const noexcept {
+    return cache_.resident_bytes();
+  }
+
+  /// Blocks decoded since construction or reset_counters() (cache hits
+  /// decode nothing and do not count).
   [[nodiscard]] std::uint64_t blocks_decoded() const noexcept {
     return blocks_decoded_.load(std::memory_order_relaxed);
   }
 
+  /// Zero blocks_decoded() and the cache hit/miss/eviction counters
+  /// (cached DATA stays resident — only the statistics reset).
   void reset_counters() noexcept {
     blocks_decoded_.store(0, std::memory_order_relaxed);
+    cache_.reset_stats();
   }
 
  private:
   template <typename T>
-  std::vector<T> read_region_impl(std::string_view name, const Region& region);
+  std::vector<T> read_region_impl(std::string_view name,
+                                  const Region& region) const;
 
-  std::vector<std::uint8_t> read_payload(const BlockEntry& b,
-                                         const std::string& field_name,
-                                         std::size_t block_index);
+  /// pread + CRC + decode of one block (cache not consulted here).
+  template <typename T>
+  std::vector<T> decode_block(const FieldEntry& f, std::size_t block_index,
+                              const ExecPolicy& exec) const;
 
-  std::string path_;
+  /// The serving pool, built race-free on first use (metadata-only
+  /// consumers — e.g. `archive ls` — never pay for one).
+  ThreadPool& serving_pool() const;
+
+  PreadFile file_;
   std::size_t threads_;
-  std::ifstream in_;
-  std::uint64_t file_size_ = 0;
+  ExecPolicy policy_;
   std::vector<FieldEntry> fields_;
-  std::unique_ptr<ThreadPool> pool_;  // created lazily on the first read
-  std::atomic<std::uint64_t> blocks_decoded_{0};
+
+  // Heterogeneous lookup so field("name") takes no std::string detour.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::size_t, NameHash, std::equal_to<>>
+      index_;
+
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
+  mutable ThreadPool* pool_ = nullptr;  // owned_pool_ or the policy borrow
+  mutable CodecScratch scratch_;        // per-thread slots, reused per read
+  mutable BlockCache cache_;
+  mutable std::atomic<std::uint64_t> blocks_decoded_{0};
 };
 
 }  // namespace sz14::archive

@@ -65,9 +65,8 @@ void ArchiveWriter::append_impl(const std::string& name,
     throw std::logic_error("archive: append_field after finish()");
   if (name.empty())
     throw std::invalid_argument("archive: field name must be non-empty");
-  for (const auto& f : fields_)
-    if (f.name == name)
-      throw std::invalid_argument("archive: duplicate field name: " + name);
+  if (names_.contains(name))
+    throw std::invalid_argument("archive: duplicate field name: " + name);
   if (data.size() != dims.count())
     throw std::invalid_argument("archive: data size " +
                                 std::to_string(data.size()) +
@@ -138,6 +137,7 @@ void ArchiveWriter::append_impl(const std::string& name,
     f.blocks.push_back(b);
   }
   if (!out_) throw std::runtime_error("archive: write failed: " + path_);
+  names_.insert(name);  // recorded only once the append fully succeeded
   fields_.push_back(std::move(f));
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "archive/archive_format.hpp"
@@ -80,6 +81,7 @@ class ArchiveWriter {
   std::ofstream out_;
   std::uint64_t offset_ = 0;
   std::vector<FieldEntry> fields_;
+  std::unordered_set<std::string> names_;  // O(1) duplicate-append rejection
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;  // owned_pool_ or the policy's borrow
   ExecPolicy policy_;

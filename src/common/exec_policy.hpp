@@ -90,6 +90,13 @@ class CodecScratch {
       }
     }
 
+    /// Compressed-payload staging (archive reader's pread target) — its
+    /// own slot because the payload must stay live while the codec decodes
+    /// from it through the other decode-side buffers.
+    [[nodiscard]] std::span<std::uint8_t> payload(std::size_t n) {
+      return payload_.get(n);
+    }
+
    private:
     /// Grow-only buffer that skips value-initialization (the walks write
     /// every element) — reuse is allocation- and memset-free.
@@ -110,6 +117,7 @@ class CodecScratch {
     Grow<double> recon64_;
     Grow<float> gather32_;
     Grow<double> gather64_;
+    Grow<std::uint8_t> payload_;
     std::vector<std::uint16_t> code_vec_;
     std::vector<float> unpred32_;
     std::vector<double> unpred64_;

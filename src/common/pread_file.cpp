@@ -1,0 +1,82 @@
+#include "common/pread_file.hpp"
+
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <ios>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace sz14 {
+
+#if defined(_WIN32)
+
+PreadFile::PreadFile(const std::string& path)
+    : path_(path), in_(path, std::ios::binary | std::ios::ate) {
+  if (!in_) throw std::runtime_error("cannot open: " + path);
+  size_ = static_cast<std::uint64_t>(in_.tellg());
+}
+
+PreadFile::~PreadFile() = default;
+
+void PreadFile::read_at(std::uint64_t offset,
+                        std::span<std::uint8_t> out) const {
+  std::lock_guard lock(mutex_);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  if (!in_ ||
+      in_.gcount() != static_cast<std::streamsize>(out.size()))
+    throw std::runtime_error("read failed: " + path_);
+}
+
+#else
+
+PreadFile::PreadFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0)
+    throw std::runtime_error("cannot open: " + path + " (" +
+                             std::strerror(errno) + ")");
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot stat: " + path + " (" +
+                             std::strerror(err) + ")");
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+PreadFile::~PreadFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PreadFile::read_at(std::uint64_t offset,
+                        std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n =
+        ::pread(fd_, out.data() + done, out.size() - done,
+                static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("read failed: " + path_ + " (" +
+                               std::strerror(errno) + ")");
+    }
+    if (n == 0)  // EOF before the span was filled
+      throw std::runtime_error("short read (truncated file?): " + path_);
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+#endif
+
+}  // namespace sz14

@@ -1,6 +1,14 @@
 #include "parallel/thread_pool.hpp"
 
 namespace sz14 {
+namespace {
+
+/// Which pool's worker loop (if any) the current thread belongs to.
+/// Workers never migrate between pools and die with their pool, so a plain
+/// thread-local pointer is enough to detect run_batch() reentrancy.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -32,9 +40,19 @@ void ThreadPool::wait() {
   cv_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_pool == this;
+}
+
 void ThreadPool::run_batch(std::size_t n,
                            const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested batch from one of our own workers: queuing and blocking here
+    // deadlocks once every worker does it, so run inline (see header).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::mutex m;
   std::condition_variable cv;
   std::size_t done = 0;
@@ -62,6 +80,7 @@ void ThreadPool::run_batch(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

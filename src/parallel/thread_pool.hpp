@@ -32,7 +32,19 @@ class ThreadPool {
   /// safe on a pool shared with unrelated submit() traffic.  The first
   /// exception thrown by any task is rethrown on the calling thread after
   /// the batch drains.
+  ///
+  /// Reentrancy: when called FROM one of this pool's own workers (a task
+  /// that itself fans out — e.g. an archive read served on the pool a
+  /// caller also borrowed for its own batches), the batch runs inline on
+  /// the calling worker instead of being queued.  Queue-and-wait from a
+  /// worker deadlocks once every worker blocks on a nested batch (the
+  /// queued tasks have nobody left to run them); inline execution keeps
+  /// nested fan-out correct, merely unparallelized.  The first exception
+  /// then propagates immediately (no drain barrier to honor).
   void run_batch(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();

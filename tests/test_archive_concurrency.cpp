@@ -1,0 +1,243 @@
+// Concurrency suite for the archive serving layer: N threads hammering ONE
+// shared ArchiveReader must produce bit-identical results to sequential
+// reads — with and without the decoded-block cache — and the pool/cache
+// machinery (once-init, LRU eviction, nested pool serving) must hold up
+// under TSan.  This is the regression net for the PR-5 shared-ifstream
+// race: the old reader interleaved seekg/read pairs across threads.
+#include "archive/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sz14::archive {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "sza_conc_" + name;
+}
+
+std::vector<float> wavy_field(const Dims& dims) {
+  std::vector<float> v(dims.count());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<float>(std::sin(0.013 * static_cast<double>(i)) +
+                              0.4 * std::cos(0.05 * static_cast<double>(i)));
+  return v;
+}
+
+std::vector<double> wavy_field64(const Dims& dims) {
+  std::vector<double> v(dims.count());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = std::cos(0.017 * static_cast<double>(i)) * 42.0;
+  return v;
+}
+
+/// A multi-field, multi-block archive shared by the tests below.
+std::string make_archive(const std::string& name) {
+  const std::string path = tmp_path(name);
+  const Dims dims{24, 20, 16};
+  ArchiveWriter w(path, 2);
+  const auto f32 = wavy_field(dims);
+  const auto f64 = wavy_field64(dims);
+  w.append_field("lossy32", std::span<const float>(f32), dims, Dims{8, 8, 8},
+                 "sz14", 1e-4);
+  w.append_field("lossy64", std::span<const double>(f64), dims, Dims{8, 8, 8},
+                 "sz14", 1e-4);
+  w.append_field("exact32", std::span<const float>(f32), dims, Dims{8, 8, 8},
+                 "gzip_like", 0.0);
+  w.finish();
+  return path;
+}
+
+/// Deterministic random region inside `dims`.
+Region random_region(Rng& rng, const Dims& dims) {
+  Region r;
+  r.rank = dims.rank();
+  for (std::size_t a = 0; a < r.rank; ++a) {
+    r.extent[a] = 1 + rng.below(dims.extent(a));
+    r.origin[a] = rng.below(dims.extent(a) - r.extent[a] + 1);
+  }
+  return r;
+}
+
+TEST(ArchiveConcurrency, HammeredReaderMatchesSequentialReads) {
+  const std::string path = make_archive("hammer.sza");
+  const Dims dims{24, 20, 16};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRegions = 24;
+
+  ArchiveReader reader(path, 2);
+
+  // Sequential ground truth, one result set per (region, field).
+  Rng rng(1234);
+  std::vector<Region> regions;
+  for (std::size_t i = 0; i < kRegions; ++i)
+    regions.push_back(random_region(rng, dims));
+  std::vector<std::vector<float>> want32, want_exact;
+  std::vector<std::vector<double>> want64;
+  for (const auto& r : regions) {
+    want32.push_back(reader.read_region("lossy32", r));
+    want64.push_back(reader.read_region64("lossy64", r));
+    want_exact.push_back(reader.read_region("exact32", r));
+  }
+
+  // N threads hammer the SAME reader, each walking the regions from a
+  // different start so distinct regions are always in flight together.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kRegions; ++k) {
+        const std::size_t i = (k + t * 3) % kRegions;
+        if (reader.read_region("lossy32", regions[i]) != want32[i])
+          ++mismatches;
+        if (reader.read_region64("lossy64", regions[i]) != want64[i])
+          ++mismatches;
+        if (reader.read_region("exact32", regions[i]) != want_exact[i])
+          ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, ConcurrentWholeFieldReadsAreExact) {
+  const std::string path = make_archive("fullfield.sza");
+  ArchiveReader reader(path, 2);
+  const auto want = reader.read_field("exact32");
+  reader.reset_counters();
+
+  constexpr std::size_t kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      if (reader.read_field("exact32") != want) ++mismatches;
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Cache off: every concurrent full read decoded every block.
+  EXPECT_EQ(reader.blocks_decoded(),
+            kThreads * reader.field("exact32").blocks.size());
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, CacheHitsSkipDecodeAndStayBitIdentical) {
+  const std::string path = make_archive("cache.sza");
+  ArchiveReader reader(path, 2);
+  reader.set_cache_capacity(64u << 20);  // roomy: whole archive fits
+
+  Region hot;
+  hot.rank = 3;
+  hot.origin = {9, 6, 3};
+  hot.extent = {8, 9, 10};
+  const auto first = reader.read_region("lossy32", hot);
+  const auto decoded_once = reader.blocks_decoded();
+  EXPECT_GT(decoded_once, 0u);
+
+  const auto second = reader.read_region("lossy32", hot);
+  EXPECT_EQ(second, first);                           // cache is invisible
+  EXPECT_EQ(reader.blocks_decoded(), decoded_once);   // ...and free
+  EXPECT_GT(reader.cache_hits(), 0u);
+
+  // The other dtype shares the cache without type confusion.
+  const auto w64 = reader.read_region64("lossy64", hot);
+  EXPECT_EQ(reader.read_region64("lossy64", hot), w64);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, HammeredCachedReaderMatchesAndCounts) {
+  const std::string path = make_archive("cache_hammer.sza");
+  const Dims dims{24, 20, 16};
+  ArchiveReader reader(path, 2);
+  // Deliberately tight budget so eviction churns under concurrency.
+  reader.set_cache_capacity(6 * 8 * 8 * 8 * sizeof(float));
+
+  Rng rng(77);
+  std::vector<Region> regions;
+  for (std::size_t i = 0; i < 12; ++i)
+    regions.push_back(random_region(rng, dims));
+  std::vector<std::vector<float>> want;
+  for (const auto& r : regions)
+    want.push_back(reader.read_region("lossy32", r));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 6; ++t)
+    threads.emplace_back([&, t] {
+      for (std::size_t rep = 0; rep < 3; ++rep)
+        for (std::size_t k = 0; k < regions.size(); ++k) {
+          const std::size_t i = (k + t) % regions.size();
+          if (reader.read_region("lossy32", regions[i]) != want[i])
+            ++mismatches;
+        }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(reader.cache_resident_bytes(), 6 * 8 * 8 * 8 * sizeof(float));
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, DisabledCacheCountsNothing) {
+  const std::string path = make_archive("nocache.sza");
+  ArchiveReader reader(path);
+  (void)reader.read_field("lossy32");
+  (void)reader.read_field("lossy32");
+  EXPECT_EQ(reader.cache_hits(), 0u);
+  EXPECT_EQ(reader.cache_misses(), 0u);
+  EXPECT_EQ(reader.cache_resident_bytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, ServesFromBorrowedPoolEvenReentrantly) {
+  // The reader can borrow the caller's pool via its ExecPolicy — including
+  // when read_region is itself called FROM a task on that pool (nested
+  // fan-out runs inline instead of deadlocking; thread_pool reentrancy).
+  const std::string path = make_archive("borrowed.sza");
+  const Dims dims{24, 20, 16};
+  ExecPolicy policy;
+  policy.pool = &shared_pool();
+  ArchiveReader reader(path, 0, policy);
+
+  Rng rng(5);
+  std::vector<Region> regions;
+  for (std::size_t i = 0; i < 6; ++i)
+    regions.push_back(random_region(rng, dims));
+  std::vector<std::vector<float>> want;
+  for (const auto& r : regions) want.push_back(reader.read_region("lossy32", r));
+
+  std::atomic<int> mismatches{0};
+  shared_pool().run_batch(regions.size(), [&](std::size_t i) {
+    if (reader.read_region("lossy32", regions[i]) != want[i]) ++mismatches;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, ResetCountersClearsStatsNotCache) {
+  const std::string path = make_archive("reset.sza");
+  ArchiveReader reader(path);
+  reader.set_cache_capacity(64u << 20);
+  const auto want = reader.read_field("lossy32");
+  reader.reset_counters();
+  EXPECT_EQ(reader.blocks_decoded(), 0u);
+  EXPECT_EQ(reader.cache_hits(), 0u);
+  // Cached data survived the stats reset: the re-read decodes nothing.
+  EXPECT_EQ(reader.read_field("lossy32"), want);
+  EXPECT_EQ(reader.blocks_decoded(), 0u);
+  EXPECT_GT(reader.cache_hits(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sz14::archive

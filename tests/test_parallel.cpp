@@ -82,6 +82,44 @@ TEST(ThreadPoolTest, SharedPoolIsUsable) {
   EXPECT_EQ(n.load(), 8);
 }
 
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());  // caller is not a worker
+  std::atomic<int> inside{0}, cross{0};
+  pool.run_batch(8, [&](std::size_t) {
+    if (pool.on_worker_thread()) ++inside;
+    if (other.on_worker_thread()) ++cross;  // never: wrong pool
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_EQ(cross.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedRunBatchFromWorkerDoesNotDeadlock) {
+  // A task that itself fans out on the SAME pool (an archive read served
+  // on a pool the caller also borrowed) must not queue-and-block: with
+  // every worker waiting on a nested batch there is nobody left to run the
+  // queued tasks.  The reentrant batch runs inline instead.
+  ThreadPool pool(2);  // fewer workers than outer tasks forces the hazard
+  std::atomic<int> leaf{0};
+  pool.run_batch(8, [&](std::size_t) {
+    pool.run_batch(4, [&](std::size_t) { ++leaf; });
+  });
+  EXPECT_EQ(leaf.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedRunBatchStillPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run_batch(2,
+                              [&](std::size_t) {
+                                pool.run_batch(2, [](std::size_t i) {
+                                  if (i == 1)
+                                    throw std::runtime_error("inner");
+                                });
+                              }),
+               std::runtime_error);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(1000, 8, [&](std::size_t i) { ++hits[i]; });

@@ -17,9 +17,9 @@
 //                        [--block B1xB2[..]] [-t THREADS]
 //   sz14 archive ls      -i in.sza
 //   sz14 archive extract -i in.sza -f name -o out.raw
-//                        [--origin O1xO2[..] --shape S1xS2[..]]
+//                        [--origin O1xO2[..] --shape S1xS2[..]] [-t THREADS]
 //   sz14 archive cat     -i in.sza -f name [--origin .. --shape ..]
-//                        [--limit N]
+//                        [--limit N] [-t THREADS]
 //
 // Raw files are flat little-endian arrays; the shape is given with -d
 // (slowest dimension first, 'x'-separated), exactly how scientific data
@@ -78,9 +78,9 @@ struct Args {
                "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo]\n"
                "  sz14 archive ls      -i IN\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
-               "[--origin DIMS --shape DIMS]\n"
+               "[--origin DIMS --shape DIMS] [-t THREADS]\n"
                "  sz14 archive cat     -i IN -f NAME "
-               "[--origin DIMS --shape DIMS] [--limit N]\n");
+               "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n");
   std::exit(2);
 }
 
@@ -506,7 +506,8 @@ int cmd_archive_ls(const ArchiveArgs& a) {
 int cmd_archive_extract(const ArchiveArgs& a) {
   if (a.input.empty() || a.field_name.empty() || a.output.empty())
     usage("archive extract needs -i, -f and -o");
-  archive::ArchiveReader reader(a.input);
+  // -t sizes the reader's block-serving pool (0 = all cores).
+  archive::ArchiveReader reader(a.input, a.threads);
   const auto& f = reader.field(a.field_name);
   const auto region = parse_region(a, f.dims);
   Timer timer;
@@ -534,7 +535,7 @@ int cmd_archive_extract(const ArchiveArgs& a) {
 int cmd_archive_cat(const ArchiveArgs& a) {
   if (a.input.empty() || a.field_name.empty())
     usage("archive cat needs -i and -f");
-  archive::ArchiveReader reader(a.input);
+  archive::ArchiveReader reader(a.input, a.threads);
   const auto& f = reader.field(a.field_name);
   const auto region = parse_region(a, f.dims);
   const auto print = [&](auto&& values) {
