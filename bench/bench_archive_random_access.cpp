@@ -1,16 +1,23 @@
 // Random-access study for the SZA archive: full-stream decompress vs
 // block-indexed region reads, swept over block sizes.  The smaller the
 // block, the fewer wasted values a hyperslab read decodes — at the cost of
-// per-block header overhead and a larger footer index.  Emits a JSON array
-// (bench_util JsonWriter) with one record per (codec, block-size) point.
+// per-block header overhead and a larger footer index.  A second section
+// measures the SERVING scenario: several threads hammering one shared
+// reader with a skewed (hot-set-heavy) region mix, with and without the
+// decoded-block LRU cache.  Emits a JSON array (bench_util JsonWriter)
+// with one record per (codec, block-size) point plus one per serving
+// configuration.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "archive/archive.hpp"
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 
 namespace {
@@ -28,6 +35,51 @@ double time_best_of(int reps, const std::function<void()>& fn) {
     best = std::min(best, t.seconds());
   }
   return best;
+}
+
+struct ServingResult {
+  double seconds = 0;
+  std::size_t reads = 0;
+  std::size_t failed_reads = 0;
+  std::uint64_t blocks_decoded = 0;
+  double hit_rate = 0;
+};
+
+/// `threads` workers each issue `reads_per_thread` region reads against
+/// ONE shared reader; picks follow bench::serving_pick's 80/20 hot-set
+/// mix.  A read failure (CRC/decode/I-O) is caught per worker — it must
+/// surface as a diagnostic, not a std::terminate.
+ServingResult serve(ArchiveReader& reader, const char* field,
+                    const std::vector<Region>& regions, std::size_t hot,
+                    std::size_t threads, std::size_t reads_per_thread) {
+  // Warm nothing: counters reset, cache left as configured by the caller.
+  reader.reset_counters();
+  std::atomic<std::size_t> failures{0};
+  Timer t;
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (std::size_t k = 0; k < reads_per_thread; ++k) {
+        const std::size_t i = bench::serving_pick(rng, hot, regions.size());
+        try {
+          (void)reader.read_region(field, regions[i]);
+        } catch (const std::exception& e) {
+          if (failures.fetch_add(1) == 0)
+            std::fprintf(stderr, "serving read failed: %s\n", e.what());
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  ServingResult r;
+  r.seconds = t.seconds();
+  r.reads = threads * reads_per_thread;
+  r.failed_reads = failures.load();
+  r.blocks_decoded = reader.blocks_decoded();
+  r.hit_rate = bench::cache_hit_rate(reader.cache_hits(),
+                                     reader.cache_misses());
+  return r;
 }
 
 }  // namespace
@@ -97,5 +149,64 @@ int main() {
       std::remove(path.c_str());
     }
   }
-  return 0;
+
+  // ------------------------------------------------------------- serving
+  // Concurrent readers against ONE shared reader: a skewed region mix
+  // (80% of reads over a small hot set), measured without the cache, with
+  // a cache sized for the hot set, and with the sweep repeated to show
+  // the steady-state hit rate.
+  int rc = 0;
+  {
+    const std::string path = "/tmp/bench_archive_serving.sza";
+    const Dims block{std::min<std::size_t>(32, dims.extent(0)),
+                     std::min<std::size_t>(32, dims.extent(1)),
+                     std::min<std::size_t>(32, dims.extent(2))};
+    {
+      ArchiveWriter w(path);
+      w.append_field("v", std::span<const float>(field.values), dims, block,
+                     "sz14", eb);
+      w.finish();
+    }
+    const auto regions = bench::serving_regions(dims, 32, 24);
+    constexpr std::size_t kHot = 8;
+    constexpr std::size_t kServeThreads = 4;
+    constexpr std::size_t kReadsPerThread = 32;
+    // Budget sized for the HOT SET only — roughly its decoded footprint
+    // (hot regions overlap on ~half the grid's blocks), well under the
+    // full field — so the 80/20 mix actually drives the measurement: hot
+    // blocks stay mostly resident while cold reads churn the LRU.
+    const std::size_t cache_budget = kHot * block.count() * sizeof(float);
+
+    for (const bool cached : {false, true}) {
+      ArchiveReader reader(path, 0);
+      if (cached) reader.set_cache_capacity(cache_budget);
+      // One untimed sweep so the cached config measures steady state.
+      ServingResult warm =
+          serve(reader, "v", regions, kHot, kServeThreads, kReadsPerThread);
+      ServingResult hot =
+          serve(reader, "v", regions, kHot, kServeThreads, kReadsPerThread);
+      json.begin_record();
+      json.kv("codec", "sz14");
+      json.kv("scenario", cached ? "serving_cache" : "serving_nocache");
+      json.kv("threads", kServeThreads);
+      json.kv("reads", hot.reads);
+      json.kv("failed_reads", warm.failed_reads + hot.failed_reads);
+      json.kv("cold_reads_per_s",
+              static_cast<double>(warm.reads) / warm.seconds);
+      json.kv("reads_per_s", static_cast<double>(hot.reads) / hot.seconds);
+      json.kv("blocks_decoded", static_cast<std::size_t>(hot.blocks_decoded));
+      json.kv("cache_hit_rate", hot.hit_rate);
+      json.end_record();
+      if (warm.failed_reads + hot.failed_reads != 0) rc = 1;
+      std::fprintf(stderr,
+                   "serving %-8s %zu threads: %7.1f reads/s, %llu decodes, "
+                   "hit rate %.2f\n",
+                   cached ? "cache" : "nocache", kServeThreads,
+                   static_cast<double>(hot.reads) / hot.seconds,
+                   static_cast<unsigned long long>(hot.blocks_decoded),
+                   hot.hit_rate);
+    }
+    std::remove(path.c_str());
+  }
+  return rc;
 }

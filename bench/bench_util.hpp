@@ -7,11 +7,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "archive/blocking.hpp"
+#include "common/rng.hpp"
 #include "data/generators.hpp"
 
 namespace sz14::bench {
@@ -32,6 +35,42 @@ inline double value_range(std::span<const float> values) {
     hi = std::max<double>(hi, v);
   }
   return hi - lo;
+}
+
+// --- archive serving-mix fixtures -----------------------------------------
+// Shared by bench_archive_random_access and run_perf_suite so both measure
+// the SAME skewed workload; a tweak here changes every serving benchmark.
+
+/// `n` deterministic random regions of (up to) `extent` per axis.
+inline std::vector<archive::Region> serving_regions(const Dims& dims,
+                                                    std::size_t n,
+                                                    std::size_t extent) {
+  Rng rng(4242);
+  std::vector<archive::Region> rs;
+  for (std::size_t i = 0; i < n; ++i) {
+    archive::Region r;
+    r.rank = dims.rank();
+    for (std::size_t a = 0; a < r.rank; ++a) {
+      r.extent[a] = std::min(extent, dims.extent(a));
+      r.origin[a] = rng.below(dims.extent(a) - r.extent[a] + 1);
+    }
+    rs.push_back(r);
+  }
+  return rs;
+}
+
+/// Zipf-ish region pick: ~80% of reads land in the first `hot` regions
+/// (uniform over all of them when there is no cold remainder).
+inline std::size_t serving_pick(Rng& rng, std::size_t hot,
+                                std::size_t total) {
+  if (hot >= total) return rng.below(total);
+  return rng.below(10) < 8 ? rng.below(hot) : hot + rng.below(total - hot);
+}
+
+inline double cache_hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  return hits + misses ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0;
 }
 
 inline void header(const std::string& title) {

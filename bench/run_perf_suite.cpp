@@ -9,7 +9,10 @@
 //               suite instead verifies the error-bound contract by
 //               decompressing and reporting max |x - x'| against eb.
 // A threaded section measures the parallel slab codec (fast + turbo) at
-// --threads N workers, and a "machine" header record captures the context
+// --threads N workers, an archive-serving section measures concurrent
+// region reads on one shared ArchiveReader (skewed hot-set mix, decoded-
+// block cache off/on, results verified bit-identical to sequential reads),
+// and a "machine" header record captures the context
 // (hardware_concurrency, build type, reps) that makes BENCH_PRn.json files
 // comparable across PRs.
 //
@@ -22,6 +25,7 @@
 //   --threads N workers for the parallel section (default 8)
 //   --out       write JSON to FILE instead of stdout
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,9 +36,11 @@
 #include <thread>
 #include <vector>
 
+#include "archive/archive.hpp"
 #include "bench_util.hpp"
 #include "common/bytebuffer.hpp"
 #include "common/exec_policy.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/compressor.hpp"
 #include "core/format.hpp"
@@ -405,6 +411,104 @@ int main(int argc, char** argv) {
           threads, gbps(raw_bytes, par_fast.compress_s) * 1e3,
           gbps(raw_bytes, par_turbo.compress_s) * 1e3,
           gbps(raw_bytes, par_turbo.decompress_s) * 1e3);
+    }
+
+    // Archive serving: concurrent region reads from one shared reader on
+    // the 3D field — the random-access path the SZA container exists for.
+    // 80% of reads target a small hot set; the cached configuration is
+    // measured in steady state (one untimed warm sweep first), and every
+    // distinct region is verified bit-identical to a sequential read.
+    {
+      const data::Field& f3 = fields[2];
+      const std::string apath = "/tmp/run_perf_suite_archive.sza";
+      const std::size_t bs = smoke ? 8 : 32;
+      const Dims block{std::min(bs, f3.dims.extent(0)),
+                       std::min(bs, f3.dims.extent(1)),
+                       std::min(bs, f3.dims.extent(2))};
+      {
+        archive::ArchiveWriter w(apath, threads);
+        w.append_field("v", std::span<const float>(f3.values), f3.dims,
+                       block, "sz14", 1e-3);
+        w.finish();
+      }
+
+      // Skewed region mix (deterministic, shared with
+      // bench_archive_random_access via bench_util).
+      const std::size_t ext = smoke ? 6 : 16;
+      constexpr std::size_t kHot = 6;
+      const std::size_t n_regions = smoke ? 8 : 24;
+      const std::size_t reads_per_thread = smoke ? 4 : 24;
+      const auto regions = bench::serving_regions(f3.dims, n_regions, ext);
+      std::size_t region_values = 0;
+      for (const auto& r : regions) region_values += r.count();
+
+      for (const bool cached : {false, true}) {
+        archive::ArchiveReader reader(apath, threads);
+        if (cached) reader.set_cache_capacity(256u << 20);
+
+        // Sequential ground truth (also the cold warm-up for the cache).
+        std::vector<std::vector<float>> want;
+        want.reserve(regions.size());
+        for (const auto& r : regions)
+          want.push_back(reader.read_region("v", r));
+
+        reader.reset_counters();
+        std::atomic<std::size_t> diverged{0};
+        std::vector<std::thread> workers;
+        Timer t;
+        for (std::size_t w = 0; w < threads; ++w) {
+          workers.emplace_back([&, w] {
+            Rng wr(1000 + w);
+            for (std::size_t k = 0; k < reads_per_thread; ++k) {
+              const std::size_t i =
+                  bench::serving_pick(wr, kHot, regions.size());
+              // A throw must surface as a divergence diagnostic, not a
+              // std::terminate from an escaping worker exception.
+              try {
+                if (reader.read_region("v", regions[i]) != want[i])
+                  ++diverged;
+              } catch (const std::exception& e) {
+                if (diverged.fetch_add(1) == 0)
+                  std::fprintf(stderr, "serving read threw: %s\n", e.what());
+              }
+            }
+          });
+        }
+        for (auto& th : workers) th.join();
+        const double seconds = t.seconds();
+        if (diverged.load() != 0) {
+          std::fprintf(stderr,
+                       "run_perf_suite: SERVING DIVERGENCE (%s cache)\n",
+                       cached ? "with" : "no");
+          exit_code = 1;
+        }
+
+        const std::size_t reads = threads * reads_per_thread;
+        const double hit_rate = bench::cache_hit_rate(reader.cache_hits(),
+                                                      reader.cache_misses());
+        json.begin_record();
+        json.kv("bench", "perf_suite_archive_serving");
+        json.kv("field", "hurricane3d");
+        json.kv("mode", cached ? "cache" : "nocache");
+        json.kv("threads", threads);
+        json.kv("regions", regions.size());
+        json.kv("region_values_total", region_values);
+        json.kv("reads", reads);
+        json.kv("seconds", seconds);
+        json.kv("reads_per_s", static_cast<double>(reads) / seconds);
+        json.kv("blocks_decoded",
+                static_cast<std::size_t>(reader.blocks_decoded()));
+        json.kv("cache_hit_rate", hit_rate);
+        json.end_record();
+        std::fprintf(stderr,
+                     "serving %-7s  %zu threads: %7.1f reads/s, %llu "
+                     "decodes, hit rate %.2f\n",
+                     cached ? "cache" : "nocache", threads,
+                     static_cast<double>(reads) / seconds,
+                     static_cast<unsigned long long>(reader.blocks_decoded()),
+                     hit_rate);
+      }
+      std::remove(apath.c_str());
     }
   }
   if (out != stdout) std::fclose(out);
