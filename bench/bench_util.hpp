@@ -67,6 +67,19 @@ inline std::size_t serving_pick(Rng& rng, std::size_t hot,
   return rng.below(10) < 8 ? rng.below(hot) : hot + rng.below(total - hot);
 }
 
+/// Linear-interpolated percentile (pct in [0,100]); sorts `samples` in
+/// place.  Used for the serving-daemon latency records (p50/p99).
+inline double percentile(std::vector<double>& samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 *
+                      static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
 inline double cache_hit_rate(std::uint64_t hits, std::uint64_t misses) {
   return hits + misses ? static_cast<double>(hits) /
                              static_cast<double>(hits + misses)

@@ -49,6 +49,8 @@
 #include "encoding/huffman.hpp"
 #include "parallel/parallel_codec.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -507,6 +509,114 @@ int main(int argc, char** argv) {
                      static_cast<double>(reads) / seconds,
                      static_cast<unsigned long long>(reader.blocks_decoded()),
                      hit_rate);
+      }
+      // Serving daemon end-to-end: the same skewed mix pushed through a
+      // real Server + Client pair over the loopback transport — protocol
+      // framing, event loop, pool dispatch, coalescing and cache all in
+      // the measured path, exactly what `sz14 serve` runs in production.
+      // Per-request wall latency feeds the p50/p99 records; every response
+      // is verified bit-identical to a direct reader, and the coalescing
+      // invariant (decodes <= unique blocks after warm-up) is asserted,
+      // not assumed.
+      {
+        const std::size_t clients = std::max<std::size_t>(2, threads);
+        const std::size_t requests_per_client = smoke ? 6 : 48;
+        serve::ServerConfig cfg;
+        cfg.transport = "loopback";
+        cfg.endpoint = "perf-suite";
+        cfg.threads = threads;
+        cfg.cache_bytes = 256u << 20;
+        serve::Server server(apath, cfg);
+        server.start();
+
+        std::vector<std::vector<float>> want;
+        {
+          archive::ArchiveReader direct(apath, threads);
+          want.reserve(regions.size());
+          for (const auto& r : regions)
+            want.push_back(direct.read_region("v", r));
+        }
+
+        std::atomic<std::size_t> diverged{0};
+        std::vector<std::vector<double>> lat_ms(clients);
+        std::vector<std::thread> workers;
+        Timer t;
+        for (std::size_t c = 0; c < clients; ++c) {
+          workers.emplace_back([&, c] {
+            try {
+              serve::Client client("loopback", server.endpoint());
+              Rng wr(7000 + c);
+              lat_ms[c].reserve(requests_per_client);
+              for (std::size_t k = 0; k < requests_per_client; ++k) {
+                const std::size_t i =
+                    bench::serving_pick(wr, kHot, regions.size());
+                Timer rt;
+                const auto got = client.read_region("v", regions[i]);
+                lat_ms[c].push_back(rt.seconds() * 1e3);
+                if (got != want[i]) ++diverged;
+              }
+            } catch (const std::exception& e) {
+              if (diverged.fetch_add(1) == 0)
+                std::fprintf(stderr, "serving client threw: %s\n", e.what());
+            }
+          });
+        }
+        for (auto& th : workers) th.join();
+        const double seconds = t.seconds();
+        server.stop();
+        if (diverged.load() != 0) {
+          std::fprintf(stderr, "run_perf_suite: DAEMON SERVING DIVERGENCE\n");
+          exit_code = 1;
+        }
+
+        const serve::ServerStats st = server.stats();
+        // Cold burst + warm steady state: the single-flight map and cache
+        // together bound decodes by the number of blocks the region set
+        // touches, regardless of client count.
+        const std::size_t total_blocks =
+            server.reader().field("v").blocks.size();
+        if (st.blocks_decoded > total_blocks) {
+          std::fprintf(stderr,
+                       "run_perf_suite: COALESCING LEAK (%llu decodes > "
+                       "%zu blocks)\n",
+                       static_cast<unsigned long long>(st.blocks_decoded),
+                       total_blocks);
+          exit_code = 1;
+        }
+
+        std::vector<double> all_ms;
+        for (const auto& v : lat_ms)
+          all_ms.insert(all_ms.end(), v.begin(), v.end());
+        const double p50 = bench::percentile(all_ms, 50.0);
+        const double p99 = bench::percentile(all_ms, 99.0);
+        const std::size_t reads = all_ms.size();
+
+        json.begin_record();
+        json.kv("bench", "perf_suite_serving_daemon");
+        json.kv("field", "hurricane3d");
+        json.kv("transport", "loopback");
+        json.kv("clients", clients);
+        json.kv("threads", threads);
+        json.kv("regions", regions.size());
+        json.kv("reads", reads);
+        json.kv("seconds", seconds);
+        json.kv("reads_per_s", static_cast<double>(reads) / seconds);
+        json.kv("latency_p50_ms", p50);
+        json.kv("latency_p99_ms", p99);
+        json.kv("blocks_decoded",
+                static_cast<std::size_t>(st.blocks_decoded));
+        json.kv("coalesced_reads",
+                static_cast<std::size_t>(st.coalesced_reads));
+        json.kv("cache_hit_rate",
+                bench::cache_hit_rate(st.cache_hits, st.cache_misses));
+        json.kv("bytes_out", static_cast<std::size_t>(st.bytes_out));
+        json.end_record();
+        std::fprintf(stderr,
+                     "serving daemon  %zu clients: %7.1f reads/s, p50 "
+                     "%.2f ms, p99 %.2f ms, %llu decodes, %llu coalesced\n",
+                     clients, static_cast<double>(reads) / seconds, p50, p99,
+                     static_cast<unsigned long long>(st.blocks_decoded),
+                     static_cast<unsigned long long>(st.coalesced_reads));
       }
       std::remove(apath.c_str());
     }

@@ -4,10 +4,14 @@
 //   archive_format.hpp — on-disk container layout (superblock/footer)
 //   writer.hpp         — append-only parallel writer
 //   reader.hpp         — footer-indexed random-access reader
+//   single_flight.hpp  — concurrent-decode coalescing for the serving path
+//   stat_format.hpp    — field/index summaries (CLI stat + serve `stat` op)
 #pragma once
 
 #include "archive/archive_format.hpp"
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
 #include "archive/reader.hpp"
+#include "archive/single_flight.hpp"
+#include "archive/stat_format.hpp"
 #include "archive/writer.hpp"

@@ -189,7 +189,10 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
     return true;
   };
 
-  const auto decode_and_scatter = [&](std::size_t i) {
+  // Decode one block (size-validated) and hand it to the cache as an
+  // immutable shared vector; without the cache the plain vector is
+  // scattered and dropped.
+  const auto decode_validated = [&](std::size_t i) {
     std::vector<T> decoded = decode_block<T>(f, i, exec);
     const std::size_t expect = grid.block_extents(i).count();
     if (decoded.size() != expect)
@@ -197,6 +200,43 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
                                " of field '" + f.name + "' decoded to " +
                                std::to_string(decoded.size()) +
                                " values, expected " + std::to_string(expect));
+    return decoded;
+  };
+
+  const bool coalesce = coalescing();
+  const auto decode_and_scatter = [&](std::size_t i) {
+    if (coalesce) {
+      // Single-flight: the first thread in decodes for everyone racing on
+      // this block; followers block until it publishes and share the
+      // vector.  The leader must publish on EVERY path or followers hang.
+      auto [entry, leader] = flight_.begin(fi, i);
+      if (!leader) {
+        const auto shared = std::static_pointer_cast<const std::vector<T>>(
+            flight_.wait(*entry));
+        scatter_block(i, *shared);
+        return;
+      }
+      // Leadership re-probe: a decode that finished between our cache miss
+      // and begin() already populated the cache — publish that instead of
+      // decoding the block a second time.
+      if (const auto cached = cache_.get<T>(fi, i)) {
+        flight_.publish(fi, i, *entry, cached, nullptr);
+        scatter_block(i, *cached);
+        return;
+      }
+      std::shared_ptr<const std::vector<T>> owned;
+      try {
+        owned = std::make_shared<const std::vector<T>>(decode_validated(i));
+      } catch (...) {
+        flight_.publish(fi, i, *entry, nullptr, std::current_exception());
+        throw;
+      }
+      cache_.put<T>(fi, i, owned);
+      flight_.publish(fi, i, *entry, owned, nullptr);
+      scatter_block(i, *owned);
+      return;
+    }
+    std::vector<T> decoded = decode_validated(i);
     if (cache_.enabled()) {
       const auto owned =
           std::make_shared<const std::vector<T>>(std::move(decoded));

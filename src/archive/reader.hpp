@@ -29,6 +29,7 @@
 #include "archive/archive_format.hpp"
 #include "archive/block_cache.hpp"
 #include "archive/blocking.hpp"
+#include "archive/single_flight.hpp"
 #include "common/exec_policy.hpp"
 #include "common/pread_file.hpp"
 #include "parallel/thread_pool.hpp"
@@ -96,8 +97,34 @@ class ArchiveReader {
   [[nodiscard]] std::uint64_t cache_misses() const noexcept {
     return cache_.misses();
   }
+  [[nodiscard]] std::uint64_t cache_evictions() const noexcept {
+    return cache_.evictions();
+  }
   [[nodiscard]] std::size_t cache_resident_bytes() const noexcept {
     return cache_.resident_bytes();
+  }
+  [[nodiscard]] std::size_t cache_capacity() const noexcept {
+    return cache_.capacity();
+  }
+
+  /// Opt into single-flight request coalescing: concurrent decodes of the
+  /// same (field, block) share ONE pread+CRC+decode instead of N (the
+  /// serving daemon's hot-burst path).  With the cache also enabled, a
+  /// cold concurrent burst decodes each block exactly once — the winner
+  /// re-probes the cache after taking leadership, closing the probe/join
+  /// race.  Safe to toggle at any time; defaults to off so single-client
+  /// workloads pay nothing.
+  void set_coalescing(bool on) noexcept {
+    coalesce_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool coalescing() const noexcept {
+    return coalesce_.load(std::memory_order_relaxed);
+  }
+
+  /// Reads served by piggybacking on another thread's in-flight decode of
+  /// the same block (since construction or reset_counters()).
+  [[nodiscard]] std::uint64_t coalesced_reads() const noexcept {
+    return flight_.coalesced();
   }
 
   /// Blocks decoded since construction or reset_counters() (cache hits
@@ -106,11 +133,13 @@ class ArchiveReader {
     return blocks_decoded_.load(std::memory_order_relaxed);
   }
 
-  /// Zero blocks_decoded() and the cache hit/miss/eviction counters
-  /// (cached DATA stays resident — only the statistics reset).
+  /// Zero blocks_decoded(), coalesced_reads() and the cache
+  /// hit/miss/eviction counters (cached DATA stays resident — only the
+  /// statistics reset).
   void reset_counters() noexcept {
     blocks_decoded_.store(0, std::memory_order_relaxed);
     cache_.reset_stats();
+    flight_.reset_stats();
   }
 
  private:
@@ -147,6 +176,8 @@ class ArchiveReader {
   mutable ThreadPool* pool_ = nullptr;  // owned_pool_ or the policy borrow
   mutable CodecScratch scratch_;        // per-thread slots, reused per read
   mutable BlockCache cache_;
+  mutable SingleFlight flight_;
+  std::atomic<bool> coalesce_{false};
   mutable std::atomic<std::uint64_t> blocks_decoded_{0};
 };
 

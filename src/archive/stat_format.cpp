@@ -1,0 +1,138 @@
+#include "archive/stat_format.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "archive/codec.hpp"
+#include "core/format.hpp"
+
+namespace sz14::archive {
+namespace {
+
+const char* dtype_name(std::uint8_t dtype) {
+  return dtype == kDtypeF64 ? "f64" : "f32";
+}
+
+const char* codec_name(std::uint8_t id) {
+  const CodecOps* ops = codec_by_id(id);
+  return ops != nullptr ? ops->name : "?";
+}
+
+std::string printf_line(const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace
+
+FieldStat field_stat(const FieldEntry& f, bool with_blocks) {
+  FieldStat s;
+  s.name = f.name;
+  s.dtype = f.dtype;
+  s.codec = f.codec;
+  s.eb_abs = f.eb_abs;
+  s.dims = f.dims;
+  s.block_dims = f.block_dims;
+  s.block_count = f.blocks.size();
+  s.payload_bytes = f.payload_bytes();
+  s.raw_bytes = f.dims.count() *
+                (f.dtype == kDtypeF64 ? sizeof(double) : sizeof(float));
+  if (!f.blocks.empty()) {
+    s.min = f.blocks.front().min;
+    s.max = f.blocks.front().max;
+    for (const auto& b : f.blocks) {
+      s.min = std::min(s.min, b.min);
+      s.max = std::max(s.max, b.max);
+    }
+  }
+  if (with_blocks) {
+    s.blocks.reserve(f.blocks.size());
+    for (const auto& b : f.blocks)
+      s.blocks.push_back(BlockStat{b.size, b.min, b.max});
+  }
+  return s;
+}
+
+std::string format_field_stat(const FieldStat& s) {
+  std::string out;
+  out += printf_line("field %s\n", s.name.c_str());
+  out += printf_line("  dtype         : %s\n", dtype_name(s.dtype));
+  out += printf_line("  codec         : %s\n", codec_name(s.codec));
+  out += printf_line("  shape         : %s (%llu values)\n",
+                     s.dims.to_string().c_str(),
+                     static_cast<unsigned long long>(s.dims.count()));
+  out += printf_line("  block         : %s (%llu blocks)\n",
+                     s.block_dims.to_string().c_str(),
+                     static_cast<unsigned long long>(s.block_count));
+  if (s.eb_abs != 0.0)
+    out += printf_line("  error bound   : %.6g (absolute)\n", s.eb_abs);
+  else
+    out += "  error bound   : lossless\n";
+  out += printf_line("  payload bytes : %llu of %llu raw (CF %.2f)\n",
+                     static_cast<unsigned long long>(s.payload_bytes),
+                     static_cast<unsigned long long>(s.raw_bytes),
+                     s.compression_factor());
+  out += printf_line("  value range   : %.6g .. %.6g\n", s.min, s.max);
+  if (!s.blocks.empty()) {
+    out += printf_line("  %-8s %12s %14s %14s\n", "block", "bytes", "min",
+                       "max");
+    for (std::size_t i = 0; i < s.blocks.size(); ++i)
+      out += printf_line("  %-8zu %12llu %14.6g %14.6g\n", i,
+                         static_cast<unsigned long long>(s.blocks[i].bytes),
+                         s.blocks[i].min, s.blocks[i].max);
+  }
+  return out;
+}
+
+void encode_field_stat(const FieldStat& s, ByteWriter& out) {
+  out.put_string(s.name);
+  out.put(s.dtype);
+  out.put(s.codec);
+  out.put(s.eb_abs);
+  write_dims(s.dims, out);
+  write_dims(s.block_dims, out);
+  out.put_varint(s.block_count);
+  out.put_varint(s.payload_bytes);
+  out.put_varint(s.raw_bytes);
+  out.put(s.min);
+  out.put(s.max);
+  out.put_varint(s.blocks.size());
+  for (const auto& b : s.blocks) {
+    out.put_varint(b.bytes);
+    out.put(b.min);
+    out.put(b.max);
+  }
+}
+
+FieldStat decode_field_stat(ByteReader& in) {
+  FieldStat s;
+  s.name = in.get_string();
+  s.dtype = in.get<std::uint8_t>();
+  s.codec = in.get<std::uint8_t>();
+  s.eb_abs = in.get<double>();
+  s.dims = read_dims(in);
+  s.block_dims = read_dims(in);
+  s.block_count = in.get_varint();
+  s.payload_bytes = in.get_varint();
+  s.raw_bytes = in.get_varint();
+  s.min = in.get<double>();
+  s.max = in.get<double>();
+  const std::uint64_t n = in.get_varint();
+  // Each block row is at least 17 wire bytes (1-byte varint + two f64);
+  // bound the reserve by what the stream can actually hold so a hostile
+  // count cannot trigger a huge allocation before the read fails.
+  if (n > in.remaining() / 17)
+    throw std::runtime_error("stat: block row count exceeds stream");
+  s.blocks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BlockStat b;
+    b.bytes = in.get_varint();
+    b.min = in.get<double>();
+    b.max = in.get<double>();
+    s.blocks.push_back(b);
+  }
+  return s;
+}
+
+}  // namespace sz14::archive

@@ -1,0 +1,62 @@
+// Field/index statistics for the SZA container, shared by the local CLI
+// (`sz14 archive stat`) and the serving daemon's `stat` protocol op — one
+// summary struct, one serializer, one text formatter, so the two surfaces
+// can never drift apart.
+//
+// A FieldStat is DERIVED presentation state (aggregated min/max, payload
+// totals, optional per-block coverage rows) computed from the footer's
+// FieldEntry; it never feeds back into the on-disk format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive_format.hpp"
+#include "common/bytebuffer.hpp"
+#include "common/dims.hpp"
+
+namespace sz14::archive {
+
+/// Per-block coverage row (payload size + value summary from the index).
+struct BlockStat {
+  std::uint64_t bytes = 0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Index summary for one field.
+struct FieldStat {
+  std::string name;
+  std::uint8_t dtype = 0;  ///< core/format kDtypeF32 / kDtypeF64
+  std::uint8_t codec = 0;  ///< archive/codec.hpp id
+  double eb_abs = 0.0;
+  Dims dims;
+  Dims block_dims;
+  std::uint64_t block_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  double min = 0.0;  ///< aggregate over all blocks
+  double max = 0.0;
+  std::vector<BlockStat> blocks;  ///< empty unless with_blocks
+
+  [[nodiscard]] double compression_factor() const noexcept {
+    return payload_bytes != 0
+               ? static_cast<double>(raw_bytes) /
+                     static_cast<double>(payload_bytes)
+               : 0.0;
+  }
+};
+
+/// Summarize one footer entry; `with_blocks` adds the per-block rows.
+[[nodiscard]] FieldStat field_stat(const FieldEntry& f, bool with_blocks);
+
+/// Human-readable multi-line rendering (the `archive stat` / `get --stat`
+/// output).  Per-block rows print only when the stat carries them.
+[[nodiscard]] std::string format_field_stat(const FieldStat& s);
+
+/// Wire form (used by the serve protocol's `stat` and `ls` responses).
+void encode_field_stat(const FieldStat& s, ByteWriter& out);
+[[nodiscard]] FieldStat decode_field_stat(ByteReader& in);
+
+}  // namespace sz14::archive

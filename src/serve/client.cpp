@@ -1,0 +1,108 @@
+#include "serve/client.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/format.hpp"
+
+namespace sz14::serve {
+namespace {
+
+template <typename T>
+std::vector<T> typed_values(const ReadResponse& resp, std::uint8_t want,
+                            const char* want_name) {
+  if (resp.dtype != want)
+    throw std::runtime_error(std::string("serve: field is not ") + want_name);
+  std::vector<T> out(resp.values.size() / sizeof(T));
+  std::memcpy(out.data(), resp.values.data(), resp.values.size());
+  return out;
+}
+
+}  // namespace
+
+Client::Client(const std::string& transport, const std::string& endpoint) {
+  const TransportOps* t = transport_by_name(transport);
+  if (t == nullptr)
+    throw std::invalid_argument("serve: unknown transport '" + transport +
+                                "'");
+  conn_ = t->connect(endpoint);
+  ByteWriter w;
+  encode_open_request(OpenRequest{kProtocolVersion}, w);
+  const auto body = roundtrip(kOpOpen, w.view());
+  ByteReader in(body);
+  const OpenResponse open = decode_open_response(in);
+  field_count_ = open.field_count;
+}
+
+Client::~Client() = default;
+
+std::vector<std::uint8_t> Client::roundtrip(
+    std::uint8_t opcode, std::span<const std::uint8_t> body) {
+  conn_->send_all(encode_frame(opcode, body));
+  Frame frame;
+  while (!parser_.next(frame)) {
+    std::uint8_t buf[64 << 10];
+    const std::size_t n = conn_->recv_some(buf);
+    if (n == 0)
+      throw std::runtime_error("serve: connection closed mid-response");
+    parser_.feed({buf, n});
+  }
+  if (frame.kind != kStatusOk) {
+    const std::string detail(frame.body.begin(), frame.body.end());
+    throw std::runtime_error(std::string("serve: ") +
+                             status_name(frame.kind) +
+                             (detail.empty() ? "" : ": " + detail));
+  }
+  return std::move(frame.body);
+}
+
+std::vector<archive::FieldStat> Client::ls() {
+  const auto body = roundtrip(kOpLs, {});
+  ByteReader in(body);
+  return decode_ls_response(in);
+}
+
+archive::FieldStat Client::stat(const std::string& field) {
+  ByteWriter w;
+  encode_stat_request(StatRequest{field}, w);
+  const auto body = roundtrip(kOpStat, w.view());
+  ByteReader in(body);
+  return archive::decode_field_stat(in);
+}
+
+ServerStats Client::stats() {
+  const auto body = roundtrip(kOpStats, {});
+  ByteReader in(body);
+  return decode_server_stats(in);
+}
+
+ReadResponse Client::read_raw(const std::string& field,
+                              const std::optional<archive::Region>& region) {
+  ByteWriter w;
+  encode_read_request(ReadRequest{field, region}, w);
+  const auto body =
+      roundtrip(region ? kOpReadRegion : kOpReadField, w.view());
+  ByteReader in(body);
+  return decode_read_response(in);
+}
+
+std::vector<float> Client::read_region(const std::string& field,
+                                       const archive::Region& region) {
+  return typed_values<float>(read_raw(field, region), kDtypeF32, "f32");
+}
+
+std::vector<float> Client::read_field(const std::string& field) {
+  return typed_values<float>(read_raw(field, std::nullopt), kDtypeF32, "f32");
+}
+
+std::vector<double> Client::read_region64(const std::string& field,
+                                          const archive::Region& region) {
+  return typed_values<double>(read_raw(field, region), kDtypeF64, "f64");
+}
+
+std::vector<double> Client::read_field64(const std::string& field) {
+  return typed_values<double>(read_raw(field, std::nullopt), kDtypeF64,
+                              "f64");
+}
+
+}  // namespace sz14::serve

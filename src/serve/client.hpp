@@ -1,0 +1,77 @@
+// Blocking client for the serving daemon.  One Client is one connection:
+// it dials through the transport table, performs the version handshake,
+// then issues strictly request/response ops.  Not thread-safe — use one
+// Client per thread (the server multiplexes fine; this keeps the client
+// trivial and mirrors how the CLI and benchmarks actually use it).
+//
+// Error model: transport failures and non-OK response statuses both throw
+// std::runtime_error whose message carries status_name() plus the server's
+// diagnostic, so callers never need to inspect raw status bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/blocking.hpp"
+#include "archive/stat_format.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace sz14::serve {
+
+class Client {
+ public:
+  /// Dial `endpoint` over `transport` and run the open handshake.  Throws
+  /// on connect failure or version mismatch.
+  Client(const std::string& transport, const std::string& endpoint);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Field count reported by the open handshake.
+  [[nodiscard]] std::uint64_t field_count() const noexcept {
+    return field_count_;
+  }
+
+  /// Summary of every field (no per-block rows).
+  [[nodiscard]] std::vector<archive::FieldStat> ls();
+
+  /// Full stat for one field, per-block rows included.
+  [[nodiscard]] archive::FieldStat stat(const std::string& field);
+
+  /// Server counter snapshot.
+  [[nodiscard]] ServerStats stats();
+
+  /// Decoded values for a hyperslab / whole field.  The f32 variants
+  /// throw if the remote field is f64 and vice versa.
+  [[nodiscard]] std::vector<float> read_region(const std::string& field,
+                                               const archive::Region& region);
+  [[nodiscard]] std::vector<float> read_field(const std::string& field);
+  [[nodiscard]] std::vector<double> read_region64(
+      const std::string& field, const archive::Region& region);
+  [[nodiscard]] std::vector<double> read_field64(const std::string& field);
+
+  /// Raw variant the CLI uses: dtype + shape + LE payload, no typing.
+  [[nodiscard]] ReadResponse read_raw(
+      const std::string& field,
+      const std::optional<archive::Region>& region);
+
+  /// Escape hatch for robustness tests: the underlying connection.
+  [[nodiscard]] Connection& connection() noexcept { return *conn_; }
+
+ private:
+  /// Send one request frame, block for one response frame, throw on any
+  /// non-OK status.
+  std::vector<std::uint8_t> roundtrip(std::uint8_t opcode,
+                                      std::span<const std::uint8_t> body);
+
+  std::unique_ptr<Connection> conn_;
+  FrameParser parser_{kMaxResponseBody};
+  std::uint64_t field_count_ = 0;
+};
+
+}  // namespace sz14::serve

@@ -1,0 +1,412 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/format.hpp"
+
+#if !defined(_WIN32)
+#include <poll.h>
+#include <unistd.h>
+#include <fcntl.h>
+#endif
+
+namespace sz14::serve {
+
+/// Per-connection state.  The fd and parser belong to the event thread;
+/// the outbox is the one cross-thread surface (workers append under
+/// out_mutex, the event thread drains).  `closed` gates late worker
+/// responses after the session is gone.
+struct Server::Session {
+  std::uint64_t id = 0;
+  std::unique_ptr<Connection> conn;
+  FrameParser parser{kMaxRequestBody};
+  std::mutex out_mutex;
+  std::deque<std::vector<std::uint8_t>> outbox;
+  std::size_t out_pos = 0;   // bytes of outbox.front() already written
+  bool closing = false;      // flush remaining outbox, then close
+  bool input_dead = false;   // framing lost: stop reading
+  std::atomic<bool> closed{false};
+};
+
+Server::Server(const std::string& archive_path, ServerConfig config)
+    : config_(std::move(config)),
+      pool_(config_.threads),
+      reader_(archive_path, 0, [this] {
+        // The reader borrows the serving pool, so a read request is one
+        // worker task whose block decodes run inline (run_batch
+        // reentrancy) — the worker set stays bounded.
+        ExecPolicy p = config_.policy;
+        p.pool = &pool_;
+        return p;
+      }()) {
+  reader_.set_cache_capacity(config_.cache_bytes);
+  reader_.set_coalescing(config_.coalescing);
+}
+
+Server::~Server() { stop(); }
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
+  s.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  s.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+  s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  s.requests_error = requests_error_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.blocks_decoded = reader_.blocks_decoded();
+  s.coalesced_reads = reader_.coalesced_reads();
+  s.cache_hits = reader_.cache_hits();
+  s.cache_misses = reader_.cache_misses();
+  s.cache_evictions = reader_.cache_evictions();
+  s.cache_resident_bytes = reader_.cache_resident_bytes();
+  s.cache_capacity_bytes = reader_.cache_capacity();
+  return s;
+}
+
+#if !defined(_WIN32)
+
+void Server::start() {
+  if (running_.load()) throw std::logic_error("serve: server already running");
+  const TransportOps* t = transport_by_name(config_.transport);
+  if (t == nullptr)
+    throw std::invalid_argument("serve: unknown transport '" +
+                                config_.transport + "'");
+  listener_ = t->listen(config_.endpoint);
+  endpoint_ = listener_->endpoint();
+  if (::pipe(wake_pipe_) < 0) {
+    listener_.reset();
+    throw std::runtime_error("serve: cannot create wakeup pipe");
+  }
+  for (const int fd : wake_pipe_)
+    (void)::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  running_.store(true);
+  event_thread_ = std::thread([this] { event_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    if (!event_thread_.joinable()) return;
+  }
+  wake();
+  if (event_thread_.joinable()) event_thread_.join();
+  // In-flight read tasks may still be enqueueing; let them finish against
+  // live (if already closed, silently dropped) sessions before teardown.
+  pool_.wait();
+  sessions_.clear();
+  sessions_active_.store(0, std::memory_order_relaxed);
+  listener_.reset();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void Server::wake() noexcept {
+  if (wake_pipe_[1] >= 0) (void)!::write(wake_pipe_[1], "x", 1);
+}
+
+void Server::event_loop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::uint64_t> ids;  // session id per pollfd slot (0 = none)
+  std::vector<std::uint64_t> doomed;
+  while (running_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    ids.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    ids.push_back(0);
+    pfds.push_back({listener_->fd(), POLLIN, 0});
+    ids.push_back(0);
+    for (const auto& [id, s] : sessions_) {
+      short events = 0;
+      if (!s->input_dead) events |= POLLIN;
+      bool pending;
+      {
+        std::lock_guard<std::mutex> lock(s->out_mutex);
+        pending = !s->outbox.empty();
+      }
+      if (pending) events |= POLLOUT;
+      pfds.push_back({s->conn->fd(), events, 0});
+      ids.push_back(id);
+    }
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) continue;  // EINTR
+    if (!running_.load(std::memory_order_relaxed)) break;
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) accept_pending();
+
+    doomed.clear();
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      const auto it = sessions_.find(ids[i]);
+      if (it == sessions_.end()) continue;
+      const std::shared_ptr<Session> s = it->second;
+      bool alive = (pfds[i].revents & (POLLERR | POLLNVAL)) == 0;
+      if (alive && (pfds[i].revents & POLLOUT)) alive = flush_output(*s);
+      if (alive && (pfds[i].revents & (POLLIN | POLLHUP)) && !s->input_dead)
+        alive = service_input(s);
+      if (alive && s->closing) {
+        std::lock_guard<std::mutex> lock(s->out_mutex);
+        if (s->outbox.empty()) alive = false;  // error frame flushed
+      }
+      if (!alive) doomed.push_back(ids[i]);
+    }
+    for (const auto id : doomed) close_session(id);
+  }
+  // Orderly shutdown: drop every session now so client recv sees EOF
+  // promptly (stop() clears the table again after the pool drains).
+  doomed.clear();
+  for (const auto& [id, s] : sessions_) doomed.push_back(id);
+  for (const auto id : doomed) close_session(id);
+}
+
+void Server::accept_pending() {
+  while (auto conn = listener_->accept()) {
+    if (sessions_.size() >= config_.max_sessions) {
+      // Bounded session table: shed load at accept, before any state or
+      // worker time is spent on the connection.
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // unique_ptr closes the fd
+    }
+    auto s = std::make_shared<Session>();
+    s->id = next_session_id_++;
+    s->conn = std::move(conn);
+    s->conn->set_nonblocking(true);
+    sessions_.emplace(s->id, s);
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    sessions_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::service_input(const std::shared_ptr<Session>& s) {
+  std::uint8_t buf[64 << 10];
+  for (;;) {
+    std::ptrdiff_t n;
+    try {
+      n = s->conn->read_some(buf);
+    } catch (const std::exception&) {
+      return false;  // hard I/O error: drop the session
+    }
+    if (n < 0) return true;  // drained for now
+    if (n == 0) return false;  // orderly EOF
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    try {
+      s->parser.feed({buf, static_cast<std::size_t>(n)});
+    } catch (const ProtocolError& e) {
+      // Framing is unrecoverable (bad magic / hostile length): answer once,
+      // stop reading, close after the error frame flushes.
+      enqueue_error(s, kStatusBadRequest, e.what());
+      s->input_dead = true;
+      s->closing = true;
+      return true;
+    }
+    Frame frame;
+    while (s->parser.next(frame)) dispatch(s, frame);
+  }
+}
+
+void Server::dispatch(const std::shared_ptr<Session>& s, const Frame& frame) {
+  ByteReader in(frame.body);
+  try {
+    switch (frame.kind) {
+      case kOpOpen: {
+        const OpenRequest req = decode_open_request(in);
+        if (req.version != kProtocolVersion) {
+          enqueue_error(s, kStatusBadRequest,
+                        "unsupported protocol version " +
+                            std::to_string(req.version));
+          return;
+        }
+        ByteWriter w;
+        encode_open_response(
+            OpenResponse{kProtocolVersion, reader_.fields().size()}, w);
+        enqueue(s, kStatusOk, w.view());
+        return;
+      }
+      case kOpLs: {
+        std::vector<archive::FieldStat> fields;
+        fields.reserve(reader_.fields().size());
+        for (const auto& f : reader_.fields())
+          fields.push_back(archive::field_stat(f, /*with_blocks=*/false));
+        ByteWriter w;
+        encode_ls_response(fields, w);
+        enqueue(s, kStatusOk, w.view());
+        return;
+      }
+      case kOpStat: {
+        const StatRequest req = decode_stat_request(in);
+        const archive::FieldEntry* fe;
+        try {
+          fe = &reader_.field(req.field);
+        } catch (const std::invalid_argument& e) {
+          enqueue_error(s, kStatusNotFound, e.what());
+          return;
+        }
+        ByteWriter w;
+        archive::encode_field_stat(archive::field_stat(*fe, true), w);
+        if (w.size() > kMaxResponseBody) {
+          enqueue_error(s, kStatusTooLarge, "stat response exceeds limit");
+          return;
+        }
+        enqueue(s, kStatusOk, w.view());
+        return;
+      }
+      case kOpStats: {
+        ByteWriter w;
+        encode_server_stats(stats(), w);
+        enqueue(s, kStatusOk, w.view());
+        return;
+      }
+      case kOpReadRegion:
+      case kOpReadField:
+        handle_read(s, frame.kind, frame.body);
+        return;
+      default:
+        enqueue_error(s, kStatusBadRequest,
+                      "unknown opcode " + std::to_string(frame.kind));
+        return;
+    }
+  } catch (const ProtocolError& e) {
+    // Body decode failed but framing is intact: answer and keep serving.
+    enqueue_error(s, kStatusBadRequest, e.what());
+  } catch (const std::exception& e) {
+    enqueue_error(s, kStatusServerError, e.what());
+  }
+}
+
+void Server::handle_read(const std::shared_ptr<Session>& s,
+                         std::uint8_t opcode,
+                         const std::vector<std::uint8_t>& body) {
+  ByteReader in(body);
+  ReadRequest req = decode_read_request(in);
+  if (opcode == kOpReadField) req.region.reset();
+  // Name resolution happens here on the event thread so a typo'd field is
+  // a cheap kStatusNotFound, not a pool round-trip.
+  try {
+    (void)reader_.field_index(req.field);
+  } catch (const std::invalid_argument& e) {
+    enqueue_error(s, kStatusNotFound, e.what());
+    return;
+  }
+  // The decode work goes to the pool; the event loop is free immediately.
+  pool_.submit([this, s, req = std::move(req)] {
+    try {
+      const archive::FieldEntry& fe = reader_.field(req.field);
+      ReadResponse resp;
+      resp.dtype = fe.dtype;
+      resp.shape = req.region ? req.region->shape() : fe.dims;
+      if (fe.dtype == kDtypeF64) {
+        const std::vector<double> v =
+            req.region ? reader_.read_region64(req.field, *req.region)
+                       : reader_.read_field64(req.field);
+        resp.values.resize(v.size() * sizeof(double));
+        std::memcpy(resp.values.data(), v.data(), resp.values.size());
+      } else {
+        const std::vector<float> v =
+            req.region ? reader_.read_region(req.field, *req.region)
+                       : reader_.read_field(req.field);
+        resp.values.resize(v.size() * sizeof(float));
+        std::memcpy(resp.values.data(), v.data(), resp.values.size());
+      }
+      ByteWriter w;
+      encode_read_response(resp, w);
+      if (w.size() > kMaxResponseBody) {
+        enqueue_error(s, kStatusTooLarge, "read response exceeds limit");
+        return;
+      }
+      enqueue(s, kStatusOk, w.view());
+    } catch (const std::invalid_argument& e) {
+      enqueue_error(s, kStatusBadRequest, e.what());
+    } catch (const std::exception& e) {
+      enqueue_error(s, kStatusServerError, e.what());
+    }
+  });
+}
+
+void Server::enqueue(const std::shared_ptr<Session>& s, std::uint8_t status,
+                     std::span<const std::uint8_t> body) {
+  auto frame = encode_frame(status, body);
+  {
+    std::lock_guard<std::mutex> lock(s->out_mutex);
+    if (s->closed.load(std::memory_order_relaxed)) return;
+    s->outbox.push_back(std::move(frame));
+  }
+  (status == kStatusOk ? requests_ok_ : requests_error_)
+      .fetch_add(1, std::memory_order_relaxed);
+  wake();
+}
+
+void Server::enqueue_error(const std::shared_ptr<Session>& s,
+                           std::uint8_t status, const std::string& message) {
+  enqueue(s, status,
+          {reinterpret_cast<const std::uint8_t*>(message.data()),
+           message.size()});
+}
+
+bool Server::flush_output(Session& s) {
+  std::lock_guard<std::mutex> lock(s.out_mutex);
+  while (!s.outbox.empty()) {
+    const auto& front = s.outbox.front();
+    const std::span<const std::uint8_t> rest(front.data() + s.out_pos,
+                                             front.size() - s.out_pos);
+    std::ptrdiff_t n;
+    try {
+      n = s.conn->write_some(rest);
+    } catch (const std::exception&) {
+      return false;  // peer vanished
+    }
+    if (n < 0) break;  // socket full; POLLOUT resumes us
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+    s.out_pos += static_cast<std::size_t>(n);
+    if (s.out_pos == front.size()) {
+      s.outbox.pop_front();
+      s.out_pos = 0;
+    }
+  }
+  return true;
+}
+
+void Server::close_session(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(it->second->out_mutex);
+    it->second->closed.store(true, std::memory_order_relaxed);
+  }
+  sessions_.erase(it);
+  sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+#else  // _WIN32
+
+void Server::start() {
+  throw std::runtime_error("serve: not supported on this platform "
+                           "(POSIX poll/sockets required)");
+}
+void Server::stop() {}
+void Server::wake() noexcept {}
+void Server::event_loop() {}
+void Server::accept_pending() {}
+bool Server::service_input(const std::shared_ptr<Session>&) { return false; }
+void Server::dispatch(const std::shared_ptr<Session>&, const Frame&) {}
+void Server::handle_read(const std::shared_ptr<Session>&, std::uint8_t,
+                         const std::vector<std::uint8_t>&) {}
+void Server::enqueue(const std::shared_ptr<Session>&, std::uint8_t,
+                     std::span<const std::uint8_t>) {}
+void Server::enqueue_error(const std::shared_ptr<Session>&, std::uint8_t,
+                           const std::string&) {}
+bool Server::flush_output(Session&) { return false; }
+void Server::close_session(std::uint64_t) {}
+
+#endif
+
+}  // namespace sz14::serve

@@ -1,0 +1,426 @@
+#include "serve/transport.hpp"
+
+#include <stdexcept>
+
+#if !defined(_WIN32)
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <unordered_map>
+
+namespace sz14::serve {
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+void set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) sys_fail("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) sys_fail("fcntl(F_SETFL)");
+}
+
+}  // namespace
+
+// --- Connection ------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) {
+  if (fd_ < 0) throw std::invalid_argument("serve: bad connection fd");
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
+
+std::ptrdiff_t Connection::read_some(std::span<std::uint8_t> out) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    sys_fail("recv");
+  }
+}
+
+std::ptrdiff_t Connection::write_some(std::span<const std::uint8_t> data) {
+  for (;;) {
+    // MSG_NOSIGNAL: a vanished peer is a thrown error, never SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    sys_fail("send");
+  }
+}
+
+void Connection::send_all(std::span<const std::uint8_t> data) {
+  while (!data.empty()) {
+    const std::ptrdiff_t n = write_some(data);
+    if (n < 0) {
+      // Blocking-mode sockets only report would-block under SO_SNDTIMEO;
+      // wait for writability and retry.
+      struct pollfd p{fd_, POLLOUT, 0};
+      (void)::poll(&p, 1, -1);
+      continue;
+    }
+    data = data.subspan(static_cast<std::size_t>(n));
+  }
+}
+
+std::size_t Connection::recv_some(std::span<std::uint8_t> out) {
+  const std::ptrdiff_t n = read_some(out);
+  if (n < 0) {
+    struct pollfd p{fd_, POLLIN, 0};
+    (void)::poll(&p, 1, -1);
+    const std::ptrdiff_t again = read_some(out);
+    return again < 0 ? 0 : static_cast<std::size_t>(again);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void Connection::shutdown_both() noexcept { ::shutdown(fd_, SHUT_RDWR); }
+
+// --- TCP -------------------------------------------------------------------
+
+namespace {
+
+/// "host:port" with empty host meaning 127.0.0.1.
+sockaddr_in parse_tcp_endpoint(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument("serve: tcp endpoint must be host:port, got '" +
+                                endpoint + "'");
+  std::string host = endpoint.substr(0, colon);
+  const std::string port_text = endpoint.substr(colon + 1);
+  if (host.empty()) host = "127.0.0.1";
+  int port;
+  try {
+    port = std::stoi(port_text);
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535)
+    throw std::invalid_argument("serve: bad tcp port '" + port_text + "'");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("serve: bad tcp host '" + host +
+                                "' (IPv4 literal expected)");
+  return addr;
+}
+
+class TcpListener final : public Listener {
+ public:
+  explicit TcpListener(const std::string& endpoint) {
+    sockaddr_in addr = parse_tcp_endpoint(endpoint);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) sys_fail("socket");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      sys_fail("bind " + endpoint);
+    }
+    if (::listen(fd_, 64) < 0) {
+      ::close(fd_);
+      sys_fail("listen " + endpoint);
+    }
+    set_fd_nonblocking(fd_, true);
+    // Resolve ":0" to the kernel-assigned port.
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      ::close(fd_);
+      sys_fail("getsockname");
+    }
+    char host[INET_ADDRSTRLEN];
+    ::inet_ntop(AF_INET, &bound.sin_addr, host, sizeof host);
+    endpoint_ = std::string(host) + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  ~TcpListener() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  int fd() const noexcept override { return fd_; }
+
+  std::unique_ptr<Connection> accept() override {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return nullptr;
+      sys_fail("accept");
+    }
+    const int one = 1;
+    (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return std::make_unique<Connection>(cfd);
+  }
+
+  const std::string& endpoint() const noexcept override { return endpoint_; }
+
+ private:
+  int fd_ = -1;
+  std::string endpoint_;
+};
+
+std::unique_ptr<Listener> tcp_listen(const std::string& endpoint) {
+  return std::make_unique<TcpListener>(endpoint);
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& endpoint) {
+  sockaddr_in addr = parse_tcp_endpoint(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    sys_fail("connect " + endpoint);
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<Connection>(fd);
+}
+
+// --- Unix-domain -----------------------------------------------------------
+
+sockaddr_un parse_unix_endpoint(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path)
+    throw std::invalid_argument("serve: bad unix socket path '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+class UnixListener final : public Listener {
+ public:
+  explicit UnixListener(const std::string& path) : endpoint_(path) {
+    sockaddr_un addr = parse_unix_endpoint(path);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) sys_fail("socket");
+    (void)::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      sys_fail("bind " + path);
+    }
+    if (::listen(fd_, 64) < 0) {
+      ::close(fd_);
+      sys_fail("listen " + path);
+    }
+    set_fd_nonblocking(fd_, true);
+  }
+  ~UnixListener() override {
+    if (fd_ >= 0) ::close(fd_);
+    (void)::unlink(endpoint_.c_str());
+  }
+
+  int fd() const noexcept override { return fd_; }
+
+  std::unique_ptr<Connection> accept() override {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return nullptr;
+      sys_fail("accept");
+    }
+    return std::make_unique<Connection>(cfd);
+  }
+
+  const std::string& endpoint() const noexcept override { return endpoint_; }
+
+ private:
+  int fd_ = -1;
+  std::string endpoint_;
+};
+
+std::unique_ptr<Listener> unix_listen(const std::string& endpoint) {
+  return std::make_unique<UnixListener>(endpoint);
+}
+
+std::unique_ptr<Connection> unix_connect(const std::string& endpoint) {
+  sockaddr_un addr = parse_unix_endpoint(endpoint);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    sys_fail("connect " + endpoint);
+  }
+  return std::make_unique<Connection>(fd);
+}
+
+// --- in-process loopback ---------------------------------------------------
+//
+// connect() creates an AF_UNIX socketpair, hands the server half to the
+// named listener's pending queue, and signals the listener's self-pipe so
+// a poll() on Listener::fd() wakes exactly like a network accept.  Both
+// halves are real sockets, so the server code path is byte-for-byte the
+// one TCP exercises — in-process only means no namespace, no network.
+
+class LoopbackListener;
+
+struct LoopbackRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, LoopbackListener*> endpoints;
+};
+
+LoopbackRegistry& loopback_registry() {
+  static LoopbackRegistry reg;
+  return reg;
+}
+
+class LoopbackListener final : public Listener {
+ public:
+  explicit LoopbackListener(const std::string& name) : endpoint_(name) {
+    if (name.empty())
+      throw std::invalid_argument("serve: loopback endpoint name is empty");
+    if (::pipe(pipe_) < 0) sys_fail("pipe");
+    set_fd_nonblocking(pipe_[0], true);
+    auto& reg = loopback_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!reg.endpoints.emplace(name, this).second) {
+      ::close(pipe_[0]);
+      ::close(pipe_[1]);
+      throw std::runtime_error("serve: loopback endpoint '" + name +
+                               "' already listening");
+    }
+  }
+  ~LoopbackListener() override {
+    auto& reg = loopback_registry();
+    {
+      std::lock_guard<std::mutex> lock(reg.mutex);
+      reg.endpoints.erase(endpoint_);
+      for (const int fd : pending_) ::close(fd);
+      pending_.clear();
+    }
+    ::close(pipe_[0]);
+    ::close(pipe_[1]);
+  }
+
+  int fd() const noexcept override { return pipe_[0]; }
+
+  std::unique_ptr<Connection> accept() override {
+    auto& reg = loopback_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (pending_.empty()) return nullptr;
+    char token;
+    (void)!::read(pipe_[0], &token, 1);
+    const int fd = pending_.front();
+    pending_.pop_front();
+    return std::make_unique<Connection>(fd);
+  }
+
+  const std::string& endpoint() const noexcept override { return endpoint_; }
+
+  /// Called by loopback_connect under the registry lock.
+  void enqueue_locked(int server_fd) {
+    pending_.push_back(server_fd);
+    (void)!::write(pipe_[1], "x", 1);
+  }
+
+ private:
+  std::string endpoint_;
+  int pipe_[2] = {-1, -1};          // [0] pollable accept-readiness
+  std::deque<int> pending_;          // server halves awaiting accept()
+};
+
+std::unique_ptr<Listener> loopback_listen(const std::string& endpoint) {
+  return std::make_unique<LoopbackListener>(endpoint);
+}
+
+std::unique_ptr<Connection> loopback_connect(const std::string& endpoint) {
+  int sp[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) < 0) sys_fail("socketpair");
+  auto& reg = loopback_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.endpoints.find(endpoint);
+  if (it == reg.endpoints.end()) {
+    ::close(sp[0]);
+    ::close(sp[1]);
+    throw std::runtime_error("serve: no loopback listener named '" +
+                             endpoint + "'");
+  }
+  it->second->enqueue_locked(sp[0]);
+  return std::make_unique<Connection>(sp[1]);
+}
+
+constexpr TransportOps kTransports[] = {
+    {1, "tcp", tcp_listen, tcp_connect},
+    {2, "unix", unix_listen, unix_connect},
+    {3, "loopback", loopback_listen, loopback_connect},
+};
+
+}  // namespace
+
+std::span<const TransportOps> transport_table() noexcept {
+  return kTransports;
+}
+
+const TransportOps* transport_by_name(std::string_view name) noexcept {
+  for (const auto& t : kTransports)
+    if (name == t.name) return &t;
+  return nullptr;
+}
+
+}  // namespace sz14::serve
+
+#else  // _WIN32: the serving daemon is POSIX-only; lookups resolve but every
+       // transport operation reports the platform gap instead of crashing.
+
+namespace sz14::serve {
+namespace {
+
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("serve: transports are not supported on this "
+                           "platform (POSIX sockets required)");
+}
+
+std::unique_ptr<Listener> stub_listen(const std::string&) { unsupported(); }
+std::unique_ptr<Connection> stub_connect(const std::string&) { unsupported(); }
+
+constexpr TransportOps kTransports[] = {
+    {1, "tcp", stub_listen, stub_connect},
+    {2, "unix", stub_listen, stub_connect},
+    {3, "loopback", stub_listen, stub_connect},
+};
+
+}  // namespace
+
+Connection::Connection(int) { unsupported(); }
+Connection::~Connection() = default;
+void Connection::set_nonblocking(bool) { unsupported(); }
+std::ptrdiff_t Connection::read_some(std::span<std::uint8_t>) {
+  unsupported();
+}
+std::ptrdiff_t Connection::write_some(std::span<const std::uint8_t>) {
+  unsupported();
+}
+void Connection::send_all(std::span<const std::uint8_t>) { unsupported(); }
+std::size_t Connection::recv_some(std::span<std::uint8_t>) { unsupported(); }
+void Connection::shutdown_both() noexcept {}
+
+std::span<const TransportOps> transport_table() noexcept {
+  return kTransports;
+}
+
+const TransportOps* transport_by_name(std::string_view name) noexcept {
+  for (const auto& t : kTransports)
+    if (name == t.name) return &t;
+  return nullptr;
+}
+
+}  // namespace sz14::serve
+
+#endif

@@ -1,0 +1,101 @@
+// Pluggable byte-stream transports for the serving daemon, following the
+// same CCID operations-table idiom as the archive codec registry (and the
+// Linux DCCP `ccid_operations` table it is modeled on): one static row of
+// function pointers per transport, looked up by name, so the server and
+// client are written once against Listener/Connection and every backend —
+// TCP socket, Unix-domain socket, in-process loopback — plugs in through
+// the table.
+//
+// All three backends hand out ordinary file descriptors (the loopback uses
+// an AF_UNIX socketpair and a self-pipe for accept readiness), so the
+// server's event loop is ONE poll(2) set regardless of transport — no
+// per-backend wait machinery, and the loopback exercises the exact same
+// event-driven code path the network transports use, which is what makes
+// it an honest stand-in for tests and benchmarks (TSan included).
+//
+// Endpoint grammar per transport:
+//   tcp       "host:port" (IPv4 literal; empty host = 127.0.0.1; port 0
+//             binds an ephemeral port — read the resolved one back from
+//             Listener::endpoint())
+//   unix      filesystem path of the socket (unlinked+rebound on listen)
+//   loopback  any name, scoped to this process
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sz14::serve {
+
+/// One accepted (or dialed) byte-stream connection over an fd.  Blocking
+/// helpers serve the client library; the server flips the fd nonblocking
+/// and uses the *_some() calls from its poll loop.
+class Connection {
+ public:
+  explicit Connection(int fd);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void set_nonblocking(bool on);
+
+  /// Read whatever is available: > 0 bytes read, 0 on orderly EOF,
+  /// -1 when a nonblocking read would block.  Throws on hard I/O errors.
+  [[nodiscard]] std::ptrdiff_t read_some(std::span<std::uint8_t> out);
+
+  /// Write what the socket will take now: >= 0 bytes written, -1 when a
+  /// nonblocking write would block.  Never raises SIGPIPE — a peer that
+  /// vanished surfaces as a thrown error instead.
+  [[nodiscard]] std::ptrdiff_t write_some(std::span<const std::uint8_t> data);
+
+  /// Blocking: write the entire span (client side).
+  void send_all(std::span<const std::uint8_t> data);
+
+  /// Blocking: read up to out.size() bytes, at least one unless EOF
+  /// (returns 0).  Client side.
+  [[nodiscard]] std::size_t recv_some(std::span<std::uint8_t> out);
+
+  /// Hard-close both directions without destroying the object (used by
+  /// the abrupt-disconnect robustness tests).
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Accept side of one transport endpoint.  `fd()` polls readable when a
+/// connection is waiting; `accept()` is nonblocking and returns null when
+/// nothing is pending.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  [[nodiscard]] virtual int fd() const noexcept = 0;
+  [[nodiscard]] virtual std::unique_ptr<Connection> accept() = 0;
+  /// Resolved endpoint (e.g. the actual port after binding ":0").
+  [[nodiscard]] virtual const std::string& endpoint() const noexcept = 0;
+};
+
+/// Operations-table row: everything the server/client need from a
+/// transport.  Rows are static data in transport.cpp; the table is the
+/// registry (append rows, never reorder — mirrors the codec table).
+struct TransportOps {
+  std::uint8_t id;
+  const char* name;
+  std::unique_ptr<Listener> (*listen)(const std::string& endpoint);
+  std::unique_ptr<Connection> (*connect)(const std::string& endpoint);
+};
+
+/// All registered transports, id-ascending.
+[[nodiscard]] std::span<const TransportOps> transport_table() noexcept;
+
+/// Lookup by name ("tcp", "unix", "loopback"); nullptr when unknown.
+[[nodiscard]] const TransportOps* transport_by_name(
+    std::string_view name) noexcept;
+
+}  // namespace sz14::serve

@@ -239,5 +239,145 @@ TEST(ArchiveConcurrency, ResetCountersClearsStatsNotCache) {
   std::remove(path.c_str());
 }
 
+// --- single-flight / request coalescing ------------------------------------
+
+TEST(SingleFlightMap, LeaderDecodesFollowersShare) {
+  SingleFlight flight;
+  auto [entry, leader] = flight.begin(0, 7);
+  ASSERT_TRUE(leader);
+
+  // A second thread joining the same (field, block) must be a follower and
+  // receive exactly the leader's published value.  The leader holds off
+  // publishing until the follower has actually joined the flight —
+  // otherwise the "follower" would win a fresh flight of its own.
+  std::shared_ptr<const void> seen;
+  std::atomic<bool> joined{false};
+  std::thread follower([&] {
+    auto [e, lead] = flight.begin(0, 7);
+    EXPECT_FALSE(lead);
+    joined.store(true);
+    seen = flight.wait(*e);
+  });
+  while (!joined.load()) std::this_thread::yield();
+  const auto value = std::make_shared<const std::vector<float>>(
+      std::vector<float>{1.0f, 2.0f});
+  flight.publish(0, 7, *entry, value, nullptr);
+  follower.join();
+  EXPECT_EQ(seen.get(), static_cast<const void*>(value.get()));
+  EXPECT_EQ(flight.coalesced(), 1u);
+
+  // publish() retired the entry: the next begin starts a fresh flight.
+  auto [entry2, leader2] = flight.begin(0, 7);
+  EXPECT_TRUE(leader2);
+  flight.publish(0, 7, *entry2, value, nullptr);
+
+  // Distinct keys never coalesce with each other.
+  auto [a, la] = flight.begin(1, 7);
+  auto [b, lb] = flight.begin(0, 8);
+  EXPECT_TRUE(la);
+  EXPECT_TRUE(lb);
+  flight.publish(1, 7, *a, value, nullptr);
+  flight.publish(0, 8, *b, value, nullptr);
+}
+
+TEST(SingleFlightMap, LeaderFailurePropagatesToFollowersNotHangs) {
+  SingleFlight flight;
+  auto [entry, leader] = flight.begin(3, 3);
+  ASSERT_TRUE(leader);
+  std::atomic<int> rethrown{0};
+  std::atomic<bool> joined{false};
+  std::thread follower([&] {
+    auto [e, lead] = flight.begin(3, 3);
+    EXPECT_FALSE(lead);
+    joined.store(true);
+    try {
+      (void)flight.wait(*e);
+    } catch (const std::runtime_error&) {
+      ++rethrown;
+    }
+  });
+  while (!joined.load()) std::this_thread::yield();
+  flight.publish(3, 3, *entry, nullptr,
+                 std::make_exception_ptr(std::runtime_error("CRC mismatch")));
+  follower.join();
+  EXPECT_EQ(rethrown.load(), 1);
+  // The failed flight is retired too — the next reader retries fresh
+  // instead of inheriting a poisoned entry.
+  auto [entry2, leader2] = flight.begin(3, 3);
+  EXPECT_TRUE(leader2);
+  flight.publish(3, 3, *entry2, nullptr, nullptr);
+}
+
+// The coalescing contract on a real reader: cache + single-flight together
+// make a cold concurrent burst decode each block EXACTLY once.  The leader
+// re-probes the cache after winning leadership, which closes the window
+// where a decode completing between a follower's cache miss and its
+// begin() call would trigger a duplicate decode — that is what makes this
+// equality deterministic rather than flaky.
+TEST(ArchiveConcurrency, CoalescedColdBurstDecodesEachBlockExactlyOnce) {
+  const std::string path = make_archive("coalesce_cold.sza");
+  ArchiveReader reader(path, 4);
+  const auto want = reader.read_field("lossy32");
+  const std::size_t nblocks = reader.field("lossy32").blocks.size();
+  reader.set_cache_capacity(64u << 20);
+  reader.set_coalescing(true);
+  reader.reset_counters();
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      if (reader.read_field("lossy32") != want) ++mismatches;
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(reader.blocks_decoded(), nblocks);
+  // Every block visit beyond the unique decodes was served by the
+  // single-flight map or the cache — the accounting is exact.
+  EXPECT_EQ(reader.coalesced_reads() + reader.cache_hits(),
+            kThreads * nblocks - nblocks);
+  std::remove(path.c_str());
+}
+
+// Coalescing without the cache: simultaneous decodes still merge, and with
+// no cache in play every block visit is either a leader decode or a
+// coalesced wait — the two counters partition the total exactly.
+TEST(ArchiveConcurrency, CoalescingAloneMergesSimultaneousDecodes) {
+  const std::string path = make_archive("coalesce_nocache.sza");
+  ArchiveReader reader(path, 4);
+  const auto want = reader.read_field("lossy32");
+  const std::size_t nblocks = reader.field("lossy32").blocks.size();
+  reader.set_coalescing(true);
+  reader.reset_counters();
+
+  constexpr std::size_t kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      if (reader.read_field("lossy32") != want) ++mismatches;
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(reader.blocks_decoded() + reader.coalesced_reads(),
+            kThreads * nblocks);
+  EXPECT_LE(reader.blocks_decoded(), kThreads * nblocks);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveConcurrency, ResetCountersClearsCoalescedReads) {
+  const std::string path = make_archive("coalesce_reset.sza");
+  ArchiveReader reader(path, 2);
+  reader.set_coalescing(true);
+  (void)reader.read_field("lossy32");
+  reader.reset_counters();
+  EXPECT_EQ(reader.coalesced_reads(), 0u);
+  EXPECT_EQ(reader.blocks_decoded(), 0u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace sz14::archive

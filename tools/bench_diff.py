@@ -23,14 +23,24 @@ With --speedups, also prints the per-field speedup records (informational;
 absolute numbers are machine-dependent, so they are never compared across
 machines).
 
+Latency-percentile records (the serving-daemon bench emits
+latency_p50_ms/latency_p99_ms) are validated in every mode: both keys must
+travel together, both must be finite non-negative numbers, and p50 cannot
+exceed p99 — a bench emitting a malformed percentile fails loudly instead
+of poisoning the trajectory.
+
 Malformed input — a file that is not a JSON array of objects, a record
-missing a section the other file has, or a gated metric missing from one
-side — always produces a one-line `bench_diff: ...` diagnostic and exit
-code 1, never a traceback.  `--selftest` exercises those failure paths
-(CI runs it so the error handling cannot bit-rot).
+missing a section the other file has, a gated metric missing from one
+side, or a malformed latency percentile — always produces a one-line
+`bench_diff: ...` diagnostic and exit code 1, never a traceback.
+`--selftest` exercises those failure paths (CI runs it so the error
+handling cannot bit-rot).
 """
 import json
+import math
 import sys
+
+LATENCY_KEYS = ("latency_p50_ms", "latency_p99_ms")
 
 
 def fail(msg):
@@ -64,7 +74,30 @@ def load(path):
                  f"(got {type(rec).__name__})")
         if "bench" not in rec:
             fail(f"{path}: record {i} is missing the 'bench' section key")
+        check_latency(path, i, rec)
     return records
+
+
+def check_latency(path, i, rec):
+    """Latency percentiles are load-bearing for the serving trajectory:
+    validate them on every record that carries any, in every mode."""
+    present = [k for k in LATENCY_KEYS if k in rec]
+    if not present:
+        return
+    missing = [k for k in LATENCY_KEYS if k not in rec]
+    if missing:
+        fail(f"{path}: record {i} ('{record_kind(rec)}') has {present} "
+             f"but is missing {missing}")
+    for key in LATENCY_KEYS:
+        v = rec[key]
+        if (isinstance(v, bool) or not isinstance(v, (int, float))
+                or not math.isfinite(v) or v < 0):
+            fail(f"{path}: record {i} ('{record_kind(rec)}'): '{key}' must "
+                 f"be a finite non-negative number, got {v!r}")
+    if rec["latency_p50_ms"] > rec["latency_p99_ms"]:
+        fail(f"{path}: record {i} ('{record_kind(rec)}'): latency_p50_ms "
+             f"{rec['latency_p50_ms']} exceeds latency_p99_ms "
+             f"{rec['latency_p99_ms']}")
 
 
 def schema_of(path, records):
@@ -176,11 +209,18 @@ def selftest():
         base.update(kw)
         return base
 
+    def daemon_record(**kw):
+        base = {"bench": "perf_suite_serving_daemon", "field": "f",
+                "reads_per_s": 5000.0, "latency_p50_ms": 0.2,
+                "latency_p99_ms": 1.5}
+        base.update(kw)
+        return {k: v for k, v in base.items() if v is not ...}
+
     cases = []  # (name, file_a, file_b, extra_args, expect_rc, expect_text)
     good = [record(), {"bench": "machine", "reps": 1},
             {"bench": "perf_suite_speedup", "field": "f",
              "speedup_compress": 1.5, "speedup_decompress": 2.5,
-             "streams_identical": 1}]
+             "streams_identical": 1}, daemon_record()]
     cases.append(("identical schemas pass", good, good, [], 0,
                   "schemas match"))
     cases.append(("speedups print", good, good, ["--speedups"], 0,
@@ -212,6 +252,26 @@ def selftest():
                   [good[0], good[1], {"bench": "perf_suite_speedup",
                                       "field": "f"}],
                   ["--speedups"], 1, "speedup record is missing"))
+    cases.append(("malformed p99 string", good,
+                  good[:3] + [daemon_record(latency_p99_ms="fast")], [], 1,
+                  "must be a finite non-negative number"))
+    cases.append(("malformed p99 negative", good,
+                  good[:3] + [daemon_record(latency_p99_ms=-1.0)], [], 1,
+                  "must be a finite non-negative number"))
+    cases.append(("malformed p99 null", good,
+                  good[:3] + [daemon_record(latency_p99_ms=None)], [], 1,
+                  "must be a finite non-negative number"))
+    cases.append(("p50 exceeds p99", good,
+                  good[:3] + [daemon_record(latency_p50_ms=2.0,
+                                            latency_p99_ms=1.0)], [], 1,
+                  "exceeds latency_p99_ms"))
+    cases.append(("p50 without p99", good,
+                  good[:3] + [daemon_record(latency_p99_ms=...)], [], 1,
+                  "is missing ['latency_p99_ms']"))
+    cases.append(("latency checked in gate mode too", good,
+                  good[:3] + [daemon_record(latency_p99_ms="oops")],
+                  ["--max-regress", "0.9"], 1,
+                  "must be a finite non-negative number"))
 
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

@@ -16,20 +16,36 @@
 //                        (--abs EB | --rel R) [--dtype f32|f64]
 //                        [--block B1xB2[..]] [-t THREADS]
 //   sz14 archive ls      -i in.sza
+//   sz14 archive stat    -i in.sza [-f name]
 //   sz14 archive extract -i in.sza -f name -o out.raw
 //                        [--origin O1xO2[..] --shape S1xS2[..]] [-t THREADS]
 //   sz14 archive cat     -i in.sza -f name [--origin .. --shape ..]
 //                        [--limit N] [-t THREADS]
 //
+// Serving daemon (src/serve/): a long-lived reader behind a socket.
+//
+//   sz14 serve -i in.sza [--transport tcp|unix] [--listen ENDPOINT]
+//              [-t THREADS] [--cache BYTES[K|M|G]] [--max-sessions N]
+//              [--no-coalesce]
+//   sz14 get   --connect ENDPOINT [--transport tcp|unix]
+//              (--ls | --stats | --stat -f NAME |
+//               -f NAME [-o OUT] [--origin .. --shape ..] [--limit N])
+//
 // Raw files are flat little-endian arrays; the shape is given with -d
 // (slowest dimension first, 'x'-separated), exactly how scientific data
 // sets such as the paper's ATM/APS/hurricane files ship.
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "archive/archive.hpp"
@@ -44,6 +60,8 @@
 #include "metrics/metrics.hpp"
 #include "parallel/parallel_codec.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -77,10 +95,17 @@ struct Args {
                "[--field ...] [--codec C] (--abs EB | --rel R) "
                "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo]\n"
                "  sz14 archive ls      -i IN\n"
+               "  sz14 archive stat    -i IN [-f NAME]\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
                "[--origin DIMS --shape DIMS] [-t THREADS]\n"
                "  sz14 archive cat     -i IN -f NAME "
-               "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n");
+               "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n"
+               "  sz14 serve -i IN [--transport tcp|unix] "
+               "[--listen ENDPOINT] [-t THREADS] [--cache BYTES[K|M|G]] "
+               "[--max-sessions N] [--no-coalesce]\n"
+               "  sz14 get   --connect ENDPOINT [--transport tcp|unix] "
+               "(--ls | --stats | --stat -f NAME | -f NAME [-o OUT] "
+               "[--origin DIMS --shape DIMS] [--limit N])\n");
   std::exit(2);
 }
 
@@ -96,6 +121,33 @@ Dims parse_dims(const std::string& text) {
     pos = end + 1;
   }
   return Dims(std::span<const std::size_t>(ext));
+}
+
+/// "--cache 256M" style byte count: bare bytes or a K/M/G suffix
+/// (binary multiples; a trailing B/iB is accepted, so 64M == 64MB ==
+/// 64MiB).
+std::size_t parse_size_bytes(const std::string& text) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    usage(("bad size: " + text).c_str());
+  }
+  std::string suffix = text.substr(pos);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+  if (!suffix.empty() && suffix.back() == 'b') {
+    suffix.pop_back();
+    if (!suffix.empty() && suffix.back() == 'i') suffix.pop_back();
+  }
+  unsigned shift = 0;
+  if (suffix == "k") shift = 10;
+  else if (suffix == "m") shift = 20;
+  else if (suffix == "g") shift = 30;
+  else if (!suffix.empty()) usage(("bad size suffix: " + text).c_str());
+  if (shift && v > (std::numeric_limits<unsigned long long>::max() >> shift))
+    usage(("size too large: " + text).c_str());
+  return static_cast<std::size_t>(v << shift);
 }
 
 Args parse(int argc, char** argv) {
@@ -402,29 +454,40 @@ Dims default_block(const Dims& dims) {
   return Dims(std::span<const std::size_t>(ext));
 }
 
-std::optional<archive::Region> parse_region(const ArchiveArgs& a,
-                                            const Dims& dims) {
-  if (a.origin_text.empty() && a.shape_text.empty()) return std::nullopt;
-  if (a.origin_text.empty() || a.shape_text.empty())
+/// Build a Region from --origin/--shape text (no field-rank validation —
+/// local commands check against the footer; `sz14 get` lets the server
+/// reject a rank mismatch).
+std::optional<archive::Region> parse_region_texts(
+    const std::string& origin_text, const std::string& shape_text) {
+  if (origin_text.empty() && shape_text.empty()) return std::nullopt;
+  if (origin_text.empty() || shape_text.empty())
     usage("--origin and --shape must be given together");
-  const Dims shape = parse_dims(a.shape_text);
+  const Dims shape = parse_dims(shape_text);
   // Origins may legitimately contain 0, which Dims rejects; parse by hand.
   std::vector<std::size_t> origin;
   std::size_t pos = 0;
-  while (pos <= a.origin_text.size()) {
-    std::size_t end = a.origin_text.find('x', pos);
-    if (end == std::string::npos) end = a.origin_text.size();
-    origin.push_back(std::stoull(a.origin_text.substr(pos, end - pos)));
+  while (pos <= origin_text.size()) {
+    std::size_t end = origin_text.find('x', pos);
+    if (end == std::string::npos) end = origin_text.size();
+    origin.push_back(std::stoull(origin_text.substr(pos, end - pos)));
     pos = end + 1;
   }
-  if (origin.size() != dims.rank() || shape.rank() != dims.rank())
-    usage("--origin/--shape rank must match the field");
+  if (origin.size() != shape.rank())
+    usage("--origin/--shape rank mismatch");
   archive::Region r;
-  r.rank = dims.rank();
+  r.rank = shape.rank();
   for (std::size_t ax = 0; ax < r.rank; ++ax) {
     r.origin[ax] = origin[ax];
     r.extent[ax] = shape.extent(ax);
   }
+  return r;
+}
+
+std::optional<archive::Region> parse_region(const ArchiveArgs& a,
+                                            const Dims& dims) {
+  const auto r = parse_region_texts(a.origin_text, a.shape_text);
+  if (r && r->rank != dims.rank())
+    usage("--origin/--shape rank must match the field");
   return r;
 }
 
@@ -556,13 +619,210 @@ int cmd_archive_cat(const ArchiveArgs& a) {
   return 0;
 }
 
+/// `archive stat`: the footer/index summary, rendered through the same
+/// stat_format helper the daemon's `stat` op serves — one formatter, no
+/// drift between local and remote views.
+int cmd_archive_stat(const ArchiveArgs& a) {
+  if (a.input.empty()) usage("archive stat needs -i");
+  archive::ArchiveReader reader(a.input);
+  if (!a.field_name.empty()) {
+    const auto& f = reader.field(a.field_name);
+    std::fputs(
+        archive::format_field_stat(archive::field_stat(f, true)).c_str(),
+        stdout);
+    return 0;
+  }
+  for (const auto& f : reader.fields())
+    std::fputs(
+        archive::format_field_stat(archive::field_stat(f, true)).c_str(),
+        stdout);
+  return 0;
+}
+
 int cmd_archive(int argc, char** argv) {
   const ArchiveArgs a = parse_archive(argc, argv);
   if (a.sub == "create") return cmd_archive_create(a);
   if (a.sub == "ls") return cmd_archive_ls(a);
+  if (a.sub == "stat") return cmd_archive_stat(a);
   if (a.sub == "extract") return cmd_archive_extract(a);
   if (a.sub == "cat") return cmd_archive_cat(a);
   usage(("unknown archive subcommand " + a.sub).c_str());
+}
+
+// -------------------------------------------------------------------- serve
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerConfig cfg;
+  std::string input;
+  bool listen_given = false;
+  bool cache_given = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "-i") {
+      input = next();
+    } else if (flag == "--transport") {
+      cfg.transport = next();
+    } else if (flag == "--listen") {
+      cfg.endpoint = next();
+      listen_given = true;
+    } else if (flag == "-t") {
+      cfg.threads = std::stoull(next());
+    } else if (flag == "--cache") {
+      cfg.cache_bytes = parse_size_bytes(next());
+      cache_given = true;
+    } else if (flag == "--max-sessions") {
+      cfg.max_sessions = std::stoull(next());
+    } else if (flag == "--no-coalesce") {
+      cfg.coalescing = false;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (input.empty()) usage("serve needs -i");
+  if (!listen_given && cfg.transport == "unix")
+    usage("serve --transport unix needs --listen PATH");
+  // A daemon without a cache re-decodes every hot block; default to a
+  // modest budget unless the user set one explicitly (--cache 0 disables).
+  if (!cache_given) cfg.cache_bytes = 64u << 20;
+
+  serve::Server server(input, cfg);
+  server.start();
+  std::printf("serving %s on %s://%s (%zu fields)\n", input.c_str(),
+              cfg.transport.c_str(), server.endpoint().c_str(),
+              server.reader().fields().size());
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  const serve::ServerStats s = server.stats();
+  std::printf("served %llu requests (%llu errors) over %llu sessions; "
+              "%llu blocks decoded, %llu coalesced, %llu cache hits\n",
+              static_cast<unsigned long long>(s.requests_ok),
+              static_cast<unsigned long long>(s.requests_error),
+              static_cast<unsigned long long>(s.sessions_accepted),
+              static_cast<unsigned long long>(s.blocks_decoded),
+              static_cast<unsigned long long>(s.coalesced_reads),
+              static_cast<unsigned long long>(s.cache_hits));
+  return 0;
+}
+
+// ---------------------------------------------------------------------- get
+
+int cmd_get(int argc, char** argv) {
+  std::string transport = "tcp", endpoint, field, output;
+  std::string origin_text, shape_text;
+  std::size_t limit = 0;
+  bool do_ls = false, do_stat = false, do_stats = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--connect") {
+      endpoint = next();
+    } else if (flag == "--transport") {
+      transport = next();
+    } else if (flag == "-f") {
+      field = next();
+    } else if (flag == "-o") {
+      output = next();
+    } else if (flag == "--origin") {
+      origin_text = next();
+    } else if (flag == "--shape") {
+      shape_text = next();
+    } else if (flag == "--limit") {
+      limit = std::stoull(next());
+    } else if (flag == "--ls") {
+      do_ls = true;
+    } else if (flag == "--stat") {
+      do_stat = true;
+    } else if (flag == "--stats") {
+      do_stats = true;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (endpoint.empty()) usage("get needs --connect ENDPOINT");
+
+  serve::Client client(transport, endpoint);
+  if (do_ls) {
+    std::printf("%-20s %-5s %-14s %-12s %7s %12s %8s %s\n", "field", "dtype",
+                "shape", "block", "blocks", "bytes", "CF", "min..max");
+    for (const auto& s : client.ls())
+      std::printf("%-20s %-5s %-14s %-12s %7llu %12llu %8.2f %.4g..%.4g\n",
+                  s.name.c_str(), s.dtype == kDtypeF64 ? "f64" : "f32",
+                  s.dims.to_string().c_str(),
+                  s.block_dims.to_string().c_str(),
+                  static_cast<unsigned long long>(s.block_count),
+                  static_cast<unsigned long long>(s.payload_bytes),
+                  s.compression_factor(), s.min, s.max);
+    return 0;
+  }
+  if (do_stats) {
+    const serve::ServerStats s = client.stats();
+    const auto row = [](const char* k, std::uint64_t v) {
+      std::printf("  %-22s %llu\n", k, static_cast<unsigned long long>(v));
+    };
+    std::printf("server stats:\n");
+    row("sessions accepted", s.sessions_accepted);
+    row("sessions rejected", s.sessions_rejected);
+    row("sessions active", s.sessions_active);
+    row("requests ok", s.requests_ok);
+    row("requests error", s.requests_error);
+    row("bytes in", s.bytes_in);
+    row("bytes out", s.bytes_out);
+    row("blocks decoded", s.blocks_decoded);
+    row("coalesced reads", s.coalesced_reads);
+    row("cache hits", s.cache_hits);
+    row("cache misses", s.cache_misses);
+    row("cache evictions", s.cache_evictions);
+    row("cache resident bytes", s.cache_resident_bytes);
+    row("cache capacity bytes", s.cache_capacity_bytes);
+    return 0;
+  }
+  if (do_stat) {
+    if (field.empty()) usage("get --stat needs -f NAME");
+    std::fputs(archive::format_field_stat(client.stat(field)).c_str(),
+               stdout);
+    return 0;
+  }
+  if (field.empty()) usage("get needs -f NAME (or --ls/--stat/--stats)");
+  const auto region = parse_region_texts(origin_text, shape_text);
+  Timer timer;
+  const serve::ReadResponse resp = client.read_raw(field, region);
+  const double seconds = timer.seconds();
+  if (!output.empty()) {
+    data::write_bytes(output, resp.values);
+    std::printf("fetched %s %s (%zu bytes) in %.3fs (%.1f MB/s)\n",
+                resp.shape.to_string().c_str(),
+                resp.dtype == kDtypeF64 ? "f64" : "f32", resp.values.size(),
+                seconds, throughput_mbs(resp.values.size(), seconds));
+    return 0;
+  }
+  const auto print = [&](auto* p, std::size_t count) {
+    const std::size_t n = limit ? std::min(limit, count) : count;
+    for (std::size_t i = 0; i < n; ++i)
+      std::printf("%.9g\n", static_cast<double>(p[i]));
+    if (n < count) std::printf("... (%zu of %zu values)\n", n, count);
+  };
+  if (resp.dtype == kDtypeF64)
+    print(reinterpret_cast<const double*>(resp.values.data()),
+          resp.values.size() / sizeof(double));
+  else
+    print(reinterpret_cast<const float*>(resp.values.data()),
+          resp.values.size() / sizeof(float));
+  return 0;
 }
 
 }  // namespace
@@ -571,6 +831,10 @@ int main(int argc, char** argv) {
   try {
     if (argc >= 2 && std::string(argv[1]) == "archive")
       return cmd_archive(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "serve")
+      return cmd_serve(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "get")
+      return cmd_get(argc, argv);
     const Args a = parse(argc, argv);
     if (a.command == "compress") return cmd_compress(a);
     if (a.command == "decompress") return cmd_decompress(a);
