@@ -2,8 +2,11 @@
 //   codec.hpp          — CCID-style pluggable block-codec registry
 //   blocking.hpp       — block grid / hyperslab arithmetic
 //   archive_format.hpp — on-disk container layout (superblock/footer)
-//   writer.hpp         — append-only parallel writer
-//   reader.hpp         — footer-indexed random-access reader
+//   writer.hpp         — append-only parallel writer (crash-consistent
+//                        per-append footer checkpoints)
+//   reader.hpp         — footer-indexed random-access reader (strict or
+//                        salvage open)
+//   fsck.hpp           — consistency check / crash repair
 //   single_flight.hpp  — concurrent-decode coalescing for the serving path
 //   stat_format.hpp    — field/index summaries (CLI stat + serve `stat` op)
 #pragma once
@@ -11,6 +14,7 @@
 #include "archive/archive_format.hpp"
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
+#include "archive/fsck.hpp"
 #include "archive/reader.hpp"
 #include "archive/single_flight.hpp"
 #include "archive/stat_format.hpp"

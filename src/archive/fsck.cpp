@@ -1,0 +1,98 @@
+#include "archive/fsck.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "archive/reader.hpp"
+#include "common/checksum.hpp"
+#include "common/pread_file.hpp"
+
+namespace sz14::archive {
+
+FsckReport fsck_scan(const std::string& path) {
+  FsckReport report;
+  report.path = path;
+
+  // Salvage-mode open: throws only when no checkpoint validates at all.
+  ArchiveReader reader(path, 1, {}, OpenMode::kSalvage);
+  const SalvageInfo& info = reader.salvage_info();
+  report.file_bytes = info.file_bytes;
+  report.consistent_bytes = info.consistent_bytes;
+  report.salvage_used = info.fallback;
+  report.open_detail = info.detail;
+  report.fields_indexed = reader.fields().size();
+
+  // Verify every indexed payload against its stored CRC.  The reader
+  // validated the INDEX (footer CRC + block bounds); this pass checks the
+  // DATA the index points at, which a footer checksum cannot cover.
+  PreadFile file(path);
+  std::vector<std::uint8_t> buf;
+  for (const auto& f : reader.fields()) {
+    for (std::size_t i = 0; i < f.blocks.size(); ++i) {
+      const auto& b = f.blocks[i];
+      buf.resize(static_cast<std::size_t>(b.size));
+      file.read_at(b.offset, buf);
+      ++report.blocks_scanned;
+      const std::uint32_t actual = crc32(buf);
+      if (actual != b.crc)
+        report.bad_blocks.push_back(
+            {f.name, i, b.offset, b.size, b.crc, actual});
+    }
+  }
+  return report;
+}
+
+FsckReport fsck_repair(const std::string& path) {
+  FsckReport report = fsck_scan(path);
+  if (!report.needs_truncate()) return report;
+
+  // Cut the file back to the newest valid checkpoint; the (possibly torn)
+  // bytes behind it are exactly what a crashed writer left unsealed.
+  std::error_code ec;
+  std::filesystem::resize_file(path, report.consistent_bytes, ec);
+  if (ec)
+    throw std::runtime_error("fsck: cannot truncate " + path + " to " +
+                             std::to_string(report.consistent_bytes) +
+                             " bytes: " + ec.message());
+
+  // Re-scan so the returned report describes the REPAIRED file — it must
+  // now strict-open with no trailing garbage.
+  report = fsck_scan(path);
+  report.truncated = true;
+  if (report.salvage_used || report.needs_truncate())
+    throw std::runtime_error(
+        "fsck: " + path + " still inconsistent after truncation (" +
+        report.open_detail + ")");
+  return report;
+}
+
+std::string format_fsck_report(const FsckReport& report) {
+  std::ostringstream os;
+  os << report.path << ": " << report.file_bytes << " bytes, "
+     << report.fields_indexed << " field(s), " << report.blocks_scanned
+     << " block(s) scanned\n";
+  if (report.salvage_used)
+    os << "  strict open FAILED (" << report.open_detail
+       << "); salvaged checkpoint at byte " << report.consistent_bytes
+       << "\n";
+  if (report.consistent_bytes != report.file_bytes)
+    os << "  " << (report.file_bytes - report.consistent_bytes)
+       << " trailing byte(s) beyond the last checkpoint"
+       << " (unsealed write; --repair truncates)\n";
+  for (const auto& bad : report.bad_blocks) {
+    os << "  CORRUPT block " << bad.block << " of field '" << bad.field
+       << "' at offset " << bad.offset << " (" << bad.size
+       << " bytes): stored crc " << bad.crc_stored << ", actual "
+       << bad.crc_actual << " (not repairable; restore from source)\n";
+  }
+  if (report.truncated)
+    os << "  repaired: truncated to " << report.consistent_bytes
+       << " bytes\n";
+  if (report.clean())
+    os << "  clean\n";
+  return os.str();
+}
+
+}  // namespace sz14::archive

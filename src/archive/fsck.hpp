@@ -1,0 +1,69 @@
+// Archive consistency checker ("fsck") for SZA containers, the library
+// behind `sz14 archive fsck [--repair]`.
+//
+// fsck_scan() opens the archive in salvage mode (so a torn tail or damaged
+// final footer falls back to the last valid checkpoint), then verifies
+// every indexed block payload against its stored CRC-32.  The report says
+// whether the file is clean, how many trailing bytes a crash left behind
+// the last checkpoint, and which blocks (if any) are corrupt inside the
+// otherwise-consistent region.
+//
+// fsck_repair() truncates the file to the last consistent checkpoint, so a
+// strict open succeeds again and the salvaged fields read back
+// bit-identical.  Payload corruption INSIDE the consistent region is not
+// repairable (the data is simply gone) — repair reports it and leaves the
+// file alone so the operator can restore from elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sz14::archive {
+
+/// One corrupt block found by the payload scan.
+struct FsckBlockIssue {
+  std::string field;
+  std::size_t block = 0;       ///< index within the field
+  std::uint64_t offset = 0;    ///< absolute payload offset
+  std::uint64_t size = 0;      ///< payload bytes
+  std::uint32_t crc_stored = 0;
+  std::uint32_t crc_actual = 0;
+};
+
+struct FsckReport {
+  std::string path;
+  std::uint64_t file_bytes = 0;        ///< on-disk size at scan time
+  std::uint64_t consistent_bytes = 0;  ///< end of the newest valid checkpoint
+  bool salvage_used = false;  ///< strict open failed; a checkpoint was used
+  std::string open_detail;    ///< why the strict open failed (empty if clean)
+  std::size_t fields_indexed = 0;
+  std::size_t blocks_scanned = 0;
+  std::vector<FsckBlockIssue> bad_blocks;
+  bool truncated = false;  ///< repair removed the trailing garbage
+
+  /// Clean: strict-openable, no trailing garbage, every block CRC good.
+  [[nodiscard]] bool clean() const noexcept {
+    return !salvage_used && bad_blocks.empty() &&
+           consistent_bytes == file_bytes;
+  }
+  /// Repairable damage: a truncation would restore strict readability.
+  [[nodiscard]] bool needs_truncate() const noexcept {
+    return consistent_bytes != file_bytes;
+  }
+};
+
+/// Scan `path` without modifying it.  Throws std::runtime_error only when
+/// the file has no valid checkpoint at all (nothing salvageable).
+[[nodiscard]] FsckReport fsck_scan(const std::string& path);
+
+/// Scan, then (when needed) truncate to the last consistent checkpoint.
+/// Returns the post-repair report with `truncated` set when the file was
+/// cut.  Throws std::runtime_error when nothing is salvageable or the
+/// truncation itself fails.
+FsckReport fsck_repair(const std::string& path);
+
+/// Render a report as the multi-line human text `sz14 archive fsck` prints.
+[[nodiscard]] std::string format_fsck_report(const FsckReport& report);
+
+}  // namespace sz14::archive

@@ -27,52 +27,116 @@ std::vector<T> codec_decompress(const CodecOps& ops,
 
 }  // namespace
 
+std::string ArchiveReader::try_open_at(std::uint64_t end) {
+  fields_.clear();
+  index_.clear();
+  if (end < kSuperblockSize + kTrailerSize || end > file_.size())
+    return "no room for a trailer ending at byte " + std::to_string(end);
+  try {
+    // Trailer.
+    std::array<std::uint8_t, kTrailerSize> tr{};
+    file_.read_at(end - kTrailerSize, tr);
+    ByteReader trr(tr);
+    const auto footer_size = trr.get<std::uint64_t>();
+    const auto footer_crc = trr.get<std::uint32_t>();
+    if (trr.get<std::uint32_t>() != kFooterMagic)
+      return "bad footer magic (truncated or not finalized)";
+    if (footer_size > end - kSuperblockSize - kTrailerSize)
+      return "footer size exceeds file";
+
+    // Footer.
+    std::vector<std::uint8_t> footer(footer_size);
+    file_.read_at(end - kTrailerSize - footer_size, footer);
+    if (crc32(footer) != footer_crc) return "footer checksum mismatch";
+    ByteReader fr(footer);
+    fields_ = read_footer(fr);
+
+    // Name index (read_footer rejects duplicate names) + index sanity:
+    // every payload must lie between the superblock and THIS footer (not
+    // merely inside the file — a salvaged checkpoint must not index bytes
+    // written after it).
+    const std::uint64_t payload_end = end - kTrailerSize - footer_size;
+    index_.reserve(fields_.size());
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const auto& f = fields_[i];
+      index_.emplace(f.name, i);
+      for (const auto& b : f.blocks)
+        // Overflow-safe: offset + size can wrap in a crafted footer.
+        if (b.offset < kSuperblockSize || b.size > payload_end ||
+            b.offset > payload_end - b.size) {
+          fields_.clear();
+          index_.clear();
+          return "block offset out of bounds in field '" + f.name + "'";
+        }
+    }
+  } catch (const std::exception& e) {
+    fields_.clear();
+    index_.clear();
+    return e.what();
+  }
+  salvage_.consistent_bytes = end;
+  return {};
+}
+
+namespace {
+
+/// Little-endian byte image of kFooterMagic ("SZAF"), the needle of the
+/// backward checkpoint scan.
+constexpr std::array<std::uint8_t, 4> kFooterMagicBytes = {0x53, 0x5A, 0x41,
+                                                           0x46};
+
+}  // namespace
+
 ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
-                             ExecPolicy policy)
+                             ExecPolicy policy, OpenMode mode)
     : file_(path), threads_(threads), policy_(policy) {
+  salvage_.file_bytes = file_.size();
   if (file_.size() < kSuperblockSize + kTrailerSize)
     throw std::runtime_error("archive: file too small: " + path);
 
-  // Superblock.
+  // Superblock: without a valid one there is nothing to salvage either.
   std::array<std::uint8_t, kSuperblockSize> sb{};
   file_.read_at(0, sb);
   ByteReader sbr(sb);
   read_superblock(sbr);
 
-  // Trailer.
-  std::array<std::uint8_t, kTrailerSize> tr{};
-  file_.read_at(file_.size() - kTrailerSize, tr);
-  ByteReader trr(tr);
-  const auto footer_size = trr.get<std::uint64_t>();
-  const auto footer_crc = trr.get<std::uint32_t>();
-  if (trr.get<std::uint32_t>() != kFooterMagic)
-    throw std::runtime_error("archive: bad footer magic (truncated or not "
-                             "finalized): " + path);
-  if (footer_size > file_.size() - kSuperblockSize - kTrailerSize)
-    throw std::runtime_error("archive: footer size exceeds file: " + path);
+  // Fast path: the trailer at EOF (a cleanly finish()ed archive).
+  std::string error = try_open_at(file_.size());
+  if (error.empty()) return;
+  if (mode == OpenMode::kStrict)
+    throw std::runtime_error("archive: " + error + ": " + path);
 
-  // Footer.
-  std::vector<std::uint8_t> footer(footer_size);
-  file_.read_at(file_.size() - kTrailerSize - footer_size, footer);
-  if (crc32(footer) != footer_crc)
-    throw std::runtime_error("archive: footer checksum mismatch: " + path);
-  ByteReader fr(footer);
-  fields_ = read_footer(fr);
-
-  // Name index (read_footer rejects duplicate names) + index sanity: every
-  // payload must lie between superblock and footer.
-  const std::uint64_t payload_end = file_.size() - kTrailerSize - footer_size;
-  index_.reserve(fields_.size());
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    const auto& f = fields_[i];
-    index_.emplace(f.name, i);
-    for (const auto& b : f.blocks)
-      // Overflow-safe: offset + size can wrap in a crafted footer.
-      if (b.offset < kSuperblockSize || b.size > payload_end ||
-          b.offset > payload_end - b.size)
-        throw std::runtime_error("archive: block offset out of bounds in "
-                                 "field '" + f.name + "'");
+  // Salvage: scan backwards, in chunks, for the newest footer-magic
+  // occurrence whose checkpoint validates end to end (size, CRC, parse,
+  // block bounds).  A torn final checkpoint or trailing half-written
+  // payloads simply fall through to the previous one.
+  salvage_.detail = error;
+  salvage_.fallback = true;
+  constexpr std::uint64_t kChunk = 64u << 10;
+  // Highest position a magic could START at and still end a trailer
+  // within the file.
+  std::uint64_t pos_end = file_.size() - 4 + 1;
+  std::vector<std::uint8_t> buf;
+  while (pos_end > kSuperblockSize) {
+    const std::uint64_t lo =
+        pos_end > kChunk + kSuperblockSize ? pos_end - kChunk
+                                           : kSuperblockSize;
+    buf.resize(static_cast<std::size_t>(pos_end - lo + 3 <= file_.size() - lo
+                                            ? pos_end - lo + 3
+                                            : file_.size() - lo));
+    file_.read_at(lo, buf);
+    for (std::uint64_t p = pos_end; p-- > lo;) {
+      const std::size_t off = static_cast<std::size_t>(p - lo);
+      if (off + 4 > buf.size() ||
+          !std::equal(kFooterMagicBytes.begin(), kFooterMagicBytes.end(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(off)))
+        continue;
+      if (try_open_at(p + 4).empty()) return;
+    }
+    pos_end = lo;
   }
+  throw std::runtime_error("archive: no valid footer checkpoint found (" +
+                           error + "): " + path);
 }
 
 std::size_t ArchiveReader::field_index(std::string_view name) const {

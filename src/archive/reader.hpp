@@ -36,10 +36,33 @@
 
 namespace sz14::archive {
 
+/// How strictly ArchiveReader treats a damaged container.
+enum class OpenMode : std::uint8_t {
+  /// The trailer must sit exactly at EOF and validate — any truncation or
+  /// trailing garbage is rejected (the pre-salvage behavior; the right
+  /// mode when serving data that must be known-complete).
+  kStrict,
+  /// If the strict open fails, scan backwards for the most recent valid
+  /// footer checkpoint (crash-consistent writers emit one per field) and
+  /// serve the fields it covers; salvage_info() reports what happened.
+  /// Only an archive with no valid checkpoint at all still throws.
+  kSalvage,
+};
+
+/// What a salvage-mode open found (also the basis of `archive fsck`).
+struct SalvageInfo {
+  bool fallback = false;  ///< true: an earlier checkpoint was used
+  std::uint64_t file_bytes = 0;        ///< on-disk size at open
+  std::uint64_t consistent_bytes = 0;  ///< end of the checkpoint in use
+  std::string detail;  ///< why the strict open failed (empty when clean)
+};
+
 class ArchiveReader {
  public:
-  /// Opens and indexes `path`.  Throws std::runtime_error on bad magic,
-  /// truncated trailer, footer checksum mismatch, or malformed index.
+  /// Opens and indexes `path`.  In OpenMode::kStrict (the default) throws
+  /// std::runtime_error on bad magic, truncated trailer, footer checksum
+  /// mismatch, or malformed index; OpenMode::kSalvage falls back to the
+  /// last valid checkpoint instead (see above).
   ///
   /// `policy` is the reader's per-call execution strategy, applied to every
   /// read: `policy.mode` selects the decode hot path (decoded values are
@@ -53,10 +76,17 @@ class ArchiveReader {
   /// threads), so serving an unbounded stream of short-lived threads
   /// cannot grow reader state.
   explicit ArchiveReader(const std::string& path, std::size_t threads = 0,
-                         ExecPolicy policy = {});
+                         ExecPolicy policy = {},
+                         OpenMode mode = OpenMode::kStrict);
 
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  /// How this reader was opened: salvage_info().fallback is true when an
+  /// earlier checkpoint (not the bytes at EOF) is serving the index.
+  [[nodiscard]] const SalvageInfo& salvage_info() const noexcept {
+    return salvage_;
+  }
 
   [[nodiscard]] const std::vector<FieldEntry>& fields() const noexcept {
     return fields_;
@@ -156,9 +186,15 @@ class ArchiveReader {
   /// consumers — e.g. `archive ls` — never pay for one).
   ThreadPool& serving_pool() const;
 
+  /// Validate a trailer+footer whose trailer ends at `end`; on success
+  /// populates fields_/index_ and returns empty, otherwise returns the
+  /// failure reason.
+  [[nodiscard]] std::string try_open_at(std::uint64_t end);
+
   PreadFile file_;
   std::size_t threads_;
   ExecPolicy policy_;
+  SalvageInfo salvage_;
   std::vector<FieldEntry> fields_;
 
   // Heterogeneous lookup so field("name") takes no std::string detour.

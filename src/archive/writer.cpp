@@ -1,12 +1,18 @@
 #include "archive/writer.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
 #include "common/checksum.hpp"
+#include "common/failpoint.hpp"
 #include "core/format.hpp"
 
 namespace sz14::archive {
@@ -33,10 +39,7 @@ ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
   if (!out_) throw std::runtime_error("archive: cannot create: " + path);
   ByteWriter sb;
   write_superblock(sb);
-  out_.write(reinterpret_cast<const char*>(sb.view().data()),
-             static_cast<std::streamsize>(sb.size()));
-  if (!out_) throw std::runtime_error("archive: write failed: " + path);
-  offset_ = sb.size();
+  raw_write(sb.view(), "superblock write");
   if (policy_.pool != nullptr) {
     pool_ = policy_.pool;
   } else {
@@ -49,11 +52,100 @@ ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
 }
 
 ArchiveWriter::~ArchiveWriter() {
+  if (finished_) return;
   try {
-    if (!finished_) finish();
+    finish();
+  } catch (const std::exception& e) {
+    // A destructor must not throw, but silence would hide a corrupt or
+    // unsealed archive from the operator entirely; say what happened and
+    // how far the file is still readable.
+    std::fprintf(stderr,
+                 "archive: WARNING: failed to seal '%s' in destructor: %s "
+                 "(file is consistent through byte %llu)\n",
+                 path_.c_str(), e.what(),
+                 static_cast<unsigned long long>(clean_size_));
   } catch (...) {
-    // Destructor must not throw; call finish() explicitly to observe errors.
+    std::fprintf(stderr,
+                 "archive: WARNING: failed to seal '%s' in destructor "
+                 "(unknown error; file is consistent through byte %llu)\n",
+                 path_.c_str(),
+                 static_cast<unsigned long long>(clean_size_));
   }
+}
+
+void ArchiveWriter::raw_write(std::span<const std::uint8_t> data,
+                              const char* what) {
+  // check(), not trigger(): this site enacts EVERY kind itself so the
+  // on-disk shape is right.  trigger()'s central kAbort would _Exit
+  // inside the registry with this writer's ofstream buffer unflushed —
+  // the file would end at the last checkpoint instead of mid-write, and
+  // the crash drill would be testing a much kinder failure than SIGKILL.
+  if (const auto f = fail::check("archive.writer.write")) {
+    if (f->kind == fail::Kind::kStall) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(f->arg));
+      // delay only; fall through to the normal write below
+    } else if (f->kind == fail::Kind::kError ||
+               f->kind == fail::Kind::kEnospc) {
+      broken_ = true;
+      throw std::runtime_error(
+          std::string("archive.writer.write: injected ") +
+          (f->kind == fail::Kind::kError ? "I/O error" : "ENOSPC") +
+          " (failpoint)");
+    } else {
+      // kShort/kTorn/kAbort put a PREFIX of the buffer on disk (flushed,
+      // so it is really there) before failing — the shape of a real
+      // ENOSPC or power-cut mid-write — and abort then kills the process
+      // outright, simulating SIGKILL between two writes.
+      const std::size_t part =
+          std::min<std::size_t>(data.size(),
+                                f->arg > 0 ? static_cast<std::size_t>(f->arg)
+                                           : 0);
+      out_.write(reinterpret_cast<const char*>(data.data()),
+                 static_cast<std::streamsize>(part));
+      out_.flush();
+      if (f->kind == fail::Kind::kAbort) {
+        std::fflush(nullptr);
+        std::_Exit(fail::kAbortExitCode);
+      }
+      broken_ = true;
+      throw std::runtime_error(
+          "archive: torn write at offset " + std::to_string(offset_ + part) +
+          " in " + path_ + " (failpoint)");
+    }
+  }
+  out_.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!out_) {
+    broken_ = true;
+    throw std::runtime_error(
+        std::string("archive: ") + what + " failed at offset " +
+        std::to_string(offset_) + " in " + path_ +
+        " (disk full or I/O error; file is consistent through byte " +
+        std::to_string(clean_size_) + ")");
+  }
+  offset_ += data.size();
+}
+
+void ArchiveWriter::write_checkpoint() {
+  ByteWriter footer;
+  write_footer(fields_, footer);
+  ByteWriter trailer;
+  trailer.put<std::uint64_t>(footer.size());
+  trailer.put<std::uint32_t>(crc32(footer.view()));
+  trailer.put<std::uint32_t>(kFooterMagic);
+  raw_write(footer.view(), "checkpoint footer write");
+  raw_write(trailer.view(), "checkpoint trailer write");
+  // Flush so a process killed after append_field() returns leaves the
+  // checkpoint on disk, not in a stdio buffer.  (Media durability across
+  // an OS crash would additionally need fsync; process-crash consistency
+  // is the contract here.)
+  out_.flush();
+  if (!out_) {
+    broken_ = true;
+    throw std::runtime_error("archive: checkpoint flush failed at offset " +
+                             std::to_string(offset_) + " in " + path_);
+  }
+  clean_size_ = offset_;
 }
 
 template <typename T>
@@ -63,6 +155,11 @@ void ArchiveWriter::append_impl(const std::string& name,
                                 const std::string& codec_name, double eb_abs) {
   if (finished_)
     throw std::logic_error("archive: append_field after finish()");
+  if (broken_)
+    throw std::runtime_error(
+        "archive: writer for " + path_ + " is unusable after a write "
+        "failure (file is salvageable through byte " +
+        std::to_string(clean_size_) + ")");
   if (name.empty())
     throw std::invalid_argument("archive: field name must be non-empty");
   if (names_.contains(name))
@@ -131,14 +228,13 @@ void ArchiveWriter::append_impl(const std::string& name,
     b.crc = crc32(payloads[i]);
     b.min = ranges[i].first;
     b.max = ranges[i].second;
-    out_.write(reinterpret_cast<const char*>(payloads[i].data()),
-               static_cast<std::streamsize>(payloads[i].size()));
-    offset_ += payloads[i].size();
+    raw_write(payloads[i], "block payload write");
     f.blocks.push_back(b);
   }
-  if (!out_) throw std::runtime_error("archive: write failed: " + path_);
   names_.insert(name);  // recorded only once the append fully succeeded
   fields_.push_back(std::move(f));
+  // Seal everything appended so far: a crash from here on loses nothing.
+  write_checkpoint();
 }
 
 void ArchiveWriter::append_field(const std::string& name,
@@ -159,16 +255,14 @@ void ArchiveWriter::append_field(const std::string& name,
 
 void ArchiveWriter::finish() {
   if (finished_) return;
-  ByteWriter footer;
-  write_footer(fields_, footer);
-  ByteWriter trailer;
-  trailer.put<std::uint64_t>(footer.size());
-  trailer.put<std::uint32_t>(crc32(footer.view()));
-  trailer.put<std::uint32_t>(kFooterMagic);
-  out_.write(reinterpret_cast<const char*>(footer.view().data()),
-             static_cast<std::streamsize>(footer.size()));
-  out_.write(reinterpret_cast<const char*>(trailer.view().data()),
-             static_cast<std::streamsize>(trailer.size()));
+  if (broken_)
+    throw std::runtime_error(
+        "archive: cannot finalize " + path_ + " after a write failure "
+        "(file is salvageable through byte " + std::to_string(clean_size_) +
+        "; run `sz14 archive fsck --repair`)");
+  // The per-append checkpoint already sealed the file; only an archive
+  // with zero appends still needs its (empty) footer written.
+  if (clean_size_ != offset_) write_checkpoint();
   out_.close();
   if (!out_) throw std::runtime_error("archive: finalize failed: " + path_);
   finished_ = true;

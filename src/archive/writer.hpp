@@ -5,6 +5,23 @@
 //
 // Incremental snapshot workflows simply append one field per timestep
 // ("temp/t000", "temp/t001", ...); nothing already written is ever touched.
+//
+// Crash consistency: after every successful append_field() the writer
+// emits a footer CHECKPOINT — a complete footer + trailer covering all
+// fields so far, flushed to the OS — so a writer killed (or hitting
+// ENOSPC/EIO) mid-ingest leaves a file from which ArchiveReader's
+// salvage-open and `sz14 archive fsck --repair` recover every completed
+// field bit-identical.  Checkpoints are self-delimiting (size + CRC in the
+// trailer) and each one supersedes the previous: the next append simply
+// continues writing payloads after it, the final checkpoint doubles as the
+// sealed archive's footer, and readers never pay anything for the
+// superseded ones (block offsets are absolute, the index at EOF wins).
+//
+// Every write is checked: a failed std::ofstream write throws
+// std::runtime_error carrying the failing offset instead of silently
+// producing a corrupt archive, and the writer refuses further appends
+// afterwards (the file is still salvageable up to the last checkpoint —
+// consistent_bytes() says how far).
 #pragma once
 
 #include <fstream>
@@ -39,8 +56,9 @@ class ArchiveWriter {
   explicit ArchiveWriter(const std::string& path, std::size_t threads = 0,
                          ExecPolicy policy = {});
 
-  /// Seals the archive on destruction if finish() was not called
-  /// (best-effort: errors are swallowed; call finish() to observe them).
+  /// Seals the archive on destruction if finish() was not called.
+  /// Best-effort: a failure to seal is reported on stderr (a destructor
+  /// cannot throw) — call finish() explicitly to observe errors properly.
   ~ArchiveWriter();
 
   ArchiveWriter(const ArchiveWriter&) = delete;
@@ -66,6 +84,17 @@ class ArchiveWriter {
 
   [[nodiscard]] bool finished() const noexcept { return finished_; }
 
+  /// File size through which the on-disk bytes form a complete, readable
+  /// archive (end of the last flushed checkpoint).  0 until the first
+  /// checkpoint lands; equal to the final file size once finish()ed.
+  [[nodiscard]] std::uint64_t consistent_bytes() const noexcept {
+    return clean_size_;
+  }
+
+  /// True after a write failure: the writer refuses further appends (the
+  /// on-disk state up to consistent_bytes() remains valid).
+  [[nodiscard]] bool broken() const noexcept { return broken_; }
+
   /// Index entries written so far (for inspection/tests).
   [[nodiscard]] const std::vector<FieldEntry>& fields() const noexcept {
     return fields_;
@@ -77,9 +106,19 @@ class ArchiveWriter {
                    const Dims& dims, const Dims& block_dims,
                    const std::string& codec_name, double eb_abs);
 
+  /// Write + verify stream state; throws std::runtime_error with the
+  /// failing offset and marks the writer broken on failure.  The one
+  /// funnel for every byte this class emits (failpoint site
+  /// "archive.writer.write").
+  void raw_write(std::span<const std::uint8_t> data, const char* what);
+
+  /// Footer + trailer covering fields_, flushed; updates clean_size_.
+  void write_checkpoint();
+
   std::string path_;
   std::ofstream out_;
-  std::uint64_t offset_ = 0;
+  std::uint64_t offset_ = 0;      // absolute file offset of the next write
+  std::uint64_t clean_size_ = 0;  // end of the last flushed checkpoint
   std::vector<FieldEntry> fields_;
   std::unordered_set<std::string> names_;  // O(1) duplicate-append rejection
   std::unique_ptr<ThreadPool> owned_pool_;
@@ -87,6 +126,7 @@ class ArchiveWriter {
   ExecPolicy policy_;
   CodecScratch scratch_;  // reused across appends (per-worker slots)
   bool finished_ = false;
+  bool broken_ = false;
 };
 
 }  // namespace sz14::archive

@@ -1,0 +1,100 @@
+// Deterministic fault-injection registry: named failpoints compiled into
+// production code paths (file I/O, archive writes, serve transports) that
+// cost ONE relaxed atomic load when nothing is armed, and fire exactly the
+// configured number of times when armed — so every failure-handling branch
+// in the library has a test that drives it on purpose instead of waiting
+// for a disk to actually fill up.
+//
+// A failpoint is armed either through the API (tests) or through the
+// environment (crash-testing whole processes):
+//
+//   SZ14_FAILPOINTS="site=kind[:skip[:count[:arg]]][;site2=...]"
+//
+// e.g. SZ14_FAILPOINTS="archive.writer.write=abort:5" kills the process at
+// the 6th archive write, simulating SIGKILL mid-ingest for the fsck CI
+// smoke.  Kinds: error (injected EIO), enospc, short, torn, stall, drop,
+// abort.  `skip` passes that many triggers before firing, `count` bounds
+// how many times it fires (default forever), `arg` is kind-specific
+// (bytes written before a torn/abort write, milliseconds for stall).
+//
+// Sites call `trigger("name")`: generic kinds (error/enospc throw, stall
+// sleeps) are handled inside; site-specific kinds (torn, short, drop,
+// abort) are returned for the site to enact with local knowledge (e.g.
+// the archive writer flushes a partial buffer before dying so the torn
+// write is really on disk).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sz14::fail {
+
+enum class Kind : std::uint8_t {
+  kOff = 0,
+  kError,   ///< injected hard I/O error (EIO): trigger() throws
+  kEnospc,  ///< injected out-of-space: trigger() throws the ENOSPC flavor
+  kShort,   ///< short read/write: site truncates the operation
+  kTorn,    ///< write only `arg` bytes, then fail (site-enacted)
+  kStall,   ///< sleep `arg` milliseconds, then continue normally
+  kDrop,    ///< swallow the operation silently (site-enacted)
+  kAbort,   ///< terminate the process: simulated crash / SIGKILL
+};
+
+struct Spec {
+  Kind kind = Kind::kOff;
+  int skip = 0;    ///< let this many triggers pass before firing
+  int count = -1;  ///< fire at most this many times (-1 = forever)
+  int arg = 0;     ///< kind-specific payload (bytes / milliseconds)
+};
+
+/// What an armed site should do right now.
+struct Fired {
+  Kind kind = Kind::kOff;
+  int arg = 0;
+};
+
+/// Exit status used by Kind::kAbort, distinguishable from real crashes in
+/// waitpid()/CI so a test can assert the failpoint (and nothing else)
+/// killed the process.
+inline constexpr int kAbortExitCode = 86;
+
+/// Arm `site` with `spec` (replaces any previous arming and resets its
+/// skip/count progress; hits() keeps accumulating).
+void arm(const std::string& site, Spec spec);
+
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Times `site` actually fired (not merely evaluated) since process start.
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+/// Re-parse SZ14_FAILPOINTS (normally parsed once, lazily, on the first
+/// trigger evaluation anywhere in the process).  Malformed entries are
+/// reported to stderr and skipped — a bad env var must never turn into a
+/// silent no-op AND never abort the host program.
+void reload_from_env();
+
+namespace detail {
+// < 0: environment not yet parsed; 0: nothing armed (fast path); > 0:
+// number of armed sites that can still fire.
+extern std::atomic<int> g_armed;
+[[nodiscard]] std::optional<Fired> check_slow(std::string_view site);
+}  // namespace detail
+
+/// Evaluate `site`: nullopt (one relaxed load) when nothing is armed.
+[[nodiscard]] inline std::optional<Fired> check(std::string_view site) {
+  if (detail::g_armed.load(std::memory_order_acquire) == 0)
+    return std::nullopt;
+  return detail::check_slow(site);
+}
+
+/// check() plus the generic enactments: kError/kEnospc throw
+/// std::runtime_error naming the site, kStall sleeps then continues
+/// (returns nullopt), kAbort exits the process with kAbortExitCode.
+/// Site-specific kinds (kShort/kTorn/kDrop) are returned to the caller.
+std::optional<Fired> trigger(std::string_view site);
+
+}  // namespace sz14::fail

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/failpoint.hpp"
+
 #if defined(_WIN32)
 #include <ios>
 #else
@@ -14,6 +16,21 @@
 #endif
 
 namespace sz14 {
+namespace {
+
+/// Failpoint site "pread_file.read": every positional read in the process
+/// funnels through here, so tests can inject EIO (error), truncated-file
+/// short reads (short), or slow storage (stall) under every reader —
+/// archive block fetches included — without touching a real disk.
+void maybe_inject_read_fault(const std::string& path) {
+  if (const auto f = fail::trigger("pread_file.read")) {
+    if (f->kind == fail::Kind::kShort)
+      throw std::runtime_error("short read (truncated file?): " + path +
+                               " (failpoint)");
+  }
+}
+
+}  // namespace
 
 #if defined(_WIN32)
 
@@ -27,6 +44,7 @@ PreadFile::~PreadFile() = default;
 
 void PreadFile::read_at(std::uint64_t offset,
                         std::span<std::uint8_t> out) const {
+  maybe_inject_read_fault(path_);
   std::lock_guard lock(mutex_);
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
@@ -61,6 +79,7 @@ PreadFile::~PreadFile() {
 
 void PreadFile::read_at(std::uint64_t offset,
                         std::span<std::uint8_t> out) const {
+  maybe_inject_read_fault(path_);
   std::size_t done = 0;
   while (done < out.size()) {
     const ssize_t n =

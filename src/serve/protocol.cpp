@@ -205,7 +205,8 @@ void encode_server_stats(const ServerStats& s, ByteWriter& out) {
        {s.sessions_accepted, s.sessions_rejected, s.sessions_active,
         s.requests_ok, s.requests_error, s.bytes_in, s.bytes_out,
         s.blocks_decoded, s.coalesced_reads, s.cache_hits, s.cache_misses,
-        s.cache_evictions, s.cache_resident_bytes, s.cache_capacity_bytes})
+        s.cache_evictions, s.cache_resident_bytes, s.cache_capacity_bytes,
+        s.sessions_idle_reaped})
     out.put_varint(v);
 }
 
@@ -217,7 +218,7 @@ ServerStats decode_server_stats(ByteReader& in) {
           &s.requests_ok, &s.requests_error, &s.bytes_in, &s.bytes_out,
           &s.blocks_decoded, &s.coalesced_reads, &s.cache_hits,
           &s.cache_misses, &s.cache_evictions, &s.cache_resident_bytes,
-          &s.cache_capacity_bytes})
+          &s.cache_capacity_bytes, &s.sessions_idle_reaped})
       *v = in.get_varint();
     return s;
   });

@@ -164,6 +164,7 @@ struct ServerStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_resident_bytes = 0;
   std::uint64_t cache_capacity_bytes = 0;
+  std::uint64_t sessions_idle_reaped = 0;  ///< closed by the idle timeout
 };
 
 // Encoders produce the frame BODY; pair them with encode_frame(kOp*/

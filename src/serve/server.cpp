@@ -1,11 +1,14 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "core/format.hpp"
 
 #if !defined(_WIN32)
@@ -30,6 +33,11 @@ struct Server::Session {
   bool closing = false;      // flush remaining outbox, then close
   bool input_dead = false;   // framing lost: stop reading
   std::atomic<bool> closed{false};
+  /// Read requests handed to the pool whose response has not been queued
+  /// yet; a session is never idle-reaped or drain-closed while > 0.
+  std::atomic<int> inflight{0};
+  /// Last socket readiness (event-thread-only; drives the idle timeout).
+  std::chrono::steady_clock::time_point last_activity{};
 };
 
 Server::Server(const std::string& archive_path, ServerConfig config)
@@ -65,6 +73,8 @@ ServerStats Server::stats() const {
   s.cache_evictions = reader_.cache_evictions();
   s.cache_resident_bytes = reader_.cache_resident_bytes();
   s.cache_capacity_bytes = reader_.cache_capacity();
+  s.sessions_idle_reaped =
+      sessions_idle_reaped_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -93,6 +103,26 @@ void Server::stop() {
     if (!event_thread_.joinable()) return;
   }
   wake();
+  teardown();
+}
+
+void Server::drain(int grace_ms) {
+  if (!running_.load(std::memory_order_acquire)) {
+    stop();  // not running (or already stopped): plain teardown
+    return;
+  }
+  drain_grace_ms_.store(grace_ms < 0 ? 0 : grace_ms,
+                        std::memory_order_relaxed);
+  draining_.store(true, std::memory_order_release);
+  wake();
+  // The event loop exits on its own once every session drained (or the
+  // grace deadline force-closed the stragglers).
+  teardown();
+  running_.store(false, std::memory_order_relaxed);
+  draining_.store(false, std::memory_order_relaxed);
+}
+
+void Server::teardown() {
   if (event_thread_.joinable()) event_thread_.join();
   // In-flight read tasks may still be enqueueing; let them finish against
   // live (if already closed, silently dropped) sessions before teardown.
@@ -111,16 +141,41 @@ void Server::wake() noexcept {
 }
 
 void Server::event_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_between = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+        .count();
+  };
   std::vector<struct pollfd> pfds;
   std::vector<std::uint64_t> ids;  // session id per pollfd slot (0 = none)
   std::vector<std::uint64_t> doomed;
+  bool drain_started = false;
+  Clock::time_point drain_deadline{};
   while (running_.load(std::memory_order_relaxed)) {
+    // Graceful drain: on the first tick after drain() was requested, stop
+    // accepting (close the listener — safe here, only this thread uses
+    // it) and stop READING every session; what remains is flushing
+    // responses for requests already in flight.
+    if (!drain_started && draining_.load(std::memory_order_acquire)) {
+      drain_started = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(
+                             drain_grace_ms_.load(std::memory_order_relaxed));
+      listener_.reset();
+      for (const auto& [id, s] : sessions_) s->input_dead = true;
+    }
+
     pfds.clear();
     ids.clear();
     pfds.push_back({wake_pipe_[0], POLLIN, 0});
     ids.push_back(0);
-    pfds.push_back({listener_->fd(), POLLIN, 0});
-    ids.push_back(0);
+    std::size_t listener_slot = 0;  // 0 = not polled (draining)
+    if (listener_) {
+      listener_slot = pfds.size();
+      pfds.push_back({listener_->fd(), POLLIN, 0});
+      ids.push_back(0);
+    }
+    const std::size_t first_session = pfds.size();
     for (const auto& [id, s] : sessions_) {
       short events = 0;
       if (!s->input_dead) events |= POLLIN;
@@ -133,21 +188,45 @@ void Server::event_loop() {
       pfds.push_back({s->conn->fd(), events, 0});
       ids.push_back(id);
     }
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) continue;  // EINTR
+
+    // Poll timeout: wake for the nearest idle expiry and/or the drain
+    // deadline instead of sleeping forever past them.
+    int timeout = -1;
+    const Clock::time_point now_before = Clock::now();
+    if (config_.idle_timeout_ms > 0) {
+      for (const auto& [id, s] : sessions_) {
+        const long long left =
+            config_.idle_timeout_ms -
+            ms_between(s->last_activity, now_before);
+        const int t = left > 0 ? static_cast<int>(left) : 0;
+        timeout = timeout < 0 ? t : std::min(timeout, t);
+      }
+    }
+    if (drain_started) {
+      const long long left = ms_between(now_before, drain_deadline);
+      const int t = left > 0 ? static_cast<int>(left) : 0;
+      timeout = timeout < 0 ? t : std::min(timeout, t);
+    }
+
+    if (::poll(pfds.data(), pfds.size(), timeout) < 0) continue;  // EINTR
     if (!running_.load(std::memory_order_relaxed)) break;
 
     if (pfds[0].revents & POLLIN) {
-      std::uint8_t drain[256];
-      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      std::uint8_t wake_buf[256];
+      while (::read(wake_pipe_[0], wake_buf, sizeof wake_buf) > 0) {
       }
     }
-    if (pfds[1].revents & POLLIN) accept_pending();
+    if (listener_slot != 0 && (pfds[listener_slot].revents & POLLIN))
+      accept_pending();
 
+    const Clock::time_point now = Clock::now();
     doomed.clear();
-    for (std::size_t i = 2; i < pfds.size(); ++i) {
+    for (std::size_t i = first_session; i < pfds.size(); ++i) {
       const auto it = sessions_.find(ids[i]);
       if (it == sessions_.end()) continue;
       const std::shared_ptr<Session> s = it->second;
+      if (pfds[i].revents & (POLLIN | POLLOUT | POLLHUP))
+        s->last_activity = now;
       bool alive = (pfds[i].revents & (POLLERR | POLLNVAL)) == 0;
       if (alive && (pfds[i].revents & POLLOUT)) alive = flush_output(*s);
       if (alive && (pfds[i].revents & (POLLIN | POLLHUP)) && !s->input_dead)
@@ -159,6 +238,44 @@ void Server::event_loop() {
       if (!alive) doomed.push_back(ids[i]);
     }
     for (const auto id : doomed) close_session(id);
+
+    // Idle reaping: a session with no traffic for idle_timeout_ms, no
+    // queued output, and no in-flight pool work is dead weight in the
+    // bounded table — close it and count it.
+    if (config_.idle_timeout_ms > 0 && !drain_started) {
+      doomed.clear();
+      for (const auto& [id, s] : sessions_) {
+        if (s->inflight.load(std::memory_order_acquire) > 0) continue;
+        {
+          std::lock_guard<std::mutex> lock(s->out_mutex);
+          if (!s->outbox.empty()) continue;
+        }
+        if (ms_between(s->last_activity, now) >= config_.idle_timeout_ms)
+          doomed.push_back(id);
+      }
+      for (const auto id : doomed) {
+        close_session(id);
+        sessions_idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (drain_started) {
+      // Close each session the moment it has nothing left to say; leave
+      // the loop when the table is empty or the grace budget is gone.
+      doomed.clear();
+      const bool expired = now >= drain_deadline;
+      for (const auto& [id, s] : sessions_) {
+        if (expired) {
+          doomed.push_back(id);
+          continue;
+        }
+        if (s->inflight.load(std::memory_order_acquire) > 0) continue;
+        std::lock_guard<std::mutex> lock(s->out_mutex);
+        if (s->outbox.empty()) doomed.push_back(id);
+      }
+      for (const auto id : doomed) close_session(id);
+      if (sessions_.empty()) break;
+    }
   }
   // Orderly shutdown: drop every session now so client recv sees EOF
   // promptly (stop() clears the table again after the pool drains).
@@ -179,6 +296,7 @@ void Server::accept_pending() {
     s->id = next_session_id_++;
     s->conn = std::move(conn);
     s->conn->set_nonblocking(true);
+    s->last_activity = std::chrono::steady_clock::now();
     sessions_.emplace(s->id, s);
     sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
     sessions_active_.fetch_add(1, std::memory_order_relaxed);
@@ -214,6 +332,12 @@ bool Server::service_input(const std::shared_ptr<Session>& s) {
 }
 
 void Server::dispatch(const std::shared_ptr<Session>& s, const Frame& frame) {
+  // Failpoint "serve.server.drop_request" (kind=drop): black-hole the
+  // request — no response ever — which is how the client-deadline tests
+  // manufacture a deterministic request timeout without slowing the loop.
+  if (const auto f = fail::trigger("serve.server.drop_request")) {
+    if (f->kind == fail::Kind::kDrop) return;
+  }
   ByteReader in(frame.body);
   try {
     switch (frame.kind) {
@@ -297,7 +421,20 @@ void Server::handle_read(const std::shared_ptr<Session>& s,
     return;
   }
   // The decode work goes to the pool; the event loop is free immediately.
+  // `inflight` keeps the session off the idle-reap and drain-close lists
+  // until the response (or error) is queued.
+  s->inflight.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit([this, s, req = std::move(req)] {
+    struct InflightGuard {
+      Server& server;
+      Session& session;
+      ~InflightGuard() {
+        session.inflight.fetch_sub(1, std::memory_order_acq_rel);
+        // Re-ring AFTER the decrement so a draining event loop re-checks
+        // the session with inflight already at its final value.
+        server.wake();
+      }
+    } guard{*this, *s};
     try {
       const archive::FieldEntry& fe = reader_.field(req.field);
       ReadResponse resp;
@@ -393,6 +530,8 @@ void Server::start() {
                            "(POSIX poll/sockets required)");
 }
 void Server::stop() {}
+void Server::drain(int) {}
+void Server::teardown() {}
 void Server::wake() noexcept {}
 void Server::event_loop() {}
 void Server::accept_pending() {}

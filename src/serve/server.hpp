@@ -47,6 +47,11 @@ struct ServerConfig {
   std::size_t max_sessions = 64;  ///< bounded session table
   std::size_t cache_bytes = 0;    ///< decoded-block LRU budget (0 = off)
   bool coalescing = true;         ///< single-flight concurrent decodes
+  /// Close sessions with no traffic, no queued output, and no in-flight
+  /// request for this long (ms).  0 (the library default) disables
+  /// reaping; the CLI sets its own default so abandoned connections don't
+  /// pin the bounded session table forever.
+  int idle_timeout_ms = 0;
   ExecPolicy policy;              ///< decode hot-path mode etc.
 };
 
@@ -69,6 +74,12 @@ class Server {
   /// Close the listener, drain in-flight requests, drop every session.
   /// Idempotent.
   void stop();
+
+  /// Graceful shutdown (the SIGTERM path): stop accepting, stop reading
+  /// new requests, finish in-flight ones and flush every outbox, then
+  /// close.  Sessions still busy when `grace_ms` expires are force-closed.
+  /// Blocks until the server is down; idempotent with stop().
+  void drain(int grace_ms = 5000);
 
   /// Resolved listen address (e.g. actual port for tcp "...:0").  Valid
   /// after start().
@@ -104,6 +115,9 @@ class Server {
   bool flush_output(Session& s);
   void close_session(std::uint64_t id);
   void wake() noexcept;
+  /// Join the event thread and tear down sessions/listener/pipe (shared
+  /// tail of stop() and drain()).
+  void teardown();
 
   ServerConfig config_;
   ThreadPool pool_;
@@ -112,6 +126,9 @@ class Server {
   std::string endpoint_;
   std::thread event_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Drain budget in ms, written before draining_ (release/acquire pair).
+  std::atomic<int> drain_grace_ms_{0};
   int wake_pipe_[2] = {-1, -1};
 
   // Session table: event-thread-owned; stop() touches it only after join.
@@ -125,6 +142,7 @@ class Server {
   std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> sessions_idle_reaped_{0};
 };
 
 }  // namespace sz14::serve

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "common/failpoint.hpp"
+
 #if !defined(_WIN32)
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
@@ -31,6 +34,34 @@ void set_fd_nonblocking(int fd, bool on) {
   const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
   if (::fcntl(fd, F_SETFL, want) < 0) sys_fail("fcntl(F_SETFL)");
 }
+
+/// Countdown for deadline-bounded blocking calls: remaining_ms() shrinks
+/// monotonically toward 0; a -1 budget never expires.
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms)
+      : budget_ms_(timeout_ms),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// poll(2)-style remaining budget: -1 = infinite, else >= 0.
+  [[nodiscard]] int remaining_ms() const {
+    if (budget_ms_ < 0) return -1;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const long long left = budget_ms_ - elapsed;
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+
+  [[nodiscard]] bool expired() const { return remaining_ms() == 0; }
+
+  [[nodiscard]] int budget_ms() const noexcept { return budget_ms_; }
+
+ private:
+  int budget_ms_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -67,25 +98,51 @@ std::ptrdiff_t Connection::write_some(std::span<const std::uint8_t> data) {
   }
 }
 
-void Connection::send_all(std::span<const std::uint8_t> data) {
+void Connection::send_all(std::span<const std::uint8_t> data,
+                          int timeout_ms) {
+  const Deadline deadline(timeout_ms);
   while (!data.empty()) {
     const std::ptrdiff_t n = write_some(data);
     if (n < 0) {
       // Blocking-mode sockets only report would-block under SO_SNDTIMEO;
-      // wait for writability and retry.
+      // wait for writability until the deadline and retry.
+      if (deadline.expired())
+        throw TimeoutError("serve: send timed out after " +
+                           std::to_string(deadline.budget_ms()) + " ms");
       struct pollfd p{fd_, POLLOUT, 0};
-      (void)::poll(&p, 1, -1);
+      (void)::poll(&p, 1, deadline.remaining_ms());
       continue;
     }
     data = data.subspan(static_cast<std::size_t>(n));
   }
 }
 
-std::size_t Connection::recv_some(std::span<std::uint8_t> out) {
+std::size_t Connection::recv_some(std::span<std::uint8_t> out,
+                                  int timeout_ms) {
+  (void)fail::trigger("serve.transport.recv");  // stall/error injection
+  if (timeout_ms >= 0) {
+    // Bounded wait: poll for readability BEFORE recv.  Client-side fds
+    // are in blocking mode, so a bare recv() would ignore the deadline
+    // entirely and hang on a black-holed response.
+    struct pollfd p{fd_, POLLIN, 0};
+    int r;
+    do {
+      r = ::poll(&p, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) sys_fail("poll");
+    if (r == 0)
+      throw TimeoutError("serve: recv timed out after " +
+                         std::to_string(timeout_ms) + " ms");
+  }
   const std::ptrdiff_t n = read_some(out);
   if (n < 0) {
+    // Nonblocking fd with nothing buffered (spurious wakeup): wait once
+    // more — still bounded when a deadline was given.
     struct pollfd p{fd_, POLLIN, 0};
-    (void)::poll(&p, 1, -1);
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r == 0)
+      throw TimeoutError("serve: recv timed out after " +
+                         std::to_string(timeout_ms) + " ms");
     const std::ptrdiff_t again = read_some(out);
     return again < 0 ? 0 : static_cast<std::size_t>(again);
   }
@@ -181,14 +238,39 @@ std::unique_ptr<Listener> tcp_listen(const std::string& endpoint) {
   return std::make_unique<TcpListener>(endpoint);
 }
 
-std::unique_ptr<Connection> tcp_connect(const std::string& endpoint) {
+std::unique_ptr<Connection> tcp_connect(const std::string& endpoint,
+                                        int timeout_ms) {
+  (void)fail::trigger("serve.transport.connect");
   sockaddr_in addr = parse_tcp_endpoint(endpoint);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
+  // Deadline-bounded dial: nonblocking connect, poll for writability,
+  // harvest the result from SO_ERROR, then restore blocking mode.
+  set_fd_nonblocking(fd, true);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    sys_fail("connect " + endpoint);
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      sys_fail("connect " + endpoint);
+    }
+    struct pollfd p{fd, POLLOUT, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r == 0) {
+      ::close(fd);
+      throw TimeoutError("serve: connect " + endpoint + " timed out after " +
+                         std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (r < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      if (err != 0) errno = err;
+      sys_fail("connect " + endpoint);
+    }
   }
+  set_fd_nonblocking(fd, false);
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return std::make_unique<Connection>(fd);
@@ -250,7 +332,13 @@ std::unique_ptr<Listener> unix_listen(const std::string& endpoint) {
   return std::make_unique<UnixListener>(endpoint);
 }
 
-std::unique_ptr<Connection> unix_connect(const std::string& endpoint) {
+std::unique_ptr<Connection> unix_connect(const std::string& endpoint,
+                                         int /*timeout_ms*/) {
+  // Unix-domain connect() completes (or is refused) immediately — the
+  // backlog-full case returns EAGAIN rather than blocking — so no
+  // nonblocking dance is needed; the deadline applies from the handshake
+  // on.
+  (void)fail::trigger("serve.transport.connect");
   sockaddr_un addr = parse_unix_endpoint(endpoint);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
@@ -340,7 +428,9 @@ std::unique_ptr<Listener> loopback_listen(const std::string& endpoint) {
   return std::make_unique<LoopbackListener>(endpoint);
 }
 
-std::unique_ptr<Connection> loopback_connect(const std::string& endpoint) {
+std::unique_ptr<Connection> loopback_connect(const std::string& endpoint,
+                                             int /*timeout_ms*/) {
+  (void)fail::trigger("serve.transport.connect");
   int sp[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) < 0) sys_fail("socketpair");
   auto& reg = loopback_registry();
@@ -388,7 +478,9 @@ namespace {
 }
 
 std::unique_ptr<Listener> stub_listen(const std::string&) { unsupported(); }
-std::unique_ptr<Connection> stub_connect(const std::string&) { unsupported(); }
+std::unique_ptr<Connection> stub_connect(const std::string&, int) {
+  unsupported();
+}
 
 constexpr TransportOps kTransports[] = {
     {1, "tcp", stub_listen, stub_connect},
@@ -407,8 +499,12 @@ std::ptrdiff_t Connection::read_some(std::span<std::uint8_t>) {
 std::ptrdiff_t Connection::write_some(std::span<const std::uint8_t>) {
   unsupported();
 }
-void Connection::send_all(std::span<const std::uint8_t>) { unsupported(); }
-std::size_t Connection::recv_some(std::span<std::uint8_t>) { unsupported(); }
+void Connection::send_all(std::span<const std::uint8_t>, int) {
+  unsupported();
+}
+std::size_t Connection::recv_some(std::span<std::uint8_t>, int) {
+  unsupported();
+}
 void Connection::shutdown_both() noexcept {}
 
 std::span<const TransportOps> transport_table() noexcept {

@@ -25,10 +25,19 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace sz14::serve {
+
+/// A blocking transport operation exceeded its deadline (dial, handshake,
+/// or request).  Distinct from plain std::runtime_error so the client can
+/// decide retry-vs-fail and the CLI can map it to its own exit code.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One accepted (or dialed) byte-stream connection over an fd.  Blocking
 /// helpers serve the client library; the server flips the fd nonblocking
@@ -54,12 +63,19 @@ class Connection {
   /// vanished surfaces as a thrown error instead.
   [[nodiscard]] std::ptrdiff_t write_some(std::span<const std::uint8_t> data);
 
-  /// Blocking: write the entire span (client side).
-  void send_all(std::span<const std::uint8_t> data);
+  /// Blocking: write the entire span (client side).  `timeout_ms` bounds
+  /// the TOTAL time spent blocked on an unwritable socket (-1 = forever);
+  /// on expiry throws TimeoutError with the socket in an undefined
+  /// mid-message state — callers must close it.
+  void send_all(std::span<const std::uint8_t> data, int timeout_ms = -1);
 
   /// Blocking: read up to out.size() bytes, at least one unless EOF
-  /// (returns 0).  Client side.
-  [[nodiscard]] std::size_t recv_some(std::span<std::uint8_t> out);
+  /// (returns 0).  Client side.  `timeout_ms` bounds the wait for the
+  /// FIRST readable byte (-1 = forever); on expiry throws TimeoutError.
+  /// Failpoint site "serve.transport.recv" (stall injection) fires before
+  /// the read.
+  [[nodiscard]] std::size_t recv_some(std::span<std::uint8_t> out,
+                                      int timeout_ms = -1);
 
   /// Hard-close both directions without destroying the object (used by
   /// the abrupt-disconnect robustness tests).
@@ -88,7 +104,12 @@ struct TransportOps {
   std::uint8_t id;
   const char* name;
   std::unique_ptr<Listener> (*listen)(const std::string& endpoint);
-  std::unique_ptr<Connection> (*connect)(const std::string& endpoint);
+  /// Dial with a deadline: `timeout_ms` bounds connection establishment
+  /// (-1 = OS default).  Throws TimeoutError on expiry, std::runtime_error
+  /// on refusal/unreachability.  Failpoint site "serve.transport.connect"
+  /// fires first (error/stall injection for retry tests).
+  std::unique_ptr<Connection> (*connect)(const std::string& endpoint,
+                                         int timeout_ms);
 };
 
 /// All registered transports, id-ascending.

@@ -82,7 +82,7 @@ archive::Region region3(std::size_t o0, std::size_t o1, std::size_t o2,
 /// Raw socket to a running server for wire-level abuse.
 std::unique_ptr<Connection> raw_dial(const Server& server,
                                      const std::string& transport) {
-  return transport_by_name(transport)->connect(server.endpoint());
+  return transport_by_name(transport)->connect(server.endpoint(), 5000);
 }
 
 /// Blocking read of exactly one response frame off a raw connection.
@@ -290,7 +290,12 @@ TEST(ServeDaemon, SessionTableIsBounded) {
   Client a("loopback", server.endpoint());
   Client b("loopback", server.endpoint());
   // The third connection is shed at accept: its open handshake sees EOF.
-  EXPECT_THROW(Client("loopback", server.endpoint()), std::runtime_error);
+  // Retries are off so the shed shows up as exactly one rejection (the
+  // default client would redial and be shed again).
+  ClientConfig no_retry;
+  no_retry.retries = 0;
+  EXPECT_THROW(Client("loopback", server.endpoint(), no_retry),
+               std::runtime_error);
   EXPECT_EQ(server.stats().sessions_rejected, 1u);
   // Existing sessions are unaffected by the shed one.
   EXPECT_EQ(a.ls().size(), 2u);

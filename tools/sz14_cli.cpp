@@ -21,6 +21,8 @@
 //                        [--origin O1xO2[..] --shape S1xS2[..]] [-t THREADS]
 //   sz14 archive cat     -i in.sza -f name [--origin .. --shape ..]
 //                        [--limit N] [-t THREADS]
+//   sz14 archive fsck    -i in.sza [--repair]     (crash recovery; ls/stat/
+//                        extract/cat also accept --salvage)
 //
 // Serving daemon (src/serve/): a long-lived reader behind a socket.
 //
@@ -100,12 +102,37 @@ struct Args {
                "[--origin DIMS --shape DIMS] [-t THREADS]\n"
                "  sz14 archive cat     -i IN -f NAME "
                "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n"
+               "  sz14 archive fsck    -i IN [--repair]\n"
                "  sz14 serve -i IN [--transport tcp|unix] "
                "[--listen ENDPOINT] [-t THREADS] [--cache BYTES[K|M|G]] "
-               "[--max-sessions N] [--no-coalesce]\n"
+               "[--max-sessions N] [--no-coalesce] "
+               "[--idle-timeout MS] [--drain-grace MS]\n"
                "  sz14 get   --connect ENDPOINT [--transport tcp|unix] "
                "(--ls | --stats | --stat -f NAME | -f NAME [-o OUT] "
-               "[--origin DIMS --shape DIMS] [--limit N])\n");
+               "[--origin DIMS --shape DIMS] [--limit N]) "
+               "[--timeout MS] [--connect-timeout MS] [--retries N]\n"
+               "\n"
+               "notes:\n"
+               "  archive ls/stat/extract/cat accept --salvage to open a "
+               "crash-damaged\n"
+               "  archive at its last valid checkpoint instead of failing.\n"
+               "  serve drains gracefully on SIGTERM (finish in-flight "
+               "requests, flush,\n"
+               "  close; bounded by --drain-grace) and stops immediately on "
+               "SIGINT.\n"
+               "\n"
+               "exit codes (get/serve/fsck):\n"
+               "  0  success\n"
+               "  1  error (I/O, server-side failure, unrepaired damage)\n"
+               "  2  usage\n"
+               "  3  connect/bind failure (get: endpoint unreachable after "
+               "retries;\n"
+               "     serve: cannot listen; fsck: nothing salvageable)\n"
+               "  4  timeout (dial, handshake, or request deadline "
+               "exceeded)\n"
+               "  5  protocol error (malformed/unexpected wire data, "
+               "rejected request)\n"
+               "  6  field not found\n");
   std::exit(2);
 }
 
@@ -398,10 +425,13 @@ struct ArchiveArgs {
   std::size_t threads = 0;
   std::size_t limit = 0;  // 0 = no limit
   bool turbo = false;
+  bool repair = false;
+  bool salvage = false;
 };
 
 ArchiveArgs parse_archive(int argc, char** argv) {
-  if (argc < 3) usage("archive needs a subcommand (create|ls|extract|cat)");
+  if (argc < 3)
+    usage("archive needs a subcommand (create|ls|stat|extract|cat|fsck)");
   ArchiveArgs a;
   a.sub = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -438,6 +468,10 @@ ArchiveArgs parse_archive(int argc, char** argv) {
       a.turbo = true;
     } else if (flag == "--limit") {
       a.limit = std::stoull(next());
+    } else if (flag == "--repair") {
+      a.repair = true;
+    } else if (flag == "--salvage") {
+      a.salvage = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -544,9 +578,27 @@ int cmd_archive_create(const ArchiveArgs& a) {
   return 0;
 }
 
+/// --salvage: open damaged archives at their last valid checkpoint
+/// (prints what happened on stderr so piped stdout stays clean).
+std::unique_ptr<archive::ArchiveReader> open_archive(const ArchiveArgs& a) {
+  auto reader = std::make_unique<archive::ArchiveReader>(
+      a.input, a.threads, ExecPolicy{},
+      a.salvage ? archive::OpenMode::kSalvage : archive::OpenMode::kStrict);
+  const auto& info = reader->salvage_info();
+  if (info.fallback)
+    std::fprintf(stderr,
+                 "warning: %s: strict open failed (%s); using checkpoint at "
+                 "byte %llu of %llu\n",
+                 a.input.c_str(), info.detail.c_str(),
+                 static_cast<unsigned long long>(info.consistent_bytes),
+                 static_cast<unsigned long long>(info.file_bytes));
+  return reader;
+}
+
 int cmd_archive_ls(const ArchiveArgs& a) {
   if (a.input.empty()) usage("archive ls needs -i");
-  archive::ArchiveReader reader(a.input);
+  auto reader_ptr = open_archive(a);
+  archive::ArchiveReader& reader = *reader_ptr;
   std::printf("%-20s %-5s %-14s %-12s %-11s %7s %12s %s\n", "field", "dtype",
               "shape", "block", "codec", "blocks", "bytes", "min..max");
   for (const auto& f : reader.fields()) {
@@ -570,7 +622,8 @@ int cmd_archive_extract(const ArchiveArgs& a) {
   if (a.input.empty() || a.field_name.empty() || a.output.empty())
     usage("archive extract needs -i, -f and -o");
   // -t sizes the reader's block-serving pool (0 = all cores).
-  archive::ArchiveReader reader(a.input, a.threads);
+  auto reader_ptr = open_archive(a);
+  archive::ArchiveReader& reader = *reader_ptr;
   const auto& f = reader.field(a.field_name);
   const auto region = parse_region(a, f.dims);
   Timer timer;
@@ -598,7 +651,8 @@ int cmd_archive_extract(const ArchiveArgs& a) {
 int cmd_archive_cat(const ArchiveArgs& a) {
   if (a.input.empty() || a.field_name.empty())
     usage("archive cat needs -i and -f");
-  archive::ArchiveReader reader(a.input, a.threads);
+  auto reader_ptr = open_archive(a);
+  archive::ArchiveReader& reader = *reader_ptr;
   const auto& f = reader.field(a.field_name);
   const auto region = parse_region(a, f.dims);
   const auto print = [&](auto&& values) {
@@ -624,7 +678,8 @@ int cmd_archive_cat(const ArchiveArgs& a) {
 /// drift between local and remote views.
 int cmd_archive_stat(const ArchiveArgs& a) {
   if (a.input.empty()) usage("archive stat needs -i");
-  archive::ArchiveReader reader(a.input);
+  auto reader_ptr = open_archive(a);
+  archive::ArchiveReader& reader = *reader_ptr;
   if (!a.field_name.empty()) {
     const auto& f = reader.field(a.field_name);
     std::fputs(
@@ -639,6 +694,26 @@ int cmd_archive_stat(const ArchiveArgs& a) {
   return 0;
 }
 
+/// `archive fsck`: scan (and with --repair, truncate) a possibly
+/// crash-damaged archive.  Exit codes: 0 = clean or fully repaired,
+/// 1 = damage found and not repaired (rerun with --repair, or restore),
+/// 3 = nothing salvageable (no valid checkpoint at all).
+int cmd_archive_fsck(const ArchiveArgs& a) {
+  if (a.input.empty()) usage("archive fsck needs -i");
+  archive::FsckReport report;
+  try {
+    report = a.repair ? archive::fsck_repair(a.input)
+                      : archive::fsck_scan(a.input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsck: %s: unsalvageable: %s\n", a.input.c_str(),
+                 e.what());
+    return 3;
+  }
+  std::fputs(archive::format_fsck_report(report).c_str(), stdout);
+  if (report.clean() || (a.repair && report.bad_blocks.empty())) return 0;
+  return 1;
+}
+
 int cmd_archive(int argc, char** argv) {
   const ArchiveArgs a = parse_archive(argc, argv);
   if (a.sub == "create") return cmd_archive_create(a);
@@ -646,18 +721,26 @@ int cmd_archive(int argc, char** argv) {
   if (a.sub == "stat") return cmd_archive_stat(a);
   if (a.sub == "extract") return cmd_archive_extract(a);
   if (a.sub == "cat") return cmd_archive_cat(a);
+  if (a.sub == "fsck") return cmd_archive_fsck(a);
   usage(("unknown archive subcommand " + a.sub).c_str());
 }
 
 // -------------------------------------------------------------------- serve
 
-std::atomic<bool> g_stop{false};
+/// Which signal asked us to go down (0 = still running): SIGTERM drains
+/// gracefully, SIGINT stops immediately.
+std::atomic<int> g_signal{0};
 
-void handle_stop_signal(int) { g_stop.store(true); }
+void handle_stop_signal(int sig) { g_signal.store(sig); }
 
 int cmd_serve(int argc, char** argv) {
   serve::ServerConfig cfg;
   std::string input;
+  int drain_grace_ms = 5000;
+  // Abandoned connections should not pin the bounded session table
+  // forever; the library default (0 = off) is for embedders, a daemon
+  // wants reaping on.
+  cfg.idle_timeout_ms = 60'000;
   bool listen_given = false;
   bool cache_given = false;
   for (int i = 2; i < argc; ++i) {
@@ -682,6 +765,10 @@ int cmd_serve(int argc, char** argv) {
       cfg.max_sessions = std::stoull(next());
     } else if (flag == "--no-coalesce") {
       cfg.coalescing = false;
+    } else if (flag == "--idle-timeout") {
+      cfg.idle_timeout_ms = std::stoi(next());
+    } else if (flag == "--drain-grace") {
+      drain_grace_ms = std::stoi(next());
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -694,16 +781,31 @@ int cmd_serve(int argc, char** argv) {
   if (!cache_given) cfg.cache_bytes = 64u << 20;
 
   serve::Server server(input, cfg);
-  server.start();
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    // Distinct exit code for "cannot bind/listen" so supervisors can tell
+    // an endpoint conflict from an archive problem.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
   std::printf("serving %s on %s://%s (%zu fields)\n", input.c_str(),
               cfg.transport.c_str(), server.endpoint().c_str(),
               server.reader().fields().size());
   std::fflush(stdout);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  while (!g_stop.load())
+  while (g_signal.load() == 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  server.stop();
+  if (g_signal.load() == SIGTERM) {
+    // Graceful: no new sessions, finish in-flight requests, flush every
+    // outbox, then close — bounded by the drain grace budget.
+    std::printf("SIGTERM: draining (grace %d ms)\n", drain_grace_ms);
+    std::fflush(stdout);
+    server.drain(drain_grace_ms);
+  } else {
+    server.stop();
+  }
   const serve::ServerStats s = server.stats();
   std::printf("served %llu requests (%llu errors) over %llu sessions; "
               "%llu blocks decoded, %llu coalesced, %llu cache hits\n",
@@ -718,11 +820,12 @@ int cmd_serve(int argc, char** argv) {
 
 // ---------------------------------------------------------------------- get
 
-int cmd_get(int argc, char** argv) {
+int run_get(int argc, char** argv) {
   std::string transport = "tcp", endpoint, field, output;
   std::string origin_text, shape_text;
   std::size_t limit = 0;
   bool do_ls = false, do_stat = false, do_stats = false;
+  serve::ClientConfig ccfg;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> std::string {
@@ -749,13 +852,19 @@ int cmd_get(int argc, char** argv) {
       do_stat = true;
     } else if (flag == "--stats") {
       do_stats = true;
+    } else if (flag == "--timeout") {
+      ccfg.request_timeout_ms = std::stoi(next());
+    } else if (flag == "--connect-timeout") {
+      ccfg.connect_timeout_ms = std::stoi(next());
+    } else if (flag == "--retries") {
+      ccfg.retries = static_cast<unsigned>(std::stoul(next()));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
   }
   if (endpoint.empty()) usage("get needs --connect ENDPOINT");
 
-  serve::Client client(transport, endpoint);
+  serve::Client client(transport, endpoint, ccfg);
   if (do_ls) {
     std::printf("%-20s %-5s %-14s %-12s %7s %12s %8s %s\n", "field", "dtype",
                 "shape", "block", "blocks", "bytes", "CF", "min..max");
@@ -789,6 +898,7 @@ int cmd_get(int argc, char** argv) {
     row("cache evictions", s.cache_evictions);
     row("cache resident bytes", s.cache_resident_bytes);
     row("cache capacity bytes", s.cache_capacity_bytes);
+    row("sessions idle reaped", s.sessions_idle_reaped);
     return 0;
   }
   if (do_stat) {
@@ -823,6 +933,28 @@ int cmd_get(int argc, char** argv) {
     print(reinterpret_cast<const float*>(resp.values.data()),
           resp.values.size() / sizeof(float));
   return 0;
+}
+
+/// run_get + the documented exit-code mapping: each failure class gets ONE
+/// stderr line and a distinct code, so scripts branch on $? instead of
+/// parsing error text.
+int cmd_get(int argc, char** argv) {
+  try {
+    return run_get(argc, argv);
+  } catch (const serve::RemoteError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return e.status() == serve::kStatusNotFound ? 6 : 5;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const serve::TimeoutError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  // Anything else falls through to main()'s generic handler (exit 1).
 }
 
 }  // namespace
