@@ -510,6 +510,79 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(reader.blocks_decoded()),
                      hit_rate);
       }
+
+      // Parity-on serving: the same skewed mix against a parity-enabled
+      // twin of the archive (default 16-block XOR groups).  Parity is only
+      // consulted when a CRC fails, so the clean-path read rate should sit
+      // on top of the nocache record — this record keeps that claim
+      // measured instead of assumed (the write cost is the parity bytes).
+      {
+        const std::string ppath = "/tmp/run_perf_suite_archive_parity.sza";
+        {
+          archive::ArchiveWriter w(ppath, threads, {},
+                                   archive::kDefaultParityGroup);
+          w.append_field("v", std::span<const float>(f3.values), f3.dims,
+                         block, "sz14", 1e-3);
+          w.finish();
+        }
+        archive::ArchiveReader reader(ppath, threads);
+        std::vector<std::vector<float>> want;
+        want.reserve(regions.size());
+        for (const auto& r : regions)
+          want.push_back(reader.read_region("v", r));
+
+        reader.reset_counters();
+        std::atomic<std::size_t> diverged{0};
+        std::vector<std::thread> workers;
+        Timer t;
+        for (std::size_t w = 0; w < threads; ++w) {
+          workers.emplace_back([&, w] {
+            Rng wr(3000 + w);
+            for (std::size_t k = 0; k < reads_per_thread; ++k) {
+              const std::size_t i =
+                  bench::serving_pick(wr, kHot, regions.size());
+              try {
+                if (reader.read_region("v", regions[i]) != want[i])
+                  ++diverged;
+              } catch (const std::exception& e) {
+                if (diverged.fetch_add(1) == 0)
+                  std::fprintf(stderr, "parity serving read threw: %s\n",
+                               e.what());
+              }
+            }
+          });
+        }
+        for (auto& th : workers) th.join();
+        const double seconds = t.seconds();
+        if (diverged.load() != 0 || reader.read_repairs() != 0) {
+          std::fprintf(stderr,
+                       "run_perf_suite: PARITY SERVING DIVERGENCE\n");
+          exit_code = 1;
+        }
+
+        const std::size_t reads = threads * reads_per_thread;
+        json.begin_record();
+        json.kv("bench", "perf_suite_archive_serving");
+        json.kv("field", "hurricane3d");
+        json.kv("mode", "parity");
+        json.kv("threads", threads);
+        json.kv("regions", regions.size());
+        json.kv("region_values_total", region_values);
+        json.kv("reads", reads);
+        json.kv("seconds", seconds);
+        json.kv("reads_per_s", static_cast<double>(reads) / seconds);
+        json.kv("blocks_decoded",
+                static_cast<std::size_t>(reader.blocks_decoded()));
+        json.kv("cache_hit_rate", 0.0);
+        json.end_record();
+        std::fprintf(stderr,
+                     "serving parity   %zu threads: %7.1f reads/s, %llu "
+                     "decodes, 0 repairs\n",
+                     threads, static_cast<double>(reads) / seconds,
+                     static_cast<unsigned long long>(
+                         reader.blocks_decoded()));
+        std::remove(ppath.c_str());
+      }
       // Serving daemon end-to-end: the same skewed mix pushed through a
       // real Server + Client pair over the loopback transport — protocol
       // framing, event loop, pool dispatch, coalescing and cache all in

@@ -4,9 +4,11 @@
 //   archive_format.hpp — on-disk container layout (superblock/footer)
 //   writer.hpp         — append-only parallel writer (crash-consistent
 //                        per-append footer checkpoints)
-//   reader.hpp         — footer-indexed random-access reader (strict or
-//                        salvage open)
-//   fsck.hpp           — consistency check / crash repair
+//   reader.hpp         — footer-indexed random-access reader (strict,
+//                        salvage, or degraded open; parity read-repair)
+//   parity.hpp         — XOR parity-group math (reconstruct/recompute)
+//   fsck.hpp           — consistency check / crash + parity repair
+//   scrub.hpp          — online payload verify + in-place parity heal
 //   single_flight.hpp  — concurrent-decode coalescing for the serving path
 //   stat_format.hpp    — field/index summaries (CLI stat + serve `stat` op)
 #pragma once
@@ -15,7 +17,9 @@
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
 #include "archive/fsck.hpp"
+#include "archive/parity.hpp"
 #include "archive/reader.hpp"
+#include "archive/scrub.hpp"
 #include "archive/single_flight.hpp"
 #include "archive/stat_format.hpp"
 #include "archive/writer.hpp"

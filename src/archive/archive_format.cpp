@@ -1,5 +1,6 @@
 #include "archive/archive_format.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -9,25 +10,30 @@
 
 namespace sz14::archive {
 
-void write_superblock(ByteWriter& out) {
+void write_superblock(ByteWriter& out, std::uint8_t flags) {
   out.put<std::uint32_t>(kArchiveMagic);
   out.put<std::uint8_t>(kArchiveVersion);
-  out.put<std::uint8_t>(0);   // flags
+  out.put<std::uint8_t>(flags);
   out.put<std::uint16_t>(0);  // reserved
 }
 
-void read_superblock(ByteReader& in) {
+std::uint8_t read_superblock(ByteReader& in) {
   if (in.get<std::uint32_t>() != kArchiveMagic)
     throw std::runtime_error("archive: bad magic (not an SZA container)");
   const auto version = in.get<std::uint8_t>();
   if (version != kArchiveVersion)
     throw std::runtime_error("archive: unsupported container version " +
                              std::to_string(version));
-  (void)in.get<std::uint8_t>();   // flags
+  const auto flags = in.get<std::uint8_t>();
+  if (flags & ~kFlagParity)
+    throw std::runtime_error("archive: unknown superblock flags " +
+                             std::to_string(flags));
   (void)in.get<std::uint16_t>();  // reserved
+  return flags;
 }
 
-void write_footer(const std::vector<FieldEntry>& fields, ByteWriter& out) {
+void write_footer(const std::vector<FieldEntry>& fields, ByteWriter& out,
+                  std::uint8_t flags) {
   out.put_varint(fields.size());
   for (const auto& f : fields) {
     out.put_string(f.name);
@@ -44,10 +50,22 @@ void write_footer(const std::vector<FieldEntry>& fields, ByteWriter& out) {
       out.put<double>(b.min);
       out.put<double>(b.max);
     }
+    // The parity section exists ONLY under the superblock flag so that
+    // parity-off archives stay byte-identical to the pre-parity format.
+    if (flags & kFlagParity) {
+      out.put_varint(f.parity_group);
+      if (f.parity_group > 0) {
+        for (const auto& p : f.parity) {
+          out.put_varint(p.offset);
+          out.put_varint(p.size);
+          out.put<std::uint32_t>(p.crc);
+        }
+      }
+    }
   }
 }
 
-std::vector<FieldEntry> read_footer(ByteReader& in) {
+std::vector<FieldEntry> read_footer(ByteReader& in, std::uint8_t flags) {
   const auto n_fields = static_cast<std::size_t>(in.get_varint());
   std::vector<FieldEntry> fields;
   fields.reserve(n_fields);
@@ -87,6 +105,23 @@ std::vector<FieldEntry> read_footer(ByteReader& in) {
       b.crc = in.get<std::uint32_t>();
       b.min = in.get<double>();
       b.max = in.get<double>();
+    }
+    if (flags & kFlagParity) {
+      const auto group = in.get_varint();
+      if (group > std::numeric_limits<std::uint32_t>::max())
+        throw std::runtime_error("archive: parity group size out of range "
+                                 "for field '" + f.name + "'");
+      f.parity_group = static_cast<std::uint32_t>(group);
+      if (f.parity_group > 0) {
+        const std::size_t n_groups =
+            (n_blocks + f.parity_group - 1) / f.parity_group;
+        f.parity.resize(n_groups);
+        for (auto& p : f.parity) {
+          p.offset = in.get_varint();
+          p.size = in.get_varint();
+          p.crc = in.get<std::uint32_t>();
+        }
+      }
     }
     fields.push_back(std::move(f));
   }

@@ -1,11 +1,13 @@
 #include "archive/fsck.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "archive/reader.hpp"
+#include "archive/scrub.hpp"
 #include "common/checksum.hpp"
 #include "common/pread_file.hpp"
 
@@ -22,6 +24,7 @@ FsckReport fsck_scan(const std::string& path) {
   report.consistent_bytes = info.consistent_bytes;
   report.salvage_used = info.fallback;
   report.open_detail = info.detail;
+  report.parity_enabled = reader.parity_enabled();
   report.fields_indexed = reader.fields().size();
 
   // Verify every indexed payload against its stored CRC.  The reader
@@ -29,38 +32,79 @@ FsckReport fsck_scan(const std::string& path) {
   // DATA the index points at, which a footer checksum cannot cover.
   PreadFile file(path);
   std::vector<std::uint8_t> buf;
+  const auto check = [&](std::uint64_t offset, std::uint64_t size,
+                         std::uint32_t crc, std::uint32_t& actual) {
+    buf.resize(static_cast<std::size_t>(size));
+    file.read_at(offset, buf);
+    actual = crc32(buf);
+    return actual == crc;
+  };
   for (const auto& f : reader.fields()) {
+    // Per-group damage tally, so the report can say what parity can heal:
+    // one bad member per group (data OR parity) is repairable, two are not.
+    std::vector<std::size_t> group_bad(f.parity.size(), 0);
+    std::size_t field_unrecoverable = 0;
     for (std::size_t i = 0; i < f.blocks.size(); ++i) {
       const auto& b = f.blocks[i];
-      buf.resize(static_cast<std::size_t>(b.size));
-      file.read_at(b.offset, buf);
       ++report.blocks_scanned;
-      const std::uint32_t actual = crc32(buf);
-      if (actual != b.crc)
-        report.bad_blocks.push_back(
-            {f.name, i, b.offset, b.size, b.crc, actual});
+      std::uint32_t actual = 0;
+      if (check(b.offset, b.size, b.crc, actual)) continue;
+      report.bad_blocks.push_back(
+          {f.name, false, i, b.offset, b.size, b.crc, actual});
+      if (f.parity_group == 0)
+        ++field_unrecoverable;  // no parity: this data is simply lost
+      else
+        ++group_bad[i / f.parity_group];
     }
+    for (std::size_t g = 0; g < f.parity.size(); ++g) {
+      const auto& p = f.parity[g];
+      ++report.parity_scanned;
+      std::uint32_t actual = 0;
+      if (check(p.offset, p.size, p.crc, actual)) continue;
+      report.bad_parity.push_back(
+          {f.name, true, g, p.offset, p.size, p.crc, actual});
+      ++group_bad[g];
+    }
+    for (const std::size_t bad : group_bad)
+      if (bad >= 2) field_unrecoverable += bad;
+    report.unrecoverable_payloads += field_unrecoverable;
   }
   return report;
 }
 
 FsckReport fsck_repair(const std::string& path) {
   FsckReport report = fsck_scan(path);
-  if (!report.needs_truncate()) return report;
+  std::size_t blocks_repaired = 0;
+  std::size_t parity_rebuilt = 0;
+  bool truncated = false;
 
-  // Cut the file back to the newest valid checkpoint; the (possibly torn)
-  // bytes behind it are exactly what a crashed writer left unsealed.
-  std::error_code ec;
-  std::filesystem::resize_file(path, report.consistent_bytes, ec);
-  if (ec)
-    throw std::runtime_error("fsck: cannot truncate " + path + " to " +
-                             std::to_string(report.consistent_bytes) +
-                             " bytes: " + ec.message());
+  if (report.needs_truncate()) {
+    // Cut the file back to the newest valid checkpoint; the (possibly
+    // torn) bytes behind it are exactly what a crashed writer left
+    // unsealed.
+    std::error_code ec;
+    std::filesystem::resize_file(path, report.consistent_bytes, ec);
+    if (ec)
+      throw std::runtime_error("fsck: cannot truncate " + path + " to " +
+                               std::to_string(report.consistent_bytes) +
+                               " bytes: " + ec.message());
+    truncated = true;
+  }
 
-  // Re-scan so the returned report describes the REPAIRED file — it must
-  // now strict-open with no trailing garbage.
+  // Heal CRC-damaged payloads in place through the shared parity engine
+  // (scrub.hpp): reconstruct + rewrite + re-verify, refusing any group
+  // with two damaged members.
+  if (!report.bad_blocks.empty() || !report.bad_parity.empty()) {
+    const HealOutcome healed = heal_damaged_payloads(path);
+    blocks_repaired = healed.blocks_repaired;
+    parity_rebuilt = healed.parity_rebuilt;
+  }
+
+  // Re-scan so the returned report describes the REPAIRED file.
   report = fsck_scan(path);
-  report.truncated = true;
+  report.truncated = truncated;
+  report.blocks_repaired = blocks_repaired;
+  report.parity_rebuilt = parity_rebuilt;
   if (report.salvage_used || report.needs_truncate())
     throw std::runtime_error(
         "fsck: " + path + " still inconsistent after truncation (" +
@@ -72,7 +116,10 @@ std::string format_fsck_report(const FsckReport& report) {
   std::ostringstream os;
   os << report.path << ": " << report.file_bytes << " bytes, "
      << report.fields_indexed << " field(s), " << report.blocks_scanned
-     << " block(s) scanned\n";
+     << " block(s)";
+  if (report.parity_enabled)
+    os << " + " << report.parity_scanned << " parity payload(s)";
+  os << " scanned\n";
   if (report.salvage_used)
     os << "  strict open FAILED (" << report.open_detail
        << "); salvaged checkpoint at byte " << report.consistent_bytes
@@ -85,11 +132,28 @@ std::string format_fsck_report(const FsckReport& report) {
     os << "  CORRUPT block " << bad.block << " of field '" << bad.field
        << "' at offset " << bad.offset << " (" << bad.size
        << " bytes): stored crc " << bad.crc_stored << ", actual "
-       << bad.crc_actual << " (not repairable; restore from source)\n";
+       << bad.crc_actual
+       << (report.parity_enabled
+               ? " (--repair heals what parity covers)"
+               : " (no parity; not repairable — restore from source)")
+       << "\n";
   }
+  for (const auto& bad : report.bad_parity) {
+    os << "  CORRUPT parity group " << bad.block << " of field '"
+       << bad.field << "' at offset " << bad.offset << " (" << bad.size
+       << " bytes): stored crc " << bad.crc_stored << ", actual "
+       << bad.crc_actual << " (data intact; --repair rebuilds parity)\n";
+  }
+  if (report.unrecoverable_payloads > 0)
+    os << "  UNRECOVERABLE: " << report.unrecoverable_payloads
+       << " payload(s) beyond single-parity repair\n";
   if (report.truncated)
     os << "  repaired: truncated to " << report.consistent_bytes
        << " bytes\n";
+  if (report.blocks_repaired > 0 || report.parity_rebuilt > 0)
+    os << "  repaired: " << report.blocks_repaired
+       << " data payload(s) healed from parity, " << report.parity_rebuilt
+       << " parity payload(s) rebuilt\n";
   if (report.clean())
     os << "  clean\n";
   return os.str();

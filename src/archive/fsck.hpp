@@ -3,16 +3,20 @@
 //
 // fsck_scan() opens the archive in salvage mode (so a torn tail or damaged
 // final footer falls back to the last valid checkpoint), then verifies
-// every indexed block payload against its stored CRC-32.  The report says
-// whether the file is clean, how many trailing bytes a crash left behind
-// the last checkpoint, and which blocks (if any) are corrupt inside the
-// otherwise-consistent region.
+// every indexed payload — data blocks AND parity payloads — against its
+// stored CRC-32.  The report says whether the file is clean, how many
+// trailing bytes a crash left behind the last checkpoint, which payloads
+// are corrupt inside the otherwise-consistent region, and how much of that
+// corruption the parity scheme can heal.
 //
-// fsck_repair() truncates the file to the last consistent checkpoint, so a
-// strict open succeeds again and the salvaged fields read back
-// bit-identical.  Payload corruption INSIDE the consistent region is not
-// repairable (the data is simply gone) — repair reports it and leaves the
-// file alone so the operator can restore from elsewhere.
+// fsck_repair() truncates the file to the last consistent checkpoint, then
+// heals CRC-damaged payloads through the shared parity heal engine
+// (scrub.hpp): a damaged data block is reconstructed from its parity group
+// when the group has at most one damaged member, rewritten in place, and
+// re-verified; a damaged parity payload is recomputed from its intact data
+// members.  Damage beyond single parity (two bad members in one group, or
+// a parity-less archive) is reported and left untouched so the operator
+// can restore from elsewhere — never mis-repaired.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +25,11 @@
 
 namespace sz14::archive {
 
-/// One corrupt block found by the payload scan.
+/// One corrupt payload found by the scan.
 struct FsckBlockIssue {
   std::string field;
-  std::size_t block = 0;       ///< index within the field
+  bool parity = false;  ///< true: a parity payload (block = group index)
+  std::size_t block = 0;       ///< block index (or parity-group index)
   std::uint64_t offset = 0;    ///< absolute payload offset
   std::uint64_t size = 0;      ///< payload bytes
   std::uint32_t crc_stored = 0;
@@ -37,19 +42,32 @@ struct FsckReport {
   std::uint64_t consistent_bytes = 0;  ///< end of the newest valid checkpoint
   bool salvage_used = false;  ///< strict open failed; a checkpoint was used
   std::string open_detail;    ///< why the strict open failed (empty if clean)
+  bool parity_enabled = false;  ///< superblock carries kFlagParity
   std::size_t fields_indexed = 0;
-  std::size_t blocks_scanned = 0;
-  std::vector<FsckBlockIssue> bad_blocks;
+  std::size_t blocks_scanned = 0;  ///< data payloads verified
+  std::size_t parity_scanned = 0;  ///< parity payloads verified
+  std::vector<FsckBlockIssue> bad_blocks;  ///< damaged DATA payloads
+  std::vector<FsckBlockIssue> bad_parity;  ///< damaged PARITY payloads
+  /// Damaged payloads the parity scheme cannot heal (two bad members in
+  /// one group, or a parity-less archive) — data genuinely at risk.
+  std::size_t unrecoverable_payloads = 0;
   bool truncated = false;  ///< repair removed the trailing garbage
+  std::size_t blocks_repaired = 0;  ///< repair healed these data payloads
+  std::size_t parity_rebuilt = 0;   ///< repair recomputed these parity slots
 
-  /// Clean: strict-openable, no trailing garbage, every block CRC good.
+  /// Clean: strict-openable, no trailing garbage, every payload CRC good.
   [[nodiscard]] bool clean() const noexcept {
-    return !salvage_used && bad_blocks.empty() &&
+    return !salvage_used && bad_blocks.empty() && bad_parity.empty() &&
            consistent_bytes == file_bytes;
   }
   /// Repairable damage: a truncation would restore strict readability.
   [[nodiscard]] bool needs_truncate() const noexcept {
     return consistent_bytes != file_bytes;
+  }
+  /// Damage exists and ALL of it is repairable (truncation and/or parity
+  /// heal) — `--repair` would leave the archive clean.
+  [[nodiscard]] bool repairable() const noexcept {
+    return !clean() && unrecoverable_payloads == 0;
   }
 };
 
@@ -57,10 +75,11 @@ struct FsckReport {
 /// the file has no valid checkpoint at all (nothing salvageable).
 [[nodiscard]] FsckReport fsck_scan(const std::string& path);
 
-/// Scan, then (when needed) truncate to the last consistent checkpoint.
-/// Returns the post-repair report with `truncated` set when the file was
-/// cut.  Throws std::runtime_error when nothing is salvageable or the
-/// truncation itself fails.
+/// Scan, then (when needed) truncate to the last consistent checkpoint and
+/// heal CRC-damaged payloads through parity.  Returns the post-repair
+/// report with `truncated`/`blocks_repaired`/`parity_rebuilt` describing
+/// what was done.  Throws std::runtime_error when nothing is salvageable
+/// or the truncation/rewrite itself fails.
 FsckReport fsck_repair(const std::string& path);
 
 /// Render a report as the multi-line human text `sz14 archive fsck` prints.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "archive/codec.hpp"
+#include "archive/parity.hpp"
 #include "common/checksum.hpp"
 #include "core/format.hpp"
 
@@ -49,7 +50,7 @@ std::string ArchiveReader::try_open_at(std::uint64_t end) {
     file_.read_at(end - kTrailerSize - footer_size, footer);
     if (crc32(footer) != footer_crc) return "footer checksum mismatch";
     ByteReader fr(footer);
-    fields_ = read_footer(fr);
+    fields_ = read_footer(fr, flags_);
 
     // Name index (read_footer rejects duplicate names) + index sanity:
     // every payload must lie between the superblock and THIS footer (not
@@ -67,6 +68,13 @@ std::string ArchiveReader::try_open_at(std::uint64_t end) {
           fields_.clear();
           index_.clear();
           return "block offset out of bounds in field '" + f.name + "'";
+        }
+      for (const auto& p : f.parity)
+        if (p.offset < kSuperblockSize || p.size > payload_end ||
+            p.offset > payload_end - p.size) {
+          fields_.clear();
+          index_.clear();
+          return "parity offset out of bounds in field '" + f.name + "'";
         }
     }
   } catch (const std::exception& e) {
@@ -89,16 +97,18 @@ constexpr std::array<std::uint8_t, 4> kFooterMagicBytes = {0x53, 0x5A, 0x41,
 
 ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
                              ExecPolicy policy, OpenMode mode)
-    : file_(path), threads_(threads), policy_(policy) {
+    : file_(path), threads_(threads), policy_(policy), mode_(mode) {
   salvage_.file_bytes = file_.size();
   if (file_.size() < kSuperblockSize + kTrailerSize)
     throw std::runtime_error("archive: file too small: " + path);
 
   // Superblock: without a valid one there is nothing to salvage either.
+  // The flags byte gates the footer's parity section, so it must be known
+  // before the first footer parse.
   std::array<std::uint8_t, kSuperblockSize> sb{};
   file_.read_at(0, sb);
   ByteReader sbr(sb);
-  read_superblock(sbr);
+  flags_ = read_superblock(sbr);
 
   // Fast path: the trailer at EOF (a cleanly finish()ed archive).
   std::string error = try_open_at(file_.size());
@@ -165,18 +175,40 @@ ThreadPool& ArchiveReader::serving_pool() const {
 }
 
 template <typename T>
-std::vector<T> ArchiveReader::decode_block(const FieldEntry& f,
-                                           std::size_t block_index,
-                                           const ExecPolicy& exec) const {
+std::vector<T> ArchiveReader::decode_block(
+    const FieldEntry& f, std::size_t block_index, const ExecPolicy& exec,
+    std::atomic<std::uint64_t>* repairs) const {
   const BlockEntry& b = f.blocks[block_index];
   // Payload staging comes from this thread's arena slot: steady-state
   // serving preads into the same buffer every time, allocation-free.
-  const std::span<std::uint8_t> payload = scratch_.local().payload(b.size);
-  file_.read_at(b.offset, payload);
-  if (crc32(payload) != b.crc)
-    throw std::runtime_error("archive: block " + std::to_string(block_index) +
-                             " checksum mismatch in field '" + f.name +
-                             "' (corrupted payload)");
+  const std::span<std::uint8_t> staged = scratch_.local().payload(b.size);
+  file_.read_at(b.offset, staged);
+  std::span<const std::uint8_t> payload = staged;
+  std::vector<std::uint8_t> repaired;  // keeps a reconstruction alive
+  if (crc32(payload) != b.crc) {
+    crc_failures_.fetch_add(1, std::memory_order_relaxed);
+    // Read-repair: reconstruct the payload from its parity group.  The
+    // result is verified against the stored CRC inside the helper, so a
+    // successful repair is exact — callers cannot tell it happened
+    // except through the counters.
+    auto fixed = f.parity_group > 0
+                     ? reconstruct_block_payload(file_, f, block_index)
+                     : std::nullopt;
+    if (!fixed) {
+      unrecoverable_blocks_.fetch_add(1, std::memory_order_relaxed);
+      throw BlockDamagedError(
+          f.name, block_index,
+          f.parity_group > 0
+              ? "checksum mismatch and parity reconstruction failed "
+                "(second damaged member in the group?)"
+              : "checksum mismatch (archive has no parity)");
+    }
+    read_repairs_.fetch_add(1, std::memory_order_relaxed);
+    if (repairs != nullptr)
+      repairs->fetch_add(1, std::memory_order_relaxed);
+    repaired = std::move(*fixed);
+    payload = repaired;
+  }
   const CodecOps& ops = *codec_by_id(f.codec);  // validated in read_footer
   std::vector<T> block = codec_decompress<T>(ops, payload, exec);
   blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
@@ -185,7 +217,15 @@ std::vector<T> ArchiveReader::decode_block(const FieldEntry& f,
 
 template <typename T>
 std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
-                                               const Region& region) const {
+                                               const Region& region,
+                                               ReadDamage* damage) const {
+  // Degraded-mode plain reads collect holes into a local report (the
+  // caller only sees zero-fill + counters); the ReadDamage& overloads
+  // collect into the caller's.
+  ReadDamage local_damage;
+  if (damage == nullptr && mode_ == OpenMode::kDegraded)
+    damage = &local_damage;
+
   const std::size_t fi = field_index(name);
   const FieldEntry& f = fields_[fi];
   constexpr std::uint8_t want = std::is_same_v<T, double> ? kDtypeF64
@@ -253,11 +293,16 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
     return true;
   };
 
+  // Per-call repair tally: decode_block bumps it so the damage report can
+  // say how many of THIS call's blocks were reconstructed (the member
+  // counters aggregate across all calls).
+  std::atomic<std::uint64_t> call_repairs{0};
+
   // Decode one block (size-validated) and hand it to the cache as an
   // immutable shared vector; without the cache the plain vector is
   // scattered and dropped.
   const auto decode_validated = [&](std::size_t i) {
-    std::vector<T> decoded = decode_block<T>(f, i, exec);
+    std::vector<T> decoded = decode_block<T>(f, i, exec, &call_repairs);
     const std::size_t expect = grid.block_extents(i).count();
     if (decoded.size() != expect)
       throw std::runtime_error("archive: block " + std::to_string(i) +
@@ -311,9 +356,38 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
     }
   };
 
+  // Damage collection: with a report attached, an unrecoverable block is
+  // a HOLE (its region of `out` stays value-initialized zero, recorded
+  // under the lock — pool workers land here concurrently) instead of an
+  // exception.  Holes are never cached, so a later read after a repair
+  // sees fresh data.
+  std::mutex hole_mutex;
+  const std::size_t holes_before =
+      damage != nullptr ? damage->holes.size() : 0;
+  const auto decode_or_hole = [&](std::size_t i) {
+    if (damage == nullptr) {
+      decode_and_scatter(i);
+      return;
+    }
+    try {
+      decode_and_scatter(i);
+    } catch (const BlockDamagedError& e) {
+      const std::lock_guard<std::mutex> lk(hole_mutex);
+      damage->holes.push_back(BlockHole{f.name, e.block(),
+                                        f.blocks[e.block()].offset,
+                                        e.detail()});
+    }
+  };
   const auto serve_block = [&](std::size_t t) {
     const std::size_t i = touched[t];
-    if (!try_cached(i)) decode_and_scatter(i);
+    if (!try_cached(i)) decode_or_hole(i);
+  };
+
+  const auto finish_damage = [&] {
+    if (damage == nullptr) return;
+    damage->repaired += call_repairs.load(std::memory_order_relaxed);
+    if (damage->holes.size() > holes_before)
+      degraded_reads_.fetch_add(1, std::memory_order_relaxed);
   };
 
   // A single-block read probes the cache ONCE inline: a hit scatters with
@@ -323,7 +397,8 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
   if (touched.size() == 1) {
     const std::size_t i = touched[0];
     if (!try_cached(i))
-      serving_pool().run_batch(1, [&](std::size_t) { decode_and_scatter(i); });
+      serving_pool().run_batch(1, [&](std::size_t) { decode_or_hole(i); });
+    finish_damage();
     return out;
   }
 
@@ -334,25 +409,52 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
   // so the reader's scratch arena cannot grow with an unbounded stream of
   // short-lived caller threads (see the CodecScratch lifetime note).
   serving_pool().run_batch(touched.size(), serve_block);
+  finish_damage();
   return out;
 }
 
 std::vector<float> ArchiveReader::read_region(std::string_view name,
                                               const Region& region) const {
-  return read_region_impl<float>(name, region);
+  return read_region_impl<float>(name, region, nullptr);
 }
 
 std::vector<double> ArchiveReader::read_region64(std::string_view name,
                                                  const Region& region) const {
-  return read_region_impl<double>(name, region);
+  return read_region_impl<double>(name, region, nullptr);
 }
 
 std::vector<float> ArchiveReader::read_field(std::string_view name) const {
-  return read_region_impl<float>(name, Region::whole(field(name).dims));
+  return read_region_impl<float>(name, Region::whole(field(name).dims),
+                                 nullptr);
 }
 
 std::vector<double> ArchiveReader::read_field64(std::string_view name) const {
-  return read_region_impl<double>(name, Region::whole(field(name).dims));
+  return read_region_impl<double>(name, Region::whole(field(name).dims),
+                                  nullptr);
+}
+
+std::vector<float> ArchiveReader::read_region(std::string_view name,
+                                              const Region& region,
+                                              ReadDamage& damage) const {
+  return read_region_impl<float>(name, region, &damage);
+}
+
+std::vector<double> ArchiveReader::read_region64(std::string_view name,
+                                                 const Region& region,
+                                                 ReadDamage& damage) const {
+  return read_region_impl<double>(name, region, &damage);
+}
+
+std::vector<float> ArchiveReader::read_field(std::string_view name,
+                                             ReadDamage& damage) const {
+  return read_region_impl<float>(name, Region::whole(field(name).dims),
+                                 &damage);
+}
+
+std::vector<double> ArchiveReader::read_field64(std::string_view name,
+                                                ReadDamage& damage) const {
+  return read_region_impl<double>(name, Region::whole(field(name).dims),
+                                  &damage);
 }
 
 }  // namespace sz14::archive

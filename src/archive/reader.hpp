@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -47,6 +48,13 @@ enum class OpenMode : std::uint8_t {
   /// serve the fields it covers; salvage_info() reports what happened.
   /// Only an archive with no valid checkpoint at all still throws.
   kSalvage,
+  /// kSalvage's open semantics, plus degraded READS: a block that fails
+  /// its CRC and cannot be read-repaired from parity no longer throws —
+  /// the plain read calls zero-fill it (degraded_reads() counts the
+  /// affected reads), and the ReadDamage& overloads report exactly which
+  /// blocks are holes.  The mode for serving what survives of a damaged
+  /// archive while it is being repaired.
+  kDegraded,
 };
 
 /// What a salvage-mode open found (also the basis of `archive fsck`).
@@ -55,6 +63,53 @@ struct SalvageInfo {
   std::uint64_t file_bytes = 0;        ///< on-disk size at open
   std::uint64_t consistent_bytes = 0;  ///< end of the checkpoint in use
   std::string detail;  ///< why the strict open failed (empty when clean)
+};
+
+/// One unrecoverable block in a damaged read: its region of the output
+/// was zero-filled because the payload failed its CRC and parity could
+/// not reconstruct it (no parity, or a second damaged member in the
+/// group).
+struct BlockHole {
+  std::string field;         ///< field name
+  std::size_t block = 0;     ///< block index within the field
+  std::uint64_t offset = 0;  ///< absolute file offset of the payload
+  std::string detail;        ///< why reconstruction failed
+};
+
+/// Typed per-call damage report filled by the ReadDamage& read overloads.
+/// `repaired` counts blocks this call transparently reconstructed from
+/// parity (their data is exact — not holes); `holes` lists the blocks
+/// that stayed unrecoverable and were zero-filled.  Reusable across
+/// calls: each call appends.
+struct ReadDamage {
+  std::uint64_t repaired = 0;
+  std::vector<BlockHole> holes;
+  [[nodiscard]] bool clean() const noexcept { return holes.empty(); }
+};
+
+/// Thrown by the strict read paths when a block payload fails its CRC and
+/// cannot be reconstructed from its parity group.  Carries the field and
+/// block so callers (e.g. the degraded-serving layer) can report the
+/// exact hole.
+class BlockDamagedError : public std::runtime_error {
+ public:
+  BlockDamagedError(std::string field, std::size_t block, std::string detail)
+      : std::runtime_error("archive: block " + std::to_string(block) +
+                           " of field '" + field +
+                           "' is damaged and unrecoverable: " + detail),
+        field_(std::move(field)),
+        block_(block),
+        detail_(std::move(detail)) {}
+  [[nodiscard]] const std::string& field_name() const noexcept {
+    return field_;
+  }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string field_;
+  std::size_t block_;
+  std::string detail_;
 };
 
 class ArchiveReader {
@@ -92,6 +147,12 @@ class ArchiveReader {
     return fields_;
   }
 
+  /// True when the superblock carries kFlagParity (the footer indexes
+  /// per-group parity payloads and read-repair is possible).
+  [[nodiscard]] bool parity_enabled() const noexcept {
+    return (flags_ & kFlagParity) != 0;
+  }
+
   /// O(1) name lookup (index built at open).  Throws std::invalid_argument
   /// when no field has this name.
   [[nodiscard]] const FieldEntry& field(std::string_view name) const;
@@ -115,6 +176,22 @@ class ArchiveReader {
   [[nodiscard]] std::vector<double> read_field64(std::string_view name) const;
   [[nodiscard]] std::vector<double> read_region64(std::string_view name,
                                                   const Region& region) const;
+
+  /// Damage-reporting variants: never throw on a damaged BLOCK (index and
+  /// argument errors still throw).  A CRC-failed block is transparently
+  /// reconstructed from parity when possible (damage.repaired counts it;
+  /// data is exact); an unrecoverable block is zero-filled in the output
+  /// and appended to damage.holes.  Available in every OpenMode.
+  [[nodiscard]] std::vector<float> read_region(std::string_view name,
+                                               const Region& region,
+                                               ReadDamage& damage) const;
+  [[nodiscard]] std::vector<float> read_field(std::string_view name,
+                                              ReadDamage& damage) const;
+  [[nodiscard]] std::vector<double> read_region64(std::string_view name,
+                                                  const Region& region,
+                                                  ReadDamage& damage) const;
+  [[nodiscard]] std::vector<double> read_field64(std::string_view name,
+                                                 ReadDamage& damage) const;
 
   /// Opt into the decoded-block LRU cache with a byte budget (decoded
   /// size); 0 (the default) disables it.  Safe to call at any time, also
@@ -163,24 +240,56 @@ class ArchiveReader {
     return blocks_decoded_.load(std::memory_order_relaxed);
   }
 
-  /// Zero blocks_decoded(), coalesced_reads() and the cache
-  /// hit/miss/eviction counters (cached DATA stays resident — only the
-  /// statistics reset).
+  /// Block payloads that failed their stored CRC-32 at decode time (each
+  /// is then either read-repaired or reported unrecoverable).
+  [[nodiscard]] std::uint64_t crc_failures() const noexcept {
+    return crc_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// CRC-failed blocks transparently reconstructed from their parity
+  /// group (the returned data is exact, verified against the stored CRC).
+  [[nodiscard]] std::uint64_t read_repairs() const noexcept {
+    return read_repairs_.load(std::memory_order_relaxed);
+  }
+
+  /// CRC-failed blocks that could NOT be reconstructed (no parity, or a
+  /// second damaged member in the group).
+  [[nodiscard]] std::uint64_t unrecoverable_blocks() const noexcept {
+    return unrecoverable_blocks_.load(std::memory_order_relaxed);
+  }
+
+  /// Read calls that completed with at least one zero-filled hole
+  /// (degraded mode or the ReadDamage& overloads).
+  [[nodiscard]] std::uint64_t degraded_reads() const noexcept {
+    return degraded_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Zero blocks_decoded(), coalesced_reads(), the damage counters and
+  /// the cache hit/miss/eviction counters (cached DATA stays resident —
+  /// only the statistics reset).
   void reset_counters() noexcept {
     blocks_decoded_.store(0, std::memory_order_relaxed);
+    crc_failures_.store(0, std::memory_order_relaxed);
+    read_repairs_.store(0, std::memory_order_relaxed);
+    unrecoverable_blocks_.store(0, std::memory_order_relaxed);
+    degraded_reads_.store(0, std::memory_order_relaxed);
     cache_.reset_stats();
     flight_.reset_stats();
   }
 
  private:
   template <typename T>
-  std::vector<T> read_region_impl(std::string_view name,
-                                  const Region& region) const;
+  std::vector<T> read_region_impl(std::string_view name, const Region& region,
+                                  ReadDamage* damage) const;
 
-  /// pread + CRC + decode of one block (cache not consulted here).
+  /// pread + CRC + decode of one block (cache not consulted here).  A
+  /// CRC failure attempts parity reconstruction; on success `*repairs`
+  /// (when non-null) is bumped and the exact data is returned, otherwise
+  /// BlockDamagedError is thrown.
   template <typename T>
   std::vector<T> decode_block(const FieldEntry& f, std::size_t block_index,
-                              const ExecPolicy& exec) const;
+                              const ExecPolicy& exec,
+                              std::atomic<std::uint64_t>* repairs) const;
 
   /// The serving pool, built race-free on first use (metadata-only
   /// consumers — e.g. `archive ls` — never pay for one).
@@ -194,6 +303,8 @@ class ArchiveReader {
   PreadFile file_;
   std::size_t threads_;
   ExecPolicy policy_;
+  OpenMode mode_ = OpenMode::kStrict;
+  std::uint8_t flags_ = 0;  // superblock flags (kFlagParity gates parity)
   SalvageInfo salvage_;
   std::vector<FieldEntry> fields_;
 
@@ -215,6 +326,10 @@ class ArchiveReader {
   mutable SingleFlight flight_;
   std::atomic<bool> coalesce_{false};
   mutable std::atomic<std::uint64_t> blocks_decoded_{0};
+  mutable std::atomic<std::uint64_t> crc_failures_{0};
+  mutable std::atomic<std::uint64_t> read_repairs_{0};
+  mutable std::atomic<std::uint64_t> unrecoverable_blocks_{0};
+  mutable std::atomic<std::uint64_t> degraded_reads_{0};
 };
 
 }  // namespace sz14::archive

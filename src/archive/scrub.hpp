@@ -1,0 +1,100 @@
+// Online integrity scrub for SZA archives, the library behind
+// `sz14 archive scrub [--repair]` and the serving daemon's background
+// scrub task.
+//
+// scrub_archive() opens the archive in salvage mode, then verifies EVERY
+// indexed payload — data blocks and parity payloads — against its stored
+// CRC-32, pool-parallel (each payload is an independent pread+crc task).
+// With `repair`, damaged payloads are healed in place through the shared
+// heal engine below and re-verified, so a scrub that reports
+// fully_repaired() really left a bit-identical archive on disk.
+//
+// The heal engine (heal_damaged_payloads) is shared with
+// `fsck --repair`: it groups damage by parity group and rewrites what
+// single parity can reconstruct — a damaged DATA block from the group's
+// parity + intact members, a damaged PARITY payload recomputed from its
+// intact data members.  Two damaged members in one group are reported
+// unrecoverable and left untouched (the reconstruction math refuses
+// rather than mis-repairs).  Every rewrite passes the failpoint site
+// "archive.scrub.rewrite" first, so tests and drills can inject mid-heal
+// failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sz14::archive {
+
+/// One CRC-damaged payload found by the scrub scan.
+struct ScrubIssue {
+  std::string field;
+  bool parity = false;    ///< true: a parity payload (index = group index)
+  std::size_t index = 0;  ///< block index, or parity-group index
+  std::uint64_t offset = 0;  ///< absolute payload offset
+  std::uint64_t size = 0;    ///< payload bytes
+  bool repaired = false;  ///< heal rewrote this payload and it re-verified
+  std::string detail;     ///< why it stayed unrepaired (empty if repaired)
+};
+
+struct ScrubReport {
+  std::string path;
+  bool parity_enabled = false;  ///< superblock carries kFlagParity
+  bool repair_attempted = false;
+  std::size_t fields_scanned = 0;
+  std::size_t blocks_scanned = 0;  ///< data payloads verified
+  std::size_t parity_scanned = 0;  ///< parity payloads verified
+  std::size_t blocks_repaired = 0;  ///< data payloads healed from parity
+  std::size_t parity_rebuilt = 0;   ///< parity payloads recomputed
+  /// Scan-time classification: damaged payloads single parity cannot heal
+  /// (two bad members in one group, or a parity-less field).
+  std::size_t unrecoverable_payloads = 0;
+  std::vector<ScrubIssue> issues;
+
+  /// No damage found at all.
+  [[nodiscard]] bool clean() const noexcept { return issues.empty(); }
+  /// Damage that heal could not (or was not asked to) fix.  After a
+  /// repair pass this is re-verify ground truth; on a plain scan it is
+  /// the scan-time classification.
+  [[nodiscard]] std::size_t unrecoverable() const noexcept {
+    if (!repair_attempted) return unrecoverable_payloads;
+    std::size_t n = 0;
+    for (const auto& i : issues)
+      if (!i.repaired) ++n;
+    return n;
+  }
+  /// Damage exists and ALL of it is within single-parity reach — a
+  /// `--repair` rerun would leave the archive clean.
+  [[nodiscard]] bool repairable() const noexcept {
+    return !clean() && unrecoverable() == 0;
+  }
+  /// Damage was found and every instance of it was healed + re-verified.
+  [[nodiscard]] bool fully_repaired() const noexcept {
+    return repair_attempted && !issues.empty() && unrecoverable() == 0;
+  }
+};
+
+/// Outcome of one heal pass (shared by scrub --repair and fsck --repair).
+struct HealOutcome {
+  std::size_t blocks_repaired = 0;  ///< data payloads rewritten + verified
+  std::size_t parity_rebuilt = 0;   ///< parity payloads rewritten + verified
+  std::size_t unrecoverable = 0;    ///< damaged payloads left untouched
+};
+
+/// Verify every indexed payload of `path`; with `repair`, heal what
+/// single parity can reconstruct.  `threads` sizes the verify pool (0 =
+/// hardware_concurrency); the heal pass itself is sequential.  Throws
+/// std::runtime_error when the archive has no valid checkpoint at all or
+/// a heal rewrite fails (including injected failures).
+[[nodiscard]] ScrubReport scrub_archive(const std::string& path, bool repair,
+                                        std::size_t threads = 0);
+
+/// In-place heal pass: rewrite every CRC-damaged payload that the parity
+/// scheme can reconstruct, re-verifying each rewrite.  Archives without
+/// parity get every damaged block counted unrecoverable.
+HealOutcome heal_damaged_payloads(const std::string& path);
+
+/// Render a report as the multi-line text `sz14 archive scrub` prints.
+[[nodiscard]] std::string format_scrub_report(const ScrubReport& report);
+
+}  // namespace sz14::archive

@@ -11,6 +11,7 @@
 
 #include "archive/blocking.hpp"
 #include "archive/codec.hpp"
+#include "archive/parity.hpp"
 #include "common/checksum.hpp"
 #include "common/failpoint.hpp"
 #include "core/format.hpp"
@@ -33,12 +34,12 @@ std::vector<std::uint8_t> codec_compress(const CodecOps& ops,
 }  // namespace
 
 ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
-                             ExecPolicy policy)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc),
-      policy_(policy) {
+                             ExecPolicy policy, std::uint32_t parity_group)
+    : path_(path), parity_group_(parity_group),
+      out_(path, std::ios::binary | std::ios::trunc), policy_(policy) {
   if (!out_) throw std::runtime_error("archive: cannot create: " + path);
   ByteWriter sb;
-  write_superblock(sb);
+  write_superblock(sb, parity_group_ > 0 ? kFlagParity : 0);
   raw_write(sb.view(), "superblock write");
   if (policy_.pool != nullptr) {
     pool_ = policy_.pool;
@@ -128,7 +129,7 @@ void ArchiveWriter::raw_write(std::span<const std::uint8_t> data,
 
 void ArchiveWriter::write_checkpoint() {
   ByteWriter footer;
-  write_footer(fields_, footer);
+  write_footer(fields_, footer, parity_group_ > 0 ? kFlagParity : 0);
   ByteWriter trailer;
   trailer.put<std::uint64_t>(footer.size());
   trailer.put<std::uint32_t>(crc32(footer.view()));
@@ -230,6 +231,26 @@ void ArchiveWriter::append_impl(const std::string& name,
     b.max = ranges[i].second;
     raw_write(payloads[i], "block payload write");
     f.blocks.push_back(b);
+  }
+  // Parity payloads ride AFTER the field's data payloads and BEFORE the
+  // checkpoint, so a checkpoint never indexes parity that is not on disk.
+  if (parity_group_ > 0) {
+    f.parity_group = parity_group_;
+    const std::size_t n_groups = parity_group_count(n, parity_group_);
+    f.parity.reserve(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t lo = g * parity_group_;
+      const std::size_t hi = std::min(lo + parity_group_, n);
+      const std::vector<std::uint8_t> par = compute_group_parity(
+          std::span<const std::vector<std::uint8_t>>(payloads.data() + lo,
+                                                     hi - lo));
+      ParityGroupEntry p;
+      p.offset = offset_;
+      p.size = par.size();
+      p.crc = crc32(par);
+      raw_write(par, "parity payload write");
+      f.parity.push_back(p);
+    }
   }
   names_.insert(name);  // recorded only once the append fully succeeded
   fields_.push_back(std::move(f));

@@ -53,8 +53,18 @@ class ArchiveWriter {
   /// writer keeps one scratch arena across appends, so batch ingest stops
   /// paying per-block buffer allocation; `policy.scratch` is ignored (the
   /// writer's own arena is already per-worker).
+  ///
+  /// `parity_group` > 0 enables XOR block-group parity: every group of
+  /// that many consecutive blocks of a field gets one parity payload (XOR
+  /// of the members zero-padded to the largest), written after the data
+  /// payloads and indexed in the footer, so any single damaged payload per
+  /// group is recoverable (read-repair / fsck / scrub).  Space overhead is
+  /// roughly 1/parity_group of the compressed size
+  /// (kDefaultParityGroup = 16 → ~6.25%).  0 (the default) writes the
+  /// parity-less format, byte-identical to pre-parity archives.
   explicit ArchiveWriter(const std::string& path, std::size_t threads = 0,
-                         ExecPolicy policy = {});
+                         ExecPolicy policy = {},
+                         std::uint32_t parity_group = 0);
 
   /// Seals the archive on destruction if finish() was not called.
   /// Best-effort: a failure to seal is reported on stderr (a destructor
@@ -116,6 +126,7 @@ class ArchiveWriter {
   void write_checkpoint();
 
   std::string path_;
+  std::uint32_t parity_group_ = 0;  // data blocks per parity group (0 = off)
   std::ofstream out_;
   std::uint64_t offset_ = 0;      // absolute file offset of the next write
   std::uint64_t clean_size_ = 0;  // end of the last flushed checkpoint

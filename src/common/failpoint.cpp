@@ -1,5 +1,6 @@
 #include "common/failpoint.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,30 @@
 
 namespace sz14::fail {
 namespace {
+
+/// Sorted registry of every compiled-in trigger()/check() site.
+constexpr std::string_view kKnownSites[] = {
+    "archive.scrub.rewrite",
+    "archive.writer.write",
+    "pread_file.read",
+    "serve.server.drop_request",
+    "serve.transport.connect",
+    "serve.transport.recv",
+};
+
+bool is_known_site(std::string_view site) {
+  return std::binary_search(std::begin(kKnownSites), std::end(kKnownSites),
+                            site);
+}
+
+void warn_unknown_site(std::string_view site, const char* how) {
+  if (is_known_site(site)) return;
+  std::fprintf(stderr,
+               "sz14: warning: %s unknown failpoint site '%.*s' — it will "
+               "never fire (run `sz14 failpoints ls` for the registered "
+               "sites)\n",
+               how, static_cast<int>(site.size()), site.data());
+}
 
 struct Entry {
   Spec spec;
@@ -98,6 +123,7 @@ void parse_env_locked(Registry& reg) {
       std::string site;
       Spec spec;
       if (parse_clause(clause, site, spec)) {
+        warn_unknown_site(site, "SZ14_FAILPOINTS names");
         reg.sites[site] = Entry{spec};
       } else {
         std::fprintf(stderr,
@@ -137,7 +163,10 @@ std::optional<Fired> check_slow(std::string_view site) {
 
 }  // namespace detail
 
+std::span<const std::string_view> known_sites() { return kKnownSites; }
+
 void arm(const std::string& site, Spec spec) {
+  warn_unknown_site(site, "arming");
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   if (!reg.env_parsed) parse_env_locked(reg);

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -61,8 +62,15 @@ struct Fired {
 /// killed the process.
 inline constexpr int kAbortExitCode = 86;
 
+/// Every failpoint site compiled into the library, sorted — the list
+/// `sz14 failpoints ls` prints and the unknown-site warning checks
+/// against.  Keep in sync when adding a trigger()/check() call site.
+[[nodiscard]] std::span<const std::string_view> known_sites();
+
 /// Arm `site` with `spec` (replaces any previous arming and resets its
-/// skip/count progress; hits() keeps accumulating).
+/// skip/count progress; hits() keeps accumulating).  Arming a site not in
+/// known_sites() warns on stderr — the arming would otherwise be a silent
+/// no-op (nothing ever evaluates it), which has burned real drills.
 void arm(const std::string& site, Spec spec);
 
 void disarm(const std::string& site);

@@ -191,7 +191,18 @@ ReadResponse Client::read_raw(const std::string& field,
   const auto body =
       roundtrip(region ? kOpReadRegion : kOpReadField, w.view());
   ByteReader in(body);
-  return decode_read_response(in);
+  ReadResponse resp = decode_read_response(in);
+  last_degraded_ = resp.degraded;
+  last_holes_ = resp.holes;
+  return resp;
+}
+
+bool Client::scrub(bool repair) {
+  ByteWriter w;
+  encode_scrub_request(ScrubRequest{repair}, w);
+  const auto body = roundtrip(kOpScrub, w.view());
+  ByteReader in(body);
+  return decode_scrub_response(in).accepted;
 }
 
 std::vector<float> Client::read_region(const std::string& field,

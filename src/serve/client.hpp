@@ -104,6 +104,24 @@ class Client {
       const std::string& field,
       const std::optional<archive::Region>& region);
 
+  /// Ask the server to scrub its archive in the background; true =
+  /// accepted, false = a scrub is already running (try again later).
+  [[nodiscard]] bool scrub(bool repair);
+
+  /// True when the most recent read (typed or raw) was served DEGRADED:
+  /// one or more unrecoverable blocks came back zero-filled.  The typed
+  /// read_* calls return plain vectors, so this flag is how a caller
+  /// notices the data has holes; last_read_holes() lists them.
+  [[nodiscard]] bool last_read_degraded() const noexcept {
+    return last_degraded_;
+  }
+  /// Zero-filled block indices of the most recent degraded read (empty
+  /// when last_read_degraded() is false).
+  [[nodiscard]] const std::vector<std::uint64_t>& last_read_holes()
+      const noexcept {
+    return last_holes_;
+  }
+
   /// Escape hatch for robustness tests: the underlying connection.
   [[nodiscard]] Connection& connection() noexcept { return *conn_; }
 
@@ -139,6 +157,8 @@ class Client {
   FrameParser parser_{kMaxResponseBody};
   std::uint64_t field_count_ = 0;
   std::uint64_t reconnects_ = 0;
+  bool last_degraded_ = false;
+  std::vector<std::uint64_t> last_holes_;
 };
 
 }  // namespace sz14::serve

@@ -176,6 +176,11 @@ ReadRequest decode_read_request(ByteReader& in) {
 
 void encode_read_response(const ReadResponse& r, ByteWriter& out) {
   out.put(r.dtype);
+  out.put(static_cast<std::uint8_t>(r.degraded ? 1 : 0));
+  if (r.degraded) {
+    out.put_varint(r.holes.size());
+    for (const std::uint64_t h : r.holes) out.put_varint(h);
+  }
   write_dims(r.shape, out);
   out.put_varint(r.values.size());
   out.put_bytes(r.values);
@@ -185,6 +190,21 @@ ReadResponse decode_read_response(ByteReader& in) {
   return guarded("read response", [&] {
     ReadResponse r;
     r.dtype = in.get<std::uint8_t>();
+    const auto flags = in.get<std::uint8_t>();
+    if (flags > 1)
+      throw ProtocolError("read response: unknown flags " +
+                          std::to_string(flags));
+    r.degraded = flags != 0;
+    if (r.degraded) {
+      const std::uint64_t n_holes = in.get_varint();
+      // A hole index is at least one body byte; bound the reserve by what
+      // the frame can actually carry.
+      if (n_holes > in.remaining())
+        throw ProtocolError("read response: hole count exceeds frame");
+      r.holes.reserve(static_cast<std::size_t>(n_holes));
+      for (std::uint64_t i = 0; i < n_holes; ++i)
+        r.holes.push_back(in.get_varint());
+    }
     r.shape = read_dims(in);
     const std::uint64_t n = in.get_varint();
     if (n > in.remaining())
@@ -198,6 +218,32 @@ ReadResponse decode_read_response(ByteReader& in) {
   });
 }
 
+// --- scrub -----------------------------------------------------------------
+
+void encode_scrub_request(const ScrubRequest& r, ByteWriter& out) {
+  out.put(static_cast<std::uint8_t>(r.repair ? 1 : 0));
+}
+
+ScrubRequest decode_scrub_request(ByteReader& in) {
+  return guarded("scrub", [&] {
+    const auto repair = in.get<std::uint8_t>();
+    if (repair > 1) throw ProtocolError("scrub: bad repair flag");
+    return ScrubRequest{repair != 0};
+  });
+}
+
+void encode_scrub_response(const ScrubResponse& r, ByteWriter& out) {
+  out.put(static_cast<std::uint8_t>(r.accepted ? 1 : 0));
+}
+
+ScrubResponse decode_scrub_response(ByteReader& in) {
+  return guarded("scrub response", [&] {
+    const auto accepted = in.get<std::uint8_t>();
+    if (accepted > 1) throw ProtocolError("scrub response: bad accepted flag");
+    return ScrubResponse{accepted != 0};
+  });
+}
+
 // --- stats -----------------------------------------------------------------
 
 void encode_server_stats(const ServerStats& s, ByteWriter& out) {
@@ -206,7 +252,9 @@ void encode_server_stats(const ServerStats& s, ByteWriter& out) {
         s.requests_ok, s.requests_error, s.bytes_in, s.bytes_out,
         s.blocks_decoded, s.coalesced_reads, s.cache_hits, s.cache_misses,
         s.cache_evictions, s.cache_resident_bytes, s.cache_capacity_bytes,
-        s.sessions_idle_reaped})
+        s.sessions_idle_reaped, s.crc_failures, s.read_repairs,
+        s.unrecoverable_blocks, s.degraded_reads, s.scrubs_started,
+        s.scrubs_completed, s.scrub_blocks_repaired})
     out.put_varint(v);
 }
 
@@ -218,7 +266,9 @@ ServerStats decode_server_stats(ByteReader& in) {
           &s.requests_ok, &s.requests_error, &s.bytes_in, &s.bytes_out,
           &s.blocks_decoded, &s.coalesced_reads, &s.cache_hits,
           &s.cache_misses, &s.cache_evictions, &s.cache_resident_bytes,
-          &s.cache_capacity_bytes, &s.sessions_idle_reaped})
+          &s.cache_capacity_bytes, &s.sessions_idle_reaped, &s.crc_failures,
+          &s.read_repairs, &s.unrecoverable_blocks, &s.degraded_reads,
+          &s.scrubs_started, &s.scrubs_completed, &s.scrub_blocks_repaired})
       *v = in.get_varint();
     return s;
   });

@@ -24,6 +24,12 @@
 //   read_region(field, region)    -> dtype + shape + raw LE values
 //   read_field(field)             -> same, whole field
 //   stats()                       -> ServerStats counters
+//   scrub(repair)                 -> accepted flag (background scrub task)
+//
+// Read responses carry a flags byte: a degraded server (one serving a
+// damaged archive in OpenMode::kDegraded) sets bit 0 and prepends the
+// zero-filled hole block indices, so clients KNOW which reads are exact
+// and which have holes — silence would let damaged data impersonate good.
 //
 // Error responses (kind != kStatusOk) carry a UTF-8 message as the body.
 #pragma once
@@ -62,6 +68,7 @@ inline constexpr std::uint8_t kOpStat = 3;
 inline constexpr std::uint8_t kOpReadRegion = 4;
 inline constexpr std::uint8_t kOpReadField = 5;
 inline constexpr std::uint8_t kOpStats = 6;
+inline constexpr std::uint8_t kOpScrub = 7;
 
 // Response status (frame `kind`, server -> client).
 inline constexpr std::uint8_t kStatusOk = 0;
@@ -141,10 +148,24 @@ struct ReadRequest {
 };
 
 /// Response to both read ops: shape + dtype + raw little-endian values.
+/// `degraded` marks a read served with zero-filled holes (unrecoverable
+/// blocks of a damaged archive); `holes` lists those block indices within
+/// the field so the client can report exactly what is missing.
 struct ReadResponse {
   std::uint8_t dtype = 0;
+  bool degraded = false;
+  std::vector<std::uint64_t> holes;  ///< zero-filled block indices
   Dims shape;
   std::vector<std::uint8_t> values;  ///< raw LE f32/f64 payload
+};
+
+/// Ask the server to scrub its archive in the background.  `accepted` is
+/// false when a scrub is already running (one at a time per server).
+struct ScrubRequest {
+  bool repair = false;
+};
+struct ScrubResponse {
+  bool accepted = false;
 };
 
 /// Serving-side counter snapshot (the `stats` op and ServerStats struct of
@@ -165,6 +186,13 @@ struct ServerStats {
   std::uint64_t cache_resident_bytes = 0;
   std::uint64_t cache_capacity_bytes = 0;
   std::uint64_t sessions_idle_reaped = 0;  ///< closed by the idle timeout
+  std::uint64_t crc_failures = 0;      ///< payloads that failed their CRC
+  std::uint64_t read_repairs = 0;      ///< blocks reconstructed from parity
+  std::uint64_t unrecoverable_blocks = 0;  ///< CRC failures parity missed
+  std::uint64_t degraded_reads = 0;    ///< reads answered with holes
+  std::uint64_t scrubs_started = 0;    ///< background scrubs accepted
+  std::uint64_t scrubs_completed = 0;  ///< background scrubs finished
+  std::uint64_t scrub_blocks_repaired = 0;  ///< payloads healed by scrubs
 };
 
 // Encoders produce the frame BODY; pair them with encode_frame(kOp*/
@@ -181,6 +209,11 @@ void encode_read_request(const ReadRequest& r, ByteWriter& out);
 [[nodiscard]] ReadRequest decode_read_request(ByteReader& in);
 void encode_read_response(const ReadResponse& r, ByteWriter& out);
 [[nodiscard]] ReadResponse decode_read_response(ByteReader& in);
+
+void encode_scrub_request(const ScrubRequest& r, ByteWriter& out);
+[[nodiscard]] ScrubRequest decode_scrub_request(ByteReader& in);
+void encode_scrub_response(const ScrubResponse& r, ByteWriter& out);
+[[nodiscard]] ScrubResponse decode_scrub_response(ByteReader& in);
 
 void encode_server_stats(const ServerStats& s, ByteWriter& out);
 [[nodiscard]] ServerStats decode_server_stats(ByteReader& in);

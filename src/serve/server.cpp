@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "archive/scrub.hpp"
 #include "common/failpoint.hpp"
 #include "core/format.hpp"
 
@@ -42,15 +43,19 @@ struct Server::Session {
 
 Server::Server(const std::string& archive_path, ServerConfig config)
     : config_(std::move(config)),
+      archive_path_(archive_path),
       pool_(config_.threads),
-      reader_(archive_path, 0, [this] {
-        // The reader borrows the serving pool, so a read request is one
-        // worker task whose block decodes run inline (run_batch
-        // reentrancy) — the worker set stays bounded.
-        ExecPolicy p = config_.policy;
-        p.pool = &pool_;
-        return p;
-      }()) {
+      reader_(archive_path, 0,
+              [this] {
+                // The reader borrows the serving pool, so a read request is
+                // one worker task whose block decodes run inline (run_batch
+                // reentrancy) — the worker set stays bounded.
+                ExecPolicy p = config_.policy;
+                p.pool = &pool_;
+                return p;
+              }(),
+              config_.degraded ? archive::OpenMode::kDegraded
+                               : archive::OpenMode::kStrict) {
   reader_.set_cache_capacity(config_.cache_bytes);
   reader_.set_coalescing(config_.coalescing);
 }
@@ -75,6 +80,14 @@ ServerStats Server::stats() const {
   s.cache_capacity_bytes = reader_.cache_capacity();
   s.sessions_idle_reaped =
       sessions_idle_reaped_.load(std::memory_order_relaxed);
+  s.crc_failures = reader_.crc_failures();
+  s.read_repairs = reader_.read_repairs();
+  s.unrecoverable_blocks = reader_.unrecoverable_blocks();
+  s.degraded_reads = reader_.degraded_reads();
+  s.scrubs_started = scrubs_started_.load(std::memory_order_relaxed);
+  s.scrubs_completed = scrubs_completed_.load(std::memory_order_relaxed);
+  s.scrub_blocks_repaired =
+      scrub_blocks_repaired_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -393,6 +406,9 @@ void Server::dispatch(const std::shared_ptr<Session>& s, const Frame& frame) {
       case kOpReadField:
         handle_read(s, frame.kind, frame.body);
         return;
+      case kOpScrub:
+        handle_scrub(s, frame.body);
+        return;
       default:
         enqueue_error(s, kStatusBadRequest,
                       "unknown opcode " + std::to_string(frame.kind));
@@ -440,18 +456,34 @@ void Server::handle_read(const std::shared_ptr<Session>& s,
       ReadResponse resp;
       resp.dtype = fe.dtype;
       resp.shape = req.region ? req.region->shape() : fe.dims;
+      // Degraded serving: collect the damage report so the client KNOWS
+      // which blocks came back as zero-filled holes (read-repaired blocks
+      // are exact and are NOT reported — only true holes are).
+      archive::ReadDamage damage;
+      archive::ReadDamage* const dmg = config_.degraded ? &damage : nullptr;
       if (fe.dtype == kDtypeF64) {
         const std::vector<double> v =
-            req.region ? reader_.read_region64(req.field, *req.region)
-                       : reader_.read_field64(req.field);
+            req.region
+                ? (dmg ? reader_.read_region64(req.field, *req.region, *dmg)
+                       : reader_.read_region64(req.field, *req.region))
+                : (dmg ? reader_.read_field64(req.field, *dmg)
+                       : reader_.read_field64(req.field));
         resp.values.resize(v.size() * sizeof(double));
         std::memcpy(resp.values.data(), v.data(), resp.values.size());
       } else {
         const std::vector<float> v =
-            req.region ? reader_.read_region(req.field, *req.region)
-                       : reader_.read_field(req.field);
+            req.region
+                ? (dmg ? reader_.read_region(req.field, *req.region, *dmg)
+                       : reader_.read_region(req.field, *req.region))
+                : (dmg ? reader_.read_field(req.field, *dmg)
+                       : reader_.read_field(req.field));
         resp.values.resize(v.size() * sizeof(float));
         std::memcpy(resp.values.data(), v.data(), resp.values.size());
+      }
+      if (!damage.clean()) {
+        resp.degraded = true;
+        resp.holes.reserve(damage.holes.size());
+        for (const auto& h : damage.holes) resp.holes.push_back(h.block);
       }
       ByteWriter w;
       encode_read_response(resp, w);
@@ -466,6 +498,37 @@ void Server::handle_read(const std::shared_ptr<Session>& s,
       enqueue_error(s, kStatusServerError, e.what());
     }
   });
+}
+
+void Server::handle_scrub(const std::shared_ptr<Session>& s,
+                          const std::vector<std::uint8_t>& body) {
+  ByteReader in(body);
+  const ScrubRequest req = decode_scrub_request(in);
+  // One scrub at a time: the flag is the whole admission control, and the
+  // answer goes out inline so the client is never blocked on the scan.
+  const bool accepted = !scrub_running_.exchange(true);
+  if (accepted) {
+    scrubs_started_.fetch_add(1, std::memory_order_relaxed);
+    pool_.submit([this, repair = req.repair] {
+      try {
+        // threads=1: the scrub shares the machine with live serving — it
+        // is a background janitor, not a priority customer.
+        const archive::ScrubReport r =
+            archive::scrub_archive(archive_path_, repair, 1);
+        scrub_blocks_repaired_.fetch_add(
+            r.blocks_repaired + r.parity_rebuilt, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        // A failed scrub (I/O error, injected failpoint) must never take
+        // the daemon down; the completed counter still moves so operators
+        // can diff started vs repaired.
+      }
+      scrubs_completed_.fetch_add(1, std::memory_order_relaxed);
+      scrub_running_.store(false, std::memory_order_release);
+    });
+  }
+  ByteWriter w;
+  encode_scrub_response(ScrubResponse{accepted}, w);
+  enqueue(s, kStatusOk, w.view());
 }
 
 void Server::enqueue(const std::shared_ptr<Session>& s, std::uint8_t status,
@@ -539,6 +602,8 @@ bool Server::service_input(const std::shared_ptr<Session>&) { return false; }
 void Server::dispatch(const std::shared_ptr<Session>&, const Frame&) {}
 void Server::handle_read(const std::shared_ptr<Session>&, std::uint8_t,
                          const std::vector<std::uint8_t>&) {}
+void Server::handle_scrub(const std::shared_ptr<Session>&,
+                          const std::vector<std::uint8_t>&) {}
 void Server::enqueue(const std::shared_ptr<Session>&, std::uint8_t,
                      std::span<const std::uint8_t>) {}
 void Server::enqueue_error(const std::shared_ptr<Session>&, std::uint8_t,

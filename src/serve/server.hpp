@@ -52,6 +52,11 @@ struct ServerConfig {
   /// reaping; the CLI sets its own default so abandoned connections don't
   /// pin the bounded session table forever.
   int idle_timeout_ms = 0;
+  /// Serve a damaged archive instead of refusing to start: the reader
+  /// opens in OpenMode::kDegraded, unrecoverable blocks come back
+  /// zero-filled with the response's degraded flag + hole list set (and
+  /// read-repairable blocks are still repaired transparently).
+  bool degraded = false;
   ExecPolicy policy;              ///< decode hot-path mode etc.
 };
 
@@ -106,6 +111,10 @@ class Server {
   void dispatch(const std::shared_ptr<Session>& s, const Frame& frame);
   void handle_read(const std::shared_ptr<Session>& s, std::uint8_t opcode,
                    const std::vector<std::uint8_t>& body);
+  /// Answer the scrub op inline and (when accepted) run the scrub as one
+  /// background pool task — a single scrub at a time per server.
+  void handle_scrub(const std::shared_ptr<Session>& s,
+                    const std::vector<std::uint8_t>& body);
   /// Thread-safe: append a response frame and ring the event loop.
   void enqueue(const std::shared_ptr<Session>& s, std::uint8_t status,
                std::span<const std::uint8_t> body);
@@ -120,6 +129,7 @@ class Server {
   void teardown();
 
   ServerConfig config_;
+  std::string archive_path_;  // for background scrubs
   ThreadPool pool_;
   archive::ArchiveReader reader_;
   std::unique_ptr<Listener> listener_;
@@ -143,6 +153,10 @@ class Server {
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::atomic<std::uint64_t> sessions_idle_reaped_{0};
+  std::atomic<bool> scrub_running_{false};
+  std::atomic<std::uint64_t> scrubs_started_{0};
+  std::atomic<std::uint64_t> scrubs_completed_{0};
+  std::atomic<std::uint64_t> scrub_blocks_repaired_{0};
 };
 
 }  // namespace sz14::serve

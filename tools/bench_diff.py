@@ -216,6 +216,15 @@ def selftest():
         base.update(kw)
         return {k: v for k, v in base.items() if v is not ...}
 
+    def serving_record(**kw):
+        """perf_suite_archive_serving rows (modes nocache/cache/parity)."""
+        base = {"bench": "perf_suite_archive_serving", "field": "f",
+                "mode": "parity", "threads": 4, "reads": 96,
+                "reads_per_s": 900.0, "blocks_decoded": 64,
+                "cache_hit_rate": 0.0}
+        base.update(kw)
+        return base
+
     cases = []  # (name, file_a, file_b, extra_args, expect_rc, expect_text)
     good = [record(), {"bench": "machine", "reps": 1},
             {"bench": "perf_suite_speedup", "field": "f",
@@ -272,6 +281,20 @@ def selftest():
                   good[:3] + [daemon_record(latency_p99_ms="oops")],
                   ["--max-regress", "0.9"], 1,
                   "must be a finite non-negative number"))
+    # The parity serving record rides record_kind's bench:mode identity:
+    # present on both sides it passes, appearing only in current is drift
+    # (new baseline generation required), and — carrying no compress_gbps —
+    # it never participates in the cross-generation throughput gate.
+    goodp = good + [serving_record()]
+    cases.append(("parity serving record passes schema", goodp, goodp, [], 0,
+                  "schemas match"))
+    cases.append(("new parity mode is schema drift", good, goodp, [], 1,
+                  "new in"))
+    cases.append(("parity mode dropped is schema drift", goodp, good, [], 1,
+                  "missing from"))
+    cases.append(("gate skips serving-only records", goodp,
+                  good + [serving_record(reads_per_s=1.0)],
+                  ["--max-regress", "0.9"], 0, "no regressions"))
 
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

@@ -15,6 +15,7 @@
 //                        [--codec sz14|zfp_like|fpzip_like|gzip_like]
 //                        (--abs EB | --rel R) [--dtype f32|f64]
 //                        [--block B1xB2[..]] [-t THREADS]
+//                        [--parity [--parity-group N]]
 //   sz14 archive ls      -i in.sza
 //   sz14 archive stat    -i in.sza [-f name]
 //   sz14 archive extract -i in.sza -f name -o out.raw
@@ -22,16 +23,24 @@
 //   sz14 archive cat     -i in.sza -f name [--origin .. --shape ..]
 //                        [--limit N] [-t THREADS]
 //   sz14 archive fsck    -i in.sza [--repair]     (crash recovery; ls/stat/
-//                        extract/cat also accept --salvage)
+//                        extract/cat also accept --salvage, and --degraded
+//                        additionally zero-fills unrecoverable blocks)
+//   sz14 archive scrub   -i in.sza [--repair] [-t THREADS]
+//                        (verify every payload CRC; --repair heals what
+//                        single parity can reconstruct, in place)
 //
 // Serving daemon (src/serve/): a long-lived reader behind a socket.
 //
 //   sz14 serve -i in.sza [--transport tcp|unix] [--listen ENDPOINT]
 //              [-t THREADS] [--cache BYTES[K|M|G]] [--max-sessions N]
-//              [--no-coalesce]
+//              [--no-coalesce] [--degraded]
 //   sz14 get   --connect ENDPOINT [--transport tcp|unix]
-//              (--ls | --stats | --stat -f NAME |
+//              (--ls | --stats | --stat -f NAME | --scrub [--repair] |
 //               -f NAME [-o OUT] [--origin .. --shape ..] [--limit N])
+//
+// Failpoint registry (fault-injection drills):
+//
+//   sz14 failpoints ls      (the site names SZ14_FAILPOINTS can arm)
 //
 // Raw files are flat little-endian arrays; the shape is given with -d
 // (slowest dimension first, 'x'-separated), exactly how scientific data
@@ -47,11 +56,13 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "archive/archive.hpp"
 #include "common/exec_policy.hpp"
+#include "common/failpoint.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/analysis.hpp"
@@ -95,7 +106,8 @@ struct Args {
                "[--dtype f32|f64]\n"
                "  sz14 archive create  -o OUT --field NAME=FILE:DIMS "
                "[--field ...] [--codec C] (--abs EB | --rel R) "
-               "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo]\n"
+               "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo] "
+               "[--parity [--parity-group N]]\n"
                "  sz14 archive ls      -i IN\n"
                "  sz14 archive stat    -i IN [-f NAME]\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
@@ -103,35 +115,54 @@ struct Args {
                "  sz14 archive cat     -i IN -f NAME "
                "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n"
                "  sz14 archive fsck    -i IN [--repair]\n"
+               "  sz14 archive scrub   -i IN [--repair] [-t THREADS]\n"
                "  sz14 serve -i IN [--transport tcp|unix] "
                "[--listen ENDPOINT] [-t THREADS] [--cache BYTES[K|M|G]] "
-               "[--max-sessions N] [--no-coalesce] "
+               "[--max-sessions N] [--no-coalesce] [--degraded] "
                "[--idle-timeout MS] [--drain-grace MS]\n"
                "  sz14 get   --connect ENDPOINT [--transport tcp|unix] "
-               "(--ls | --stats | --stat -f NAME | -f NAME [-o OUT] "
+               "(--ls | --stats | --stat -f NAME | --scrub [--repair] | "
+               "-f NAME [-o OUT] "
                "[--origin DIMS --shape DIMS] [--limit N]) "
                "[--timeout MS] [--connect-timeout MS] [--retries N]\n"
+               "  sz14 failpoints ls\n"
                "\n"
                "notes:\n"
+               "  archive create --parity appends one XOR parity block per "
+               "--parity-group\n"
+               "  data blocks (default 16); reads then repair any single "
+               "damaged block\n"
+               "  per group transparently.\n"
                "  archive ls/stat/extract/cat accept --salvage to open a "
                "crash-damaged\n"
-               "  archive at its last valid checkpoint instead of failing.\n"
+               "  archive at its last valid checkpoint instead of failing, "
+               "and --degraded\n"
+               "  to additionally zero-fill unrecoverable blocks instead of "
+               "erroring.\n"
+               "  serve --degraded serves a damaged archive the same way "
+               "(responses\n"
+               "  carry a degraded flag + hole list).\n"
                "  serve drains gracefully on SIGTERM (finish in-flight "
                "requests, flush,\n"
                "  close; bounded by --drain-grace) and stops immediately on "
                "SIGINT.\n"
                "\n"
-               "exit codes (get/serve/fsck):\n"
-               "  0  success\n"
-               "  1  error (I/O, server-side failure, unrepaired damage)\n"
+               "exit codes (get/serve/fsck/scrub):\n"
+               "  0  success (fsck/scrub: clean, or --repair healed "
+               "everything)\n"
+               "  1  error (I/O, server-side failure; fsck/scrub: "
+               "unrecoverable damage)\n"
                "  2  usage\n"
                "  3  connect/bind failure (get: endpoint unreachable after "
                "retries;\n"
-               "     serve: cannot listen; fsck: nothing salvageable)\n"
+               "     serve: cannot listen; fsck/scrub: nothing salvageable)\n"
                "  4  timeout (dial, handshake, or request deadline "
-               "exceeded)\n"
+               "exceeded);\n"
+               "     fsck/scrub: repairable damage found, rerun with "
+               "--repair\n"
                "  5  protocol error (malformed/unexpected wire data, "
-               "rejected request)\n"
+               "rejected request;\n"
+               "     get --scrub: a scrub is already running)\n"
                "  6  field not found\n");
   std::exit(2);
 }
@@ -424,14 +455,17 @@ struct ArchiveArgs {
   double eb_rel = std::numeric_limits<double>::quiet_NaN();
   std::size_t threads = 0;
   std::size_t limit = 0;  // 0 = no limit
+  std::size_t parity_group = 0;  // 0 = parity off
   bool turbo = false;
   bool repair = false;
   bool salvage = false;
+  bool degraded = false;
 };
 
 ArchiveArgs parse_archive(int argc, char** argv) {
   if (argc < 3)
-    usage("archive needs a subcommand (create|ls|stat|extract|cat|fsck)");
+    usage("archive needs a subcommand "
+          "(create|ls|stat|extract|cat|fsck|scrub)");
   ArchiveArgs a;
   a.sub = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -472,6 +506,13 @@ ArchiveArgs parse_archive(int argc, char** argv) {
       a.repair = true;
     } else if (flag == "--salvage") {
       a.salvage = true;
+    } else if (flag == "--degraded") {
+      a.degraded = true;
+    } else if (flag == "--parity") {
+      if (a.parity_group == 0) a.parity_group = archive::kDefaultParityGroup;
+    } else if (flag == "--parity-group") {
+      a.parity_group = std::stoull(next());
+      if (a.parity_group == 0) usage("--parity-group must be >= 1");
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -541,7 +582,8 @@ int cmd_archive_create(const ArchiveArgs& a) {
   // --turbo rides the writer's per-call ExecPolicy; nothing global moves.
   ExecPolicy policy;
   if (a.turbo) policy.mode = HotPathMode::kTurbo;
-  archive::ArchiveWriter writer(a.output, a.threads, policy);
+  archive::ArchiveWriter writer(a.output, a.threads, policy,
+                                static_cast<std::uint32_t>(a.parity_group));
   Timer timer;
   const auto do_append = [&](const FieldSpec& spec, const Dims& block,
                              const auto& values) {
@@ -578,12 +620,16 @@ int cmd_archive_create(const ArchiveArgs& a) {
   return 0;
 }
 
-/// --salvage: open damaged archives at their last valid checkpoint
-/// (prints what happened on stderr so piped stdout stays clean).
+/// --salvage: open damaged archives at their last valid checkpoint.
+/// --degraded: additionally zero-fill unrecoverable blocks on read instead
+/// of erroring.  (Warnings go to stderr so piped stdout stays clean.)
 std::unique_ptr<archive::ArchiveReader> open_archive(const ArchiveArgs& a) {
+  const archive::OpenMode mode =
+      a.degraded ? archive::OpenMode::kDegraded
+                 : (a.salvage ? archive::OpenMode::kSalvage
+                              : archive::OpenMode::kStrict);
   auto reader = std::make_unique<archive::ArchiveReader>(
-      a.input, a.threads, ExecPolicy{},
-      a.salvage ? archive::OpenMode::kSalvage : archive::OpenMode::kStrict);
+      a.input, a.threads, ExecPolicy{}, mode);
   const auto& info = reader->salvage_info();
   if (info.fallback)
     std::fprintf(stderr,
@@ -645,6 +691,16 @@ int cmd_archive_extract(const ArchiveArgs& a) {
               values,
               static_cast<unsigned long long>(reader.blocks_decoded()),
               f.blocks.size(), timer.seconds());
+  if (reader.read_repairs() > 0)
+    std::fprintf(stderr,
+                 "warning: %llu damaged block(s) reconstructed from parity\n",
+                 static_cast<unsigned long long>(reader.read_repairs()));
+  if (reader.unrecoverable_blocks() > 0)
+    std::fprintf(stderr,
+                 "warning: DEGRADED output — %llu unrecoverable block(s) "
+                 "zero-filled\n",
+                 static_cast<unsigned long long>(
+                     reader.unrecoverable_blocks()));
   return 0;
 }
 
@@ -694,10 +750,11 @@ int cmd_archive_stat(const ArchiveArgs& a) {
   return 0;
 }
 
-/// `archive fsck`: scan (and with --repair, truncate) a possibly
-/// crash-damaged archive.  Exit codes: 0 = clean or fully repaired,
-/// 1 = damage found and not repaired (rerun with --repair, or restore),
-/// 3 = nothing salvageable (no valid checkpoint at all).
+/// `archive fsck`: scan (and with --repair, truncate + parity-heal) a
+/// possibly damaged archive.  Exit codes: 0 = clean or fully repaired,
+/// 1 = unrecoverable damage (restore from source), 3 = nothing
+/// salvageable (no valid checkpoint at all), 4 = repairable damage found
+/// without --repair (rerun with --repair).
 int cmd_archive_fsck(const ArchiveArgs& a) {
   if (a.input.empty()) usage("archive fsck needs -i");
   archive::FsckReport report;
@@ -710,8 +767,28 @@ int cmd_archive_fsck(const ArchiveArgs& a) {
     return 3;
   }
   std::fputs(archive::format_fsck_report(report).c_str(), stdout);
-  if (report.clean() || (a.repair && report.bad_blocks.empty())) return 0;
-  return 1;
+  if (report.clean()) return 0;
+  if (a.repair)
+    return report.bad_blocks.empty() && report.bad_parity.empty() ? 0 : 1;
+  return report.repairable() ? 4 : 1;
+}
+
+/// `archive scrub`: verify every payload CRC (pool-parallel), with
+/// --repair healing what single parity can reconstruct.  Same exit-code
+/// contract as fsck: 0 clean/fully-repaired, 1 unrecoverable, 3
+/// unsalvageable, 4 repairable damage found without --repair.
+int cmd_archive_scrub(const ArchiveArgs& a) {
+  if (a.input.empty()) usage("archive scrub needs -i");
+  archive::ScrubReport report;
+  try {
+    report = archive::scrub_archive(a.input, a.repair, a.threads);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scrub: %s: %s\n", a.input.c_str(), e.what());
+    return 3;
+  }
+  std::fputs(archive::format_scrub_report(report).c_str(), stdout);
+  if (report.clean() || report.fully_repaired()) return 0;
+  return !a.repair && report.repairable() ? 4 : 1;
 }
 
 int cmd_archive(int argc, char** argv) {
@@ -722,6 +799,7 @@ int cmd_archive(int argc, char** argv) {
   if (a.sub == "extract") return cmd_archive_extract(a);
   if (a.sub == "cat") return cmd_archive_cat(a);
   if (a.sub == "fsck") return cmd_archive_fsck(a);
+  if (a.sub == "scrub") return cmd_archive_scrub(a);
   usage(("unknown archive subcommand " + a.sub).c_str());
 }
 
@@ -765,6 +843,8 @@ int cmd_serve(int argc, char** argv) {
       cfg.max_sessions = std::stoull(next());
     } else if (flag == "--no-coalesce") {
       cfg.coalescing = false;
+    } else if (flag == "--degraded") {
+      cfg.degraded = true;
     } else if (flag == "--idle-timeout") {
       cfg.idle_timeout_ms = std::stoi(next());
     } else if (flag == "--drain-grace") {
@@ -815,6 +895,16 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(s.blocks_decoded),
               static_cast<unsigned long long>(s.coalesced_reads),
               static_cast<unsigned long long>(s.cache_hits));
+  if (s.crc_failures > 0 || s.scrubs_started > 0)
+    std::printf("integrity: %llu crc failures, %llu read repairs, "
+                "%llu unrecoverable, %llu degraded reads, %llu scrub(s) "
+                "(%llu payloads healed)\n",
+                static_cast<unsigned long long>(s.crc_failures),
+                static_cast<unsigned long long>(s.read_repairs),
+                static_cast<unsigned long long>(s.unrecoverable_blocks),
+                static_cast<unsigned long long>(s.degraded_reads),
+                static_cast<unsigned long long>(s.scrubs_completed),
+                static_cast<unsigned long long>(s.scrub_blocks_repaired));
   return 0;
 }
 
@@ -825,6 +915,7 @@ int run_get(int argc, char** argv) {
   std::string origin_text, shape_text;
   std::size_t limit = 0;
   bool do_ls = false, do_stat = false, do_stats = false;
+  bool do_scrub = false, scrub_repair = false;
   serve::ClientConfig ccfg;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -852,6 +943,10 @@ int run_get(int argc, char** argv) {
       do_stat = true;
     } else if (flag == "--stats") {
       do_stats = true;
+    } else if (flag == "--scrub") {
+      do_scrub = true;
+    } else if (flag == "--repair") {
+      scrub_repair = true;
     } else if (flag == "--timeout") {
       ccfg.request_timeout_ms = std::stoi(next());
     } else if (flag == "--connect-timeout") {
@@ -899,6 +994,13 @@ int run_get(int argc, char** argv) {
     row("cache resident bytes", s.cache_resident_bytes);
     row("cache capacity bytes", s.cache_capacity_bytes);
     row("sessions idle reaped", s.sessions_idle_reaped);
+    row("crc failures", s.crc_failures);
+    row("read repairs", s.read_repairs);
+    row("unrecoverable blocks", s.unrecoverable_blocks);
+    row("degraded reads", s.degraded_reads);
+    row("scrubs started", s.scrubs_started);
+    row("scrubs completed", s.scrubs_completed);
+    row("scrub blocks repaired", s.scrub_blocks_repaired);
     return 0;
   }
   if (do_stat) {
@@ -907,11 +1009,31 @@ int run_get(int argc, char** argv) {
                stdout);
     return 0;
   }
-  if (field.empty()) usage("get needs -f NAME (or --ls/--stat/--stats)");
+  if (do_scrub) {
+    if (client.scrub(scrub_repair)) {
+      std::printf("scrub%s started (poll `get --stats` for completion)\n",
+                  scrub_repair ? " --repair" : "");
+      return 0;
+    }
+    std::fprintf(stderr, "error: a scrub is already running on the server\n");
+    return 5;
+  }
+  if (field.empty())
+    usage("get needs -f NAME (or --ls/--stat/--stats/--scrub)");
   const auto region = parse_region_texts(origin_text, shape_text);
   Timer timer;
   const serve::ReadResponse resp = client.read_raw(field, region);
   const double seconds = timer.seconds();
+  if (resp.degraded) {
+    std::string holes;
+    for (const std::uint64_t h : resp.holes)
+      holes += (holes.empty() ? "" : ",") + std::to_string(h);
+    std::fprintf(stderr,
+                 "warning: DEGRADED read — %zu unrecoverable block(s) "
+                 "zero-filled (block index%s %s)\n",
+                 resp.holes.size(), resp.holes.size() == 1 ? "" : "es",
+                 holes.c_str());
+  }
   if (!output.empty()) {
     data::write_bytes(output, resp.values);
     std::printf("fetched %s %s (%zu bytes) in %.3fs (%.1f MB/s)\n",
@@ -957,6 +1079,19 @@ int cmd_get(int argc, char** argv) {
   // Anything else falls through to main()'s generic handler (exit 1).
 }
 
+// --------------------------------------------------------------- failpoints
+
+/// `sz14 failpoints ls`: the registered site names, one per line — the
+/// authoritative answer to "what can SZ14_FAILPOINTS actually arm?"
+/// (arming anything else warns on stderr and never fires).
+int cmd_failpoints(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "ls")
+    usage("failpoints needs a subcommand (ls)");
+  for (const std::string_view site : fail::known_sites())
+    std::printf("%.*s\n", static_cast<int>(site.size()), site.data());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -967,6 +1102,8 @@ int main(int argc, char** argv) {
       return cmd_serve(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "get")
       return cmd_get(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "failpoints")
+      return cmd_failpoints(argc, argv);
     const Args a = parse(argc, argv);
     if (a.command == "compress") return cmd_compress(a);
     if (a.command == "decompress") return cmd_decompress(a);
