@@ -1,14 +1,19 @@
-// Micro-benchmark of the arbitrary-alphabet Huffman coder: encode/decode
-// throughput at the alphabet sizes the quantizer produces (2^m symbols).
-// Ablation for the "tailored variable-length encoding" design choice.
+// Micro-benchmark of the entropy stage: encode/decode throughput at the
+// alphabet sizes the quantizer produces (2^m symbols), head-to-head across
+// the three decode strategies — bitwise single-symbol Huffman, the
+// multi-symbol table path, and the interleaved rANS backend.  Ablation for
+// the "tailored variable-length encoding" design choice and the entropy-v2
+// rebuild.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitstream.hpp"
 #include "common/bytebuffer.hpp"
 #include "common/rng.hpp"
 #include "encoding/huffman.hpp"
+#include "encoding/rans.hpp"
 
 namespace {
 
@@ -53,6 +58,83 @@ void BM_HuffmanDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(symbols.size()));
 }
 BENCHMARK(BM_HuffmanDecode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HuffmanDecodeSingleSymbol(benchmark::State& state) {
+  // Baseline for the multi-symbol table: one dec.decode() per symbol over
+  // the same payload BM_HuffmanDecode consumes in chained batches.
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  const auto freqs = sz14::huffman_histogram(symbols, alphabet);
+  const auto lens = sz14::huffman_code_lengths(freqs);
+  const auto packed =
+      sz14::huffman_pack_codes(lens, sz14::huffman_canonical_codes(lens));
+  std::vector<std::uint8_t> payload;
+  sz14::huffman_append_payload(symbols, packed, payload);
+  const sz14::HuffmanDecoder dec(lens);
+  std::vector<std::uint16_t> out(symbols.size());
+  for (auto _ : state) {
+    sz14::BitReader br(payload);
+    for (auto& s : out) s = dec.decode(br);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanDecodeSingleSymbol)
+    ->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HuffmanDecodeMultiSymbol(benchmark::State& state) {
+  // The multi-symbol path in isolation (no table parse, no framing): the
+  // honest numerator for the single- vs multi-symbol comparison.
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  const auto freqs = sz14::huffman_histogram(symbols, alphabet);
+  const auto lens = sz14::huffman_code_lengths(freqs);
+  const auto packed =
+      sz14::huffman_pack_codes(lens, sz14::huffman_canonical_codes(lens));
+  std::vector<std::uint8_t> payload;
+  sz14::huffman_append_payload(symbols, packed, payload);
+  const sz14::HuffmanDecoder dec(lens);
+  std::vector<std::uint16_t> out;
+  for (auto _ : state) {
+    sz14::huffman_decode_payload_into(dec, payload, symbols.size(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanDecodeMultiSymbol)
+    ->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RansEncode(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  for (auto _ : state) {
+    sz14::ByteWriter w;
+    sz14::rans_encode(symbols, alphabet, w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_RansEncode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RansDecode(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const auto symbols = quant_like_symbols(1 << 18, alphabet);
+  sz14::ByteWriter w;
+  sz14::rans_encode(symbols, alphabet, w);
+  const auto bytes = std::move(w).take();
+  std::vector<std::uint16_t> out;
+  for (auto _ : state) {
+    sz14::ByteReader r(bytes);
+    sz14::rans_decode_into(r, out, symbols.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_RansDecode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
 }  // namespace
 

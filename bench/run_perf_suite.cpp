@@ -20,10 +20,19 @@
 // committed BENCH_PR*.json files form the repo's perf trajectory.
 //
 // Usage: run_perf_suite [--smoke] [--reps N] [--threads N] [--out FILE]
+//                       [--filter REGEX]
 //   --smoke     tiny sizes (CI bit-rot guard; numbers are meaningless)
 //   --reps N    timing repetitions, best-of (default 3)
 //   --threads N workers for the parallel section (default 8)
 //   --out       write JSON to FILE instead of stdout
+//   --filter    run only sections whose tag matches REGEX (search, not
+//               full match).  Tags: <field>/<mode> for the sequential
+//               modes (reference|fast|turbo|rans),
+//               <field>/parallel/<mode> (fast|turbo|rans) for the slab
+//               codec, and serving/(nocache|cache|parity|daemon) for the
+//               archive-serving sections.  Cross-record outputs (the
+//               fast-vs-reference identity check, the speedup record)
+//               appear only when every input they need also matched.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -32,6 +41,7 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <regex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +57,7 @@
 #include "core/quantizer.hpp"
 #include "data/generators.hpp"
 #include "encoding/huffman.hpp"
+#include "encoding/rans.hpp"
 #include "parallel/parallel_codec.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/client.hpp"
@@ -128,9 +139,13 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
       f.values, f.dims, opts.layers, opts.interval_bits, opts.eb_abs, false,
       timed.exec);
   const LinearQuantizer quantizer(opts.interval_bits, opts.eb_abs, mode);
+  const bool rans = opts.exec.entropy == EntropyBackend::kRans;
   st.entropy_encode_s = best_of(reps, [&] {
     ByteWriter w;
-    huffman_encode(pass.codes, quantizer.alphabet_size(), w, mode);
+    if (rans)
+      rans_encode(pass.codes, quantizer.alphabet_size(), w);
+    else
+      huffman_encode(pass.codes, quantizer.alphabet_size(), w, mode);
   });
   // Reuse a code vector across reps like decompress_into does with the
   // arena, so entropy_decode_s and decompress_s amortize allocation the
@@ -139,7 +154,10 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
   st.entropy_decode_s = best_of(reps, [&] {
     ByteReader in(stream);
     (void)read_header(in);
-    huffman_decode_into(in, decode_codes, mode);
+    if (rans)
+      rans_decode_into(in, decode_codes, f.dims.count());
+    else
+      huffman_decode_into(in, decode_codes, mode);
   });
   st.kernel_decode_s = st.decompress_s - st.entropy_decode_s;
 
@@ -151,6 +169,8 @@ StageTimes measure(const data::Field& f, const Options& opts, int reps,
 struct ParallelTimes {
   double compress_s = 0;
   double decompress_s = 0;
+  double entropy_encode_s = 0;  // per-slab emit, CPU seconds across workers
+  double entropy_decode_s = 0;  // per-slab payload decode, CPU seconds
   std::size_t stream_bytes = 0;
   std::size_t chunks = 0;
   double max_error = 0;
@@ -165,15 +185,31 @@ ParallelTimes measure_parallel(const data::Field& f, const Options& opts,
   timed.exec.scratch = &scratch;
   ParallelTimes pt;
   ParallelResult result;
-  pt.compress_s = best_of(reps, [&] {
+  // Manual best-of so the entropy breakdown comes from the same rep as the
+  // reported wall time (best_of would discard it).
+  pt.compress_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
     result = parallel_compress(f.values, f.dims, timed);
-  });
+    const double s = t.seconds();
+    if (s < pt.compress_s) {
+      pt.compress_s = s;
+      pt.entropy_encode_s = result.entropy_encode_seconds;
+    }
+  }
   pt.stream_bytes = result.stream.size();
   pt.chunks = result.chunks;
   ParallelDecompressResult out;
-  pt.decompress_s = best_of(reps, [&] {
+  pt.decompress_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
     out = parallel_decompress(result.stream, timed.exec);
-  });
+    const double s = t.seconds();
+    if (s < pt.decompress_s) {
+      pt.decompress_s = s;
+      pt.entropy_decode_s = out.entropy_decode_seconds;
+    }
+  }
   pt.max_error = max_abs_error(f.values, out.data);
   return pt;
 }
@@ -217,6 +253,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   std::size_t threads = 8;
   std::string out_path;
+  std::string filter_text;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0) {
       smoke = true;
@@ -226,15 +263,32 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoll(argv[++a]));
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--filter") == 0 && a + 1 < argc) {
+      filter_text = argv[++a];
     } else {
       std::fprintf(stderr,
                    "usage: run_perf_suite [--smoke] [--reps N] [--threads N] "
-                   "[--out FILE]\n");
+                   "[--out FILE] [--filter REGEX]\n");
       return 2;
     }
   }
   if (reps < 1) reps = 1;
   if (threads == 0) threads = 1;
+
+  std::regex filter_re;
+  const bool filtered = !filter_text.empty();
+  if (filtered) {
+    try {
+      filter_re = std::regex(filter_text);
+    } catch (const std::regex_error& e) {
+      std::fprintf(stderr, "run_perf_suite: bad --filter regex: %s\n",
+                   e.what());
+      return 2;
+    }
+  }
+  const auto want = [&](const std::string& tag) {
+    return !filtered || std::regex_search(tag, filter_re);
+  };
 
   const data::Field fields[] = {
       smoke ? data::smooth1d(4096) : data::smooth1d(4u << 20),
@@ -281,78 +335,142 @@ int main(int argc, char** argv) {
     ThreadPool pool(threads);
     for (std::size_t fi = 0; fi < 3; ++fi) {
       const data::Field& f = fields[fi];
+      const std::string fname = field_names[fi];
       const std::size_t raw_bytes = f.values.size() * sizeof(float);
       Options opts;
       opts.eb_abs = 1e-3;
 
-      // Three-way comparison through per-call policies: same process, no
-      // scope guards, no global state.
+      const bool w_ref = want(fname + "/reference");
+      const bool w_fast = want(fname + "/fast");
+      const bool w_turbo = want(fname + "/turbo");
+      const bool w_rans = want(fname + "/rans");
+      const bool w_par_fast = want(fname + "/parallel/fast");
+      const bool w_par_turbo = want(fname + "/parallel/turbo");
+      const bool w_par_rans = want(fname + "/parallel/rans");
+      if (!(w_ref || w_fast || w_turbo || w_rans || w_par_fast ||
+            w_par_turbo || w_par_rans))
+        continue;
+
+      // Four-way comparison through per-call policies: same process, no
+      // scope guards, no global state.  "rans" is the fast walk with the
+      // rANS entropy backend — same codes, different entropy stage — so
+      // its reconstruction must be bit-identical to fast's.
       std::vector<std::uint8_t> ref_stream, fast_stream;
-      std::vector<float> ref_recon, fast_recon;
-      StageTimes ref, fast, turbo;
-      {
+      std::vector<float> ref_recon, fast_recon, rans_recon;
+      StageTimes ref, fast, turbo, rans;
+      if (w_ref) {
         Options o = opts;
         o.exec.mode = HotPathMode::kReference;
         ref = measure(f, o, reps, &ref_stream, &ref_recon);
       }
-      {
+      if (w_fast) {
         Options o = opts;
         o.exec.mode = HotPathMode::kFast;
         fast = measure(f, o, reps, &fast_stream, &fast_recon);
       }
-      {
+      if (w_turbo) {
         Options o = opts;
         o.exec.mode = HotPathMode::kTurbo;
         turbo = measure(f, o, reps, nullptr, nullptr);
       }
+      if (w_rans) {
+        Options o = opts;
+        o.exec.mode = HotPathMode::kFast;
+        o.exec.entropy = EntropyBackend::kRans;
+        rans = measure(f, o, reps, nullptr, &rans_recon);
+      }
       const bool identical =
-          ref_stream == fast_stream &&
-          std::memcmp(ref_recon.data(), fast_recon.data(),
-                      ref_recon.size() * sizeof(float)) == 0;
+          !(w_ref && w_fast) ||
+          (ref_stream == fast_stream &&
+           std::memcmp(ref_recon.data(), fast_recon.data(),
+                       ref_recon.size() * sizeof(float)) == 0);
       if (!identical) {
         std::fprintf(stderr,
                      "run_perf_suite: FAST/REFERENCE DIVERGENCE on %s\n",
-                     field_names[fi]);
+                     fname.c_str());
         exit_code = 1;
       }
-      if (!(turbo.max_error <= opts.eb_abs)) {
+      if (w_turbo && !(turbo.max_error <= opts.eb_abs)) {
         std::fprintf(stderr,
                      "run_perf_suite: TURBO BOUND VIOLATION on %s "
                      "(max_error %.3e > eb %.3e)\n",
-                     field_names[fi], turbo.max_error, opts.eb_abs);
+                     fname.c_str(), turbo.max_error, opts.eb_abs);
+        exit_code = 1;
+      }
+      if (w_rans && w_fast &&
+          std::memcmp(rans_recon.data(), fast_recon.data(),
+                      fast_recon.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "run_perf_suite: RANS/FAST RECON DIVERGENCE on %s\n",
+                     fname.c_str());
+        exit_code = 1;
+      }
+      if (w_rans && !(rans.max_error <= opts.eb_abs)) {
+        std::fprintf(stderr,
+                     "run_perf_suite: RANS BOUND VIOLATION on %s\n",
+                     fname.c_str());
         exit_code = 1;
       }
 
-      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
-                       raw_bytes, ref, "reference", opts.eb_abs, reps);
-      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
-                       raw_bytes, fast, "fast", opts.eb_abs, reps);
-      emit_mode_record(json, field_names[fi], f.dims.rank(), f.values.size(),
-                       raw_bytes, turbo, "turbo", opts.eb_abs, reps);
+      if (w_ref)
+        emit_mode_record(json, field_names[fi], f.dims.rank(),
+                         f.values.size(), raw_bytes, ref, "reference",
+                         opts.eb_abs, reps);
+      if (w_fast)
+        emit_mode_record(json, field_names[fi], f.dims.rank(),
+                         f.values.size(), raw_bytes, fast, "fast",
+                         opts.eb_abs, reps);
+      if (w_turbo)
+        emit_mode_record(json, field_names[fi], f.dims.rank(),
+                         f.values.size(), raw_bytes, turbo, "turbo",
+                         opts.eb_abs, reps);
+      if (w_rans)
+        emit_mode_record(json, field_names[fi], f.dims.rank(),
+                         f.values.size(), raw_bytes, rans, "rans",
+                         opts.eb_abs, reps);
 
-      // Threaded slab codec, fast + turbo.
-      ParallelTimes par_fast, par_turbo;
-      {
+      // Threaded slab codec: fast + turbo + rans (fast walk, rANS
+      // entropy), with the per-slab entropy CPU time carried out of the
+      // codec itself.
+      ParallelTimes par_fast, par_turbo, par_rans;
+      if (w_par_fast) {
         Options o = opts;
         o.exec.mode = HotPathMode::kFast;
         par_fast = measure_parallel(f, o, reps, pool);
       }
-      {
+      if (w_par_turbo) {
         Options o = opts;
         o.exec.mode = HotPathMode::kTurbo;
         par_turbo = measure_parallel(f, o, reps, pool);
       }
-      for (const auto* p : {&par_fast, &par_turbo}) {
+      if (w_par_rans) {
+        Options o = opts;
+        o.exec.mode = HotPathMode::kFast;
+        o.exec.entropy = EntropyBackend::kRans;
+        par_rans = measure_parallel(f, o, reps, pool);
+      }
+      struct ParRow {
+        const ParallelTimes* p;
+        const char* mode;
+        bool ran;
+      };
+      const ParRow par_rows[] = {{&par_fast, "fast", w_par_fast},
+                                 {&par_turbo, "turbo", w_par_turbo},
+                                 {&par_rans, "rans", w_par_rans}};
+      for (const auto& row : par_rows) {
+        if (!row.ran) continue;
+        const ParallelTimes* p = row.p;
         if (!(p->max_error <= opts.eb_abs)) {
           std::fprintf(stderr,
-                       "run_perf_suite: PARALLEL BOUND VIOLATION on %s\n",
-                       field_names[fi]);
+                       "run_perf_suite: PARALLEL BOUND VIOLATION on %s "
+                       "(%s)\n",
+                       fname.c_str(), row.mode);
           exit_code = 1;
         }
         json.begin_record();
         json.kv("bench", "perf_suite_parallel");
         json.kv("field", field_names[fi]);
-        json.kv("mode", p == &par_fast ? "fast" : "turbo");
+        json.kv("mode", row.mode);
         json.kv("rank", f.dims.rank());
         json.kv("threads", threads);
         json.kv("chunks", p->chunks);
@@ -366,53 +484,70 @@ int main(int argc, char** argv) {
         json.kv("decompress_seconds", p->decompress_s);
         json.kv("compress_gbps", gbps(raw_bytes, p->compress_s));
         json.kv("decompress_gbps", gbps(raw_bytes, p->decompress_s));
+        json.kv("entropy_encode_seconds", p->entropy_encode_s);
+        json.kv("entropy_decode_seconds", p->entropy_decode_s);
         json.kv("max_error", p->max_error);
         json.end_record();
       }
 
-      json.begin_record();
-      json.kv("bench", "perf_suite_speedup");
-      json.kv("field", field_names[fi]);
-      json.kv("rank", f.dims.rank());
-      json.kv("speedup_compress", ref.compress_s / fast.compress_s);
-      json.kv("speedup_decompress", ref.decompress_s / fast.decompress_s);
-      json.kv("speedup_compress_turbo", ref.compress_s / turbo.compress_s);
-      json.kv("speedup_decompress_turbo",
-              ref.decompress_s / turbo.decompress_s);
-      json.kv("speedup_compress_parallel_turbo",
-              ref.compress_s / par_turbo.compress_s);
-      json.kv("streams_identical", static_cast<std::size_t>(identical));
-      json.kv("turbo_max_error", turbo.max_error);
-      json.kv("turbo_cf_delta",
-              static_cast<double>(raw_bytes) /
-                      static_cast<double>(turbo.stream_bytes) -
-                  static_cast<double>(raw_bytes) /
-                      static_cast<double>(fast.stream_bytes));
-      json.end_record();
+      if (w_ref && w_fast && w_turbo && w_par_turbo) {
+        json.begin_record();
+        json.kv("bench", "perf_suite_speedup");
+        json.kv("field", field_names[fi]);
+        json.kv("rank", f.dims.rank());
+        json.kv("speedup_compress", ref.compress_s / fast.compress_s);
+        json.kv("speedup_decompress", ref.decompress_s / fast.decompress_s);
+        json.kv("speedup_compress_turbo", ref.compress_s / turbo.compress_s);
+        json.kv("speedup_decompress_turbo",
+                ref.decompress_s / turbo.decompress_s);
+        json.kv("speedup_compress_parallel_turbo",
+                ref.compress_s / par_turbo.compress_s);
+        json.kv("streams_identical", static_cast<std::size_t>(identical));
+        json.kv("turbo_max_error", turbo.max_error);
+        json.kv("turbo_cf_delta",
+                static_cast<double>(raw_bytes) /
+                        static_cast<double>(turbo.stream_bytes) -
+                    static_cast<double>(raw_bytes) /
+                        static_cast<double>(fast.stream_bytes));
+        json.end_record();
+      }
 
-      std::fprintf(
-          stderr,
-          "%-12s  compress %6.1f -> %6.1f -> %6.1f MB/s "
-          "(fast %.2fx, turbo %.2fx)   decompress %6.1f -> %6.1f MB/s "
-          "(%.2fx)   CF %.2f%s   turbo max_err %.2e\n",
-          field_names[fi], gbps(raw_bytes, ref.compress_s) * 1e3,
-          gbps(raw_bytes, fast.compress_s) * 1e3,
-          gbps(raw_bytes, turbo.compress_s) * 1e3,
-          ref.compress_s / fast.compress_s,
-          ref.compress_s / turbo.compress_s,
-          gbps(raw_bytes, ref.decompress_s) * 1e3,
-          gbps(raw_bytes, fast.decompress_s) * 1e3,
-          ref.decompress_s / fast.decompress_s,
-          static_cast<double>(raw_bytes) /
-              static_cast<double>(fast.stream_bytes),
-          identical ? "" : "  [DIVERGED]", turbo.max_error);
-      std::fprintf(
-          stderr,
-          "              parallel(%zut) compress %6.1f (fast) %6.1f (turbo) "
-          "MB/s   decompress %6.1f MB/s\n",
-          threads, gbps(raw_bytes, par_fast.compress_s) * 1e3,
-          gbps(raw_bytes, par_turbo.compress_s) * 1e3,
-          gbps(raw_bytes, par_turbo.decompress_s) * 1e3);
+      if (w_ref && w_fast && w_turbo)
+        std::fprintf(
+            stderr,
+            "%-12s  compress %6.1f -> %6.1f -> %6.1f MB/s "
+            "(fast %.2fx, turbo %.2fx)   decompress %6.1f -> %6.1f MB/s "
+            "(%.2fx)   CF %.2f%s   turbo max_err %.2e\n",
+            fname.c_str(), gbps(raw_bytes, ref.compress_s) * 1e3,
+            gbps(raw_bytes, fast.compress_s) * 1e3,
+            gbps(raw_bytes, turbo.compress_s) * 1e3,
+            ref.compress_s / fast.compress_s,
+            ref.compress_s / turbo.compress_s,
+            gbps(raw_bytes, ref.decompress_s) * 1e3,
+            gbps(raw_bytes, fast.decompress_s) * 1e3,
+            ref.decompress_s / fast.decompress_s,
+            static_cast<double>(raw_bytes) /
+                static_cast<double>(fast.stream_bytes),
+            identical ? "" : "  [DIVERGED]", turbo.max_error);
+      if (w_rans && w_fast)
+        std::fprintf(
+            stderr,
+            "              rans: entropy enc %.3fs vs %.3fs, dec %.3fs vs "
+            "%.3fs (huffman), CF %.2f vs %.2f\n",
+            rans.entropy_encode_s, fast.entropy_encode_s,
+            rans.entropy_decode_s, fast.entropy_decode_s,
+            static_cast<double>(raw_bytes) /
+                static_cast<double>(rans.stream_bytes),
+            static_cast<double>(raw_bytes) /
+                static_cast<double>(fast.stream_bytes));
+      if (w_par_fast && w_par_turbo)
+        std::fprintf(
+            stderr,
+            "              parallel(%zut) compress %6.1f (fast) %6.1f "
+            "(turbo) MB/s   decompress %6.1f MB/s\n",
+            threads, gbps(raw_bytes, par_fast.compress_s) * 1e3,
+            gbps(raw_bytes, par_turbo.compress_s) * 1e3,
+            gbps(raw_bytes, par_turbo.decompress_s) * 1e3);
     }
 
     // Archive serving: concurrent region reads from one shared reader on
@@ -420,7 +555,12 @@ int main(int argc, char** argv) {
     // 80% of reads target a small hot set; the cached configuration is
     // measured in steady state (one untimed warm sweep first), and every
     // distinct region is verified bit-identical to a sequential read.
-    {
+    const bool w_serve_nocache = want("serving/nocache");
+    const bool w_serve_cache = want("serving/cache");
+    const bool w_serve_parity = want("serving/parity");
+    const bool w_serve_daemon = want("serving/daemon");
+    if (w_serve_nocache || w_serve_cache || w_serve_parity ||
+        w_serve_daemon) {
       const data::Field& f3 = fields[2];
       const std::string apath = "/tmp/run_perf_suite_archive.sza";
       const std::size_t bs = smoke ? 8 : 32;
@@ -445,6 +585,7 @@ int main(int argc, char** argv) {
       for (const auto& r : regions) region_values += r.count();
 
       for (const bool cached : {false, true}) {
+        if (!(cached ? w_serve_cache : w_serve_nocache)) continue;
         archive::ArchiveReader reader(apath, threads);
         if (cached) reader.set_cache_capacity(256u << 20);
 
@@ -516,7 +657,7 @@ int main(int argc, char** argv) {
       // consulted when a CRC fails, so the clean-path read rate should sit
       // on top of the nocache record — this record keeps that claim
       // measured instead of assumed (the write cost is the parity bytes).
-      {
+      if (w_serve_parity) {
         const std::string ppath = "/tmp/run_perf_suite_archive_parity.sza";
         {
           archive::ArchiveWriter w(ppath, threads, {},
@@ -591,7 +732,7 @@ int main(int argc, char** argv) {
       // is verified bit-identical to a direct reader, and the coalescing
       // invariant (decodes <= unique blocks after warm-up) is asserted,
       // not assumed.
-      {
+      if (w_serve_daemon) {
         const std::size_t clients = std::max<std::size_t>(2, threads);
         const std::size_t requests_per_client = smoke ? 6 : 48;
         serve::ServerConfig cfg;

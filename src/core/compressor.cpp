@@ -14,6 +14,7 @@
 #include "core/quantizer.hpp"
 #include "core/unpredictable.hpp"
 #include "encoding/huffman.hpp"
+#include "encoding/rans.hpp"
 
 namespace sz14 {
 
@@ -136,9 +137,13 @@ std::vector<std::uint8_t> compress_impl(std::span<const T> data,
   h.interval_bits = static_cast<std::uint8_t>(opts.interval_bits);
   h.layers = static_cast<std::uint8_t>(opts.layers);
   h.decorrelate = opts.decorrelate;
+  h.rans_entropy = opts.exec.entropy == EntropyBackend::kRans;
   write_header(h, out);
 
-  huffman_encode(codes, quantizer.alphabet_size(), out, mode);
+  if (h.rans_entropy)
+    rans_encode(codes, quantizer.alphabet_size(), out);
+  else
+    huffman_encode(codes, quantizer.alphabet_size(), out, mode);
   out.put_varint(unpred_bits.size());
   out.put_bytes(unpred_bits);
 
@@ -170,14 +175,19 @@ StreamInfo decompress_core(std::span<const std::uint8_t> stream,
   if (!owned_out && fixed_out.size() != h.dims.count())
     throw std::invalid_argument("sz14: output buffer size mismatch");
 
-  // huffman_decode bounds its symbol count by the actual payload size, so
-  // this also caps the allocation a hostile header can trigger.  The code
-  // array is the largest decode-side working buffer; the arena keeps it
-  // (and the walk's staging vectors) alive across calls.
+  // huffman_decode bounds its symbol count by the actual payload size, and
+  // rans_decode by the header's element count, so this also caps the
+  // allocation a hostile header can trigger.  The code array is the
+  // largest decode-side working buffer; the arena keeps it (and the walk's
+  // staging vectors) alive across calls.  The entropy backend is read off
+  // the stream, never off `exec`.
   std::vector<std::uint16_t> codes_own;
   std::vector<std::uint16_t>& codes =
       scratch_code_vector_or(exec.scratch, codes_own);
-  huffman_decode_into(in, codes, mode);
+  if (h.rans_entropy)
+    rans_decode_into(in, codes, h.dims.count());
+  else
+    huffman_decode_into(in, codes, mode);
   if (codes.size() != h.dims.count())
     throw std::runtime_error("sz14: quantization array size mismatch");
   const auto n_unpred_bytes = static_cast<std::size_t>(in.get_varint());

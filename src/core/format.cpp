@@ -29,7 +29,9 @@ void write_header(const StreamHeader& h, ByteWriter& out) {
   out.put<std::uint32_t>(kMagic);
   out.put<std::uint8_t>(kFormatVersion);
   out.put<std::uint8_t>(h.dtype);
-  out.put<std::uint8_t>(h.decorrelate ? kFlagDecorrelate : 0);
+  out.put<std::uint8_t>(
+      static_cast<std::uint8_t>((h.decorrelate ? kFlagDecorrelate : 0) |
+                                (h.rans_entropy ? kFlagRansEntropy : 0)));
   write_dims(h.dims, out);
   out.put<double>(h.eb_abs);
   out.put<std::uint8_t>(h.interval_bits);
@@ -49,9 +51,10 @@ StreamHeader read_header(ByteReader& in) {
     throw std::runtime_error("sz14: unsupported dtype " +
                              std::to_string(h.dtype));
   const auto flags = in.get<std::uint8_t>();
-  if (flags & ~kFlagDecorrelate)
+  if (flags & ~(kFlagDecorrelate | kFlagRansEntropy))
     throw std::runtime_error("sz14: unknown header flags");
   h.decorrelate = (flags & kFlagDecorrelate) != 0;
+  h.rans_entropy = (flags & kFlagRansEntropy) != 0;
   h.dims = read_dims(in);
   h.eb_abs = in.get<double>();
   h.interval_bits = in.get<std::uint8_t>();

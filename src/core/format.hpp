@@ -4,8 +4,11 @@
 //   rank u8 | extents varint * rank | eb_abs f64 | interval_bits u8 |
 //   layers u8
 //
-// followed by the Huffman-coded quantization array and the bit-packed
-// unpredictable payload (see compressor.cpp).
+// followed by the entropy-coded quantization array — the seed-default
+// Huffman section, or, when kFlagRansEntropy is set, the rANS section
+// (encoding/rans.hpp, its own "RANS" magic) — and the bit-packed
+// unpredictable payload (see compressor.cpp).  Readers that predate the
+// rANS backend reject flagged streams cleanly via the unknown-flags check.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,7 @@ inline constexpr std::uint8_t kFormatVersion = 2;
 inline constexpr std::uint8_t kDtypeF32 = 0;
 inline constexpr std::uint8_t kDtypeF64 = 1;
 inline constexpr std::uint8_t kFlagDecorrelate = 1;
+inline constexpr std::uint8_t kFlagRansEntropy = 2;
 
 struct StreamHeader {
   Dims dims;
@@ -28,6 +32,8 @@ struct StreamHeader {
   std::uint8_t interval_bits = 8;
   std::uint8_t layers = 1;
   bool decorrelate = false;
+  /// Quantization codes carried as a rANS section instead of Huffman.
+  bool rans_entropy = false;
 };
 
 void write_header(const StreamHeader& h, ByteWriter& out);

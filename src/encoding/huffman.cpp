@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -11,6 +12,20 @@
 namespace sz14 {
 
 namespace {
+
+// Big-endian interpretation of an 8-byte window (the payload is MSB-first),
+// mirroring BitReader's internal load.
+inline std::uint64_t load_bswap64(std::uint64_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  v = ((v & 0x00FF'00FF'00FF'00FFull) << 8) |
+      ((v >> 8) & 0x00FF'00FF'00FF'00FFull);
+  v = ((v & 0x0000'FFFF'0000'FFFFull) << 16) |
+      ((v >> 16) & 0x0000'FFFF'0000'FFFFull);
+  return (v << 32) | (v >> 32);
+#endif
+}
 
 struct Node {
   std::uint64_t freq;
@@ -166,33 +181,48 @@ std::vector<std::uint64_t> huffman_histogram(
   if (alphabet_size == 0 || alphabet_size > (1u << 16))
     throw std::invalid_argument("huffman_histogram: bad alphabet size");
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
-  if (alphabet_size <= 2048 && symbols.size() >= 4 &&
+  if (alphabet_size <= 2048 && symbols.size() >= 8 &&
       mode != HotPathMode::kReference) {
-    // Four interleaved sub-histograms break the store-to-load dependency
-    // runs of skewed symbol streams (the quantization-code distribution
-    // concentrates on the centre code); summed at the end.
-    std::vector<std::uint64_t> sub(alphabet_size * 4, 0);
+    // Eight interleaved shadow histograms break the store-to-load
+    // dependency runs of skewed symbol streams (the quantization-code
+    // distribution concentrates on the centre code): with 4 lanes the
+    // dominant symbol still collides every 4 increments, 8 lanes keep the
+    // store queue ahead of the loads on the common all-centre runs.  The
+    // final merge is a plain unit-stride reduction the compiler
+    // vectorizes (2-4 uint64 adds per vector op).
+    std::vector<std::uint64_t> sub(alphabet_size * 8, 0);
     std::uint64_t* h = sub.data();
-    const std::size_t n4 = symbols.size() & ~std::size_t{3};
-    for (std::size_t i = 0; i < n4; i += 4) {
+    const std::size_t n8 = symbols.size() & ~std::size_t{7};
+    for (std::size_t i = 0; i < n8; i += 8) {
       const std::uint16_t s0 = symbols[i], s1 = symbols[i + 1],
-                          s2 = symbols[i + 2], s3 = symbols[i + 3];
+                          s2 = symbols[i + 2], s3 = symbols[i + 3],
+                          s4 = symbols[i + 4], s5 = symbols[i + 5],
+                          s6 = symbols[i + 6], s7 = symbols[i + 7];
       if ((s0 >= alphabet_size) | (s1 >= alphabet_size) |
-          (s2 >= alphabet_size) | (s3 >= alphabet_size))
+          (s2 >= alphabet_size) | (s3 >= alphabet_size) |
+          (s4 >= alphabet_size) | (s5 >= alphabet_size) |
+          (s6 >= alphabet_size) | (s7 >= alphabet_size))
         throw std::invalid_argument("huffman: symbol out of alphabet");
       ++h[s0];
       ++h[alphabet_size + s1];
       ++h[2 * alphabet_size + s2];
       ++h[3 * alphabet_size + s3];
+      ++h[4 * alphabet_size + s4];
+      ++h[5 * alphabet_size + s5];
+      ++h[6 * alphabet_size + s6];
+      ++h[7 * alphabet_size + s7];
     }
-    for (std::size_t i = n4; i < symbols.size(); ++i) {
+    for (std::size_t i = n8; i < symbols.size(); ++i) {
       if (symbols[i] >= alphabet_size)
         throw std::invalid_argument("huffman: symbol out of alphabet");
       ++h[symbols[i]];
     }
-    for (std::size_t s = 0; s < alphabet_size; ++s)
-      freqs[s] = h[s] + h[alphabet_size + s] + h[2 * alphabet_size + s] +
-                 h[3 * alphabet_size + s];
+    for (std::size_t s = 0; s < alphabet_size; ++s) {
+      std::uint64_t t = 0;
+      for (unsigned lane = 0; lane < 8; ++lane)
+        t += h[lane * alphabet_size + s];
+      freqs[s] = t;
+    }
   } else {
     for (auto s : symbols) {
       if (s >= alphabet_size)
@@ -229,24 +259,50 @@ void huffman_append_payload(std::span<const std::uint16_t> symbols,
   std::uint8_t* p = out.data() + base;
   std::uint64_t acc = 0;
   unsigned fill = 0;
-  for (auto s : symbols) {
-    const std::uint64_t e = packed[s];
+  // Flush 32 bits at a time: one rarely-taken branch per step (mean code
+  // length is a few bits) instead of a per-byte loop whose trip count the
+  // branch predictor cannot learn.  fill < 32 before each append and every
+  // append adds <= 32 bits, so the accumulator never overflows; the bytes
+  // are a pure function of the bit sequence, so the flush grouping below
+  // leaves the output byte-identical to the one-symbol-at-a-time path.
+  const auto flush32 = [&] {
+    fill -= 32;
+    const auto w = static_cast<std::uint32_t>(acc >> fill);
+    p[0] = static_cast<std::uint8_t>(w >> 24);
+    p[1] = static_cast<std::uint8_t>(w >> 16);
+    p[2] = static_cast<std::uint8_t>(w >> 8);
+    p[3] = static_cast<std::uint8_t>(w);
+    p += 4;
+  };
+  // Symbols go two at a time: both table lookups issue before either code
+  // lands in the accumulator, and the common short-code pair costs one
+  // combined shift + one flush check instead of two of each.
+  const std::size_t n2 = symbols.size() & ~std::size_t{1};
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    const std::uint64_t e0 = packed[symbols[i]];
+    const std::uint64_t e1 = packed[symbols[i + 1]];
+    const unsigned l0 = static_cast<unsigned>(e0 & 0xFF);
+    const unsigned l1 = static_cast<unsigned>(e1 & 0xFF);
+    if (const unsigned len = l0 + l1; len <= 32) {
+      acc = (acc << len) | ((e0 >> 8) << l1) | (e1 >> 8);
+      fill += len;
+      if (fill >= 32) flush32();
+    } else {  // rare: two long codes back to back
+      acc = (acc << l0) | (e0 >> 8);
+      fill += l0;
+      if (fill >= 32) flush32();
+      acc = (acc << l1) | (e1 >> 8);
+      fill += l1;
+      if (fill >= 32) flush32();
+    }
+  }
+  if (i < symbols.size()) {
+    const std::uint64_t e = packed[symbols[i]];
     const unsigned len = static_cast<unsigned>(e & 0xFF);
     acc = (acc << len) | (e >> 8);
     fill += len;
-    // Flush 32 bits at a time: one rarely-taken branch per symbol (mean
-    // code length is a few bits) instead of a per-byte loop whose trip
-    // count the branch predictor cannot learn.  fill < 32 + 32 <= 64, so
-    // the accumulator never overflows; bytes emitted are identical.
-    if (fill >= 32) {
-      fill -= 32;
-      const auto w = static_cast<std::uint32_t>(acc >> fill);
-      p[0] = static_cast<std::uint8_t>(w >> 24);
-      p[1] = static_cast<std::uint8_t>(w >> 16);
-      p[2] = static_cast<std::uint8_t>(w >> 8);
-      p[3] = static_cast<std::uint8_t>(w);
-      p += 4;
-    }
+    if (fill >= 32) flush32();
   }
   while (fill >= 8) {
     fill -= 8;
@@ -359,9 +415,12 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
     ++fill[l];
   }
 
-  // Primary lookup table: every kTableBits-wide window whose prefix is a
-  // code of length l <= kTableBits maps to (symbol << 8 | l); windows whose
-  // prefix belongs to a longer code keep entry 0 and take the scan path.
+  // Primary lookup table, pass 1 (single symbol): every kTableBits-wide
+  // window whose prefix is a code of length l <= kTableBits maps to an
+  // entry carrying (symbol, l); windows whose prefix belongs to a longer
+  // code keep entry 0 and take the scan path.
+  static_assert(kTableBits <= 15, "len/total fields are 4 bits wide");
+  static_assert(kMaxTableSymbols <= 3, "three 16-bit symbol slots");
   if (max_len_ == 0) return;
   table_bits_ = std::min(max_len_, kTableBits);
   table_.assign(std::size_t{1} << table_bits_, 0);
@@ -372,19 +431,45 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
     const std::size_t base = static_cast<std::size_t>(codes[s])
                              << (table_bits_ - l);
     const std::size_t span = std::size_t{1} << (table_bits_ - l);
-    const std::uint32_t entry = (static_cast<std::uint32_t>(s) << 8) | l;
+    const std::uint64_t entry = (static_cast<std::uint64_t>(s) << 16) |
+                                (std::uint64_t{l} << 4) | l;
     for (std::size_t w = 0; w < span; ++w) table_[base + w] = entry;
+  }
+
+  // Pass 2 (multi-symbol): chain table lookups inside each window.  After
+  // consuming `pos` bits, the remaining window bits are re-looked-up with
+  // the unknown low bits zero-filled; the chained entry is only trusted
+  // when its first code fits entirely inside the known `table_bits_ - pos`
+  // bits, so every packed symbol is determined by window bits alone.  The
+  // in-place update is safe because extended entries preserve the len0
+  // (bits 0..3) and sym0 (bits 16..31) fields pass 2 reads.
+  const std::size_t mask = (std::size_t{1} << table_bits_) - 1;
+  for (std::size_t w = 0; w < table_.size(); ++w) {
+    const std::uint64_t e0 = table_[w];
+    unsigned pos = static_cast<unsigned>(e0 & 0xFu);
+    if (pos == 0) continue;  // fallback window
+    std::uint64_t entry = e0 & ~std::uint64_t{0xFF0};  // keep len0 + sym0
+    unsigned cnt = 1;
+    while (cnt < kMaxTableSymbols && pos < table_bits_) {
+      const std::uint64_t next = table_[(w << pos) & mask];
+      const unsigned l = static_cast<unsigned>(next & 0xFu);
+      if (l == 0 || l > table_bits_ - pos) break;
+      entry |= ((next >> 16) & 0xFFFFu) << (16 * (cnt + 1));
+      pos += l;
+      ++cnt;
+    }
+    table_[w] = entry | (std::uint64_t{pos} << 4) |
+                (std::uint64_t{cnt - 1} << 8);
   }
 }
 
 std::uint16_t HuffmanDecoder::decode(BitReader& br) const {
   if (max_len_ == 0)
     throw std::runtime_error("HuffmanDecoder: empty code table");
-  const std::uint32_t e =
-      table_[br.peek(table_bits_)];
-  if (const unsigned len = e & 0xFFu; len != 0) {
+  const std::uint64_t e = table_[br.peek(table_bits_)];
+  if (const unsigned len = static_cast<unsigned>(e & 0xFu); len != 0) {
     br.skip(len);
-    return static_cast<std::uint16_t>(e >> 8);
+    return static_cast<std::uint16_t>(e >> 16);
   }
   return decode_bitwise(br);
 }
@@ -428,9 +513,68 @@ void huffman_decode_payload_into(const HuffmanDecoder& dec,
   if (mode == HotPathMode::kReference) {
     for (std::size_t i = 0; i < n_symbols; ++i)
       out[i] = dec.decode_bitwise(br);
-  } else {
-    for (std::size_t i = 0; i < n_symbols; ++i) out[i] = dec.decode(br);
+    return;
   }
+  // Multi-symbol fast loop: one table entry emits up to kMaxTableSymbols
+  // symbols.  The i + kMaxTableSymbols <= n_symbols guard means at least
+  // that many real symbols remain, so the prefix-determined chain in the
+  // entry can never cross into the stream's zero padding; all three slots
+  // are stored unconditionally (overwritten by later iterations when
+  // cnt < 3) and skip() still bounds-checks the consumed bits, so corrupt
+  // payloads throw instead of overreading.
+  const std::uint64_t* table = dec.table();
+  const unsigned table_bits = dec.table_bits();
+  std::size_t i = 0;
+
+  // Windowed refill: away from the payload tail, hoist BitReader::peek's
+  // 8-byte load out of the lookup loop — one load + byteswap serves every
+  // chained lookup that fits the window's >= 57 known bits (up to 7 bits
+  // of the first byte are already consumed), and br advances via a single
+  // skip() per window.  A window never reads past data (byte <= size-8)
+  // and never consumes more than the stream holds ((size-8)*8+7+57 ==
+  // size*8), so bounds stay intact; long codes (empty entry) drop to the
+  // bitwise scan and re-enter the windowed loop after.
+  if (payload.size() >= 8) {
+    const std::uint8_t* base = payload.data();
+    const std::size_t last_start = payload.size() - 8;
+    while (i + HuffmanDecoder::kMaxTableSymbols <= n_symbols) {
+      const std::uint64_t p0 = br.bit_position();
+      const std::size_t byte = static_cast<std::size_t>(p0 >> 3);
+      if (byte > last_start) break;
+      std::uint64_t w;
+      std::memcpy(&w, base + byte, 8);
+      w = load_bswap64(w) << (p0 & 7);
+      unsigned used = 0;
+      while (used + table_bits <= 57 &&
+             i + HuffmanDecoder::kMaxTableSymbols <= n_symbols) {
+        const std::uint64_t e = table[(w << used) >> (64u - table_bits)];
+        const auto adv = static_cast<unsigned>((e >> 4) & 0xFu);
+        if (adv == 0) break;  // first code longer than the table window
+        out[i] = static_cast<std::uint16_t>(e >> 16);
+        out[i + 1] = static_cast<std::uint16_t>(e >> 32);
+        out[i + 2] = static_cast<std::uint16_t>(e >> 48);
+        i += static_cast<std::size_t>((e >> 8) & 0x3u) + 1;
+        used += adv;
+      }
+      br.skip(used);
+      if (used + table_bits <= 57 &&
+          i + HuffmanDecoder::kMaxTableSymbols <= n_symbols)
+        out[i++] = dec.decode_bitwise(br);
+    }
+  }
+  while (i + HuffmanDecoder::kMaxTableSymbols <= n_symbols) {
+    const std::uint64_t e = table[br.peek(table_bits)];
+    if ((e & 0xFu) == 0) {  // first code longer than the window
+      out[i++] = dec.decode_bitwise(br);
+      continue;
+    }
+    out[i] = static_cast<std::uint16_t>(e >> 16);
+    out[i + 1] = static_cast<std::uint16_t>(e >> 32);
+    out[i + 2] = static_cast<std::uint16_t>(e >> 48);
+    i += static_cast<std::size_t>((e >> 8) & 0x3u) + 1;
+    br.skip(static_cast<unsigned>((e >> 4) & 0xFu));
+  }
+  for (; i < n_symbols; ++i) out[i] = dec.decode(br);
 }
 
 std::vector<std::uint16_t> huffman_decode_payload(

@@ -119,6 +119,13 @@ void huffman_decode_payload_into(const class HuffmanDecoder& dec,
 /// kTableBits bits); longer codes fall back to the canonical first-code
 /// scan, which decode_bitwise() also exposes directly as the reference
 /// implementation for equivalence tests.
+///
+/// Each primary-table entry is *multi-symbol*: when up to kMaxTableSymbols
+/// concatenated codes fit inside the kTableBits window, the entry carries
+/// all of them plus the total bit length, so the payload decode loop emits
+/// several symbols per peek.  Quantization-code streams are heavily skewed
+/// toward the zero-offset symbol (short codes), making 2-3-symbol entries
+/// the common case.
 class HuffmanDecoder {
  public:
   /// Build from per-symbol code lengths.
@@ -136,8 +143,21 @@ class HuffmanDecoder {
   [[nodiscard]] unsigned min_length() const noexcept { return min_len_; }
   [[nodiscard]] unsigned max_length() const noexcept { return max_len_; }
 
+  /// Raw multi-symbol primary table, for the batch payload decode loop.
+  /// Entry layout (0 = no complete code in the window, take the scan path):
+  ///   bits  0..3   length of the first code (what decode() consumes)
+  ///   bits  4..7   total bits consumed by all packed symbols
+  ///   bits  8..9   symbol count - 1 (1..kMaxTableSymbols symbols)
+  ///   bits 16..31  symbol 0;  32..47  symbol 1;  48..63  symbol 2
+  [[nodiscard]] const std::uint64_t* table() const noexcept {
+    return table_.data();
+  }
+  [[nodiscard]] unsigned table_bits() const noexcept { return table_bits_; }
+
   /// Width of the primary lookup table in bits.
   static constexpr unsigned kTableBits = 11;
+  /// Maximum symbols packed into one primary-table entry.
+  static constexpr unsigned kMaxTableSymbols = 3;
 
  private:
   // first_code_[l] = canonical code value of the first length-l symbol,
@@ -146,9 +166,9 @@ class HuffmanDecoder {
   std::vector<std::uint32_t> count_;
   std::vector<std::uint32_t> offset_;
   std::vector<std::uint16_t> sorted_;
-  // Primary table: entry = symbol << 8 | length for codes of length
-  // <= table_bits_; 0 marks "longer than table_bits_" (fall back to scan).
-  std::vector<std::uint32_t> table_;
+  // Primary multi-symbol table (layout above); entry 0 marks "first code
+  // longer than table_bits_" (fall back to the canonical scan).
+  std::vector<std::uint64_t> table_;
   unsigned table_bits_ = 0;
   unsigned max_len_ = 0;
   unsigned min_len_ = 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "common/bitstream.hpp"
@@ -16,15 +17,20 @@
 #include "core/quantizer.hpp"
 #include "core/unpredictable.hpp"
 #include "encoding/huffman.hpp"
+#include "encoding/rans.hpp"
 
 namespace sz14 {
 
 namespace {
 
-/// Container magic, v2 ("SZP2"): shared-Huffman-table slab layout.  The v1
+/// Container magic, v3 ("SZP3"): shared-entropy-table slab layout with an
+/// explicit entropy-backend byte (0 = Huffman, 1 = rANS) after the
+/// decorrelate flag.  v2 ("SZP2") — the same layout minus that byte,
+/// always Huffman — is still read; new streams are always v3.  The v1
 /// per-chunk-stream container ("SZPC") is retired; the format is internal
 /// to this module and never persisted by the archive.
-constexpr std::uint32_t kParallelMagic = 0x535A'5032u;
+constexpr std::uint32_t kParallelMagic = 0x535A'5033u;
+constexpr std::uint32_t kParallelMagicV2 = 0x535A'5032u;
 
 /// Slab extents along axis 0 for chunk c of n.
 struct Slab {
@@ -58,7 +64,7 @@ bool is_parallel_stream(std::span<const std::uint8_t> stream) noexcept {
   if (stream.size() < 4) return false;
   std::uint32_t magic;
   std::memcpy(&magic, stream.data(), 4);
-  return magic == kParallelMagic;
+  return magic == kParallelMagic || magic == kParallelMagicV2;
 }
 
 ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
@@ -113,14 +119,25 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
     w.hist = huffman_histogram({w.codes.get(), w.count}, alphabet, mode);
   });
 
-  // Merge the per-worker histograms BEFORE code assignment: one canonical
-  // table serves every slab (v1 paid one table per chunk).
+  // Merge the per-worker histograms BEFORE table assignment: one shared
+  // entropy table serves every slab (v1 paid one table per chunk) —
+  // canonical Huffman codes by default, a normalized rANS frequency table
+  // when the policy selects the rANS backend.
   std::vector<std::uint64_t> freqs(alphabet, 0);
   for (const SlabWork& w : slabs)
     for (std::size_t s = 0; s < alphabet; ++s) freqs[s] += w.hist[s];
-  const auto lengths = huffman_code_lengths(freqs);
-  const auto codes = huffman_canonical_codes(lengths);
-  const auto packed = huffman_pack_codes(lengths, codes);
+  const bool use_rans = opts.exec.entropy == EntropyBackend::kRans;
+  std::vector<std::uint8_t> lengths;
+  std::vector<std::uint64_t> packed;
+  std::vector<std::uint32_t> rfreqs;
+  std::optional<RansEncTable> rtable;
+  if (use_rans) {
+    rfreqs = rans_normalize_freqs(freqs);
+    rtable.emplace(rfreqs);
+  } else {
+    lengths = huffman_code_lengths(freqs);
+    packed = huffman_pack_codes(lengths, huffman_canonical_codes(lengths));
+  }
 
   ParallelResult r;
   r.chunks = chunks;
@@ -136,7 +153,11 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
   out.put<std::uint8_t>(static_cast<std::uint8_t>(opts.interval_bits));
   out.put<std::uint8_t>(static_cast<std::uint8_t>(opts.layers));
   out.put<std::uint8_t>(opts.decorrelate ? 1 : 0);
-  huffman_write_lengths(lengths, out);
+  out.put<std::uint8_t>(use_rans ? 1 : 0);
+  if (use_rans)
+    rans_write_freqs(rfreqs, out);
+  else
+    huffman_write_lengths(lengths, out);
 
   // Phase 2 — pipelined entropy encode: every slab's payload emit runs on
   // the pool; this thread appends slab i to the container as soon as it is
@@ -145,6 +166,7 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
   std::mutex m;
   std::condition_variable cv;
   std::vector<char> done(chunks, 0);
+  std::vector<double> emit_seconds(chunks, 0.0);
   std::exception_ptr error;
   // Every in-flight task references these stack locals, so NO path may
   // leave this scope before all submitted tasks have flagged done[] —
@@ -160,12 +182,18 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
       pool.submit([&, c] {
         try {
           SlabWork& w = slabs[c];
-          std::uint64_t bits = 0;
-          for (std::size_t s = 0; s < alphabet; ++s)
-            bits += w.hist[s] * lengths[s];
-          w.payload.reserve((bits + 7) / 8);
-          huffman_append_payload({w.codes.get(), w.count}, packed, w.payload,
-                                 bits);
+          Timer emit_timer;
+          if (use_rans) {
+            rans_append_payload({w.codes.get(), w.count}, *rtable, w.payload);
+          } else {
+            std::uint64_t bits = 0;
+            for (std::size_t s = 0; s < alphabet; ++s)
+              bits += w.hist[s] * lengths[s];
+            w.payload.reserve((bits + 7) / 8);
+            huffman_append_payload({w.codes.get(), w.count}, packed,
+                                   w.payload, bits);
+          }
+          emit_seconds[c] = emit_timer.seconds();
           w.codes.reset();
         } catch (...) {
           std::lock_guard lock(m);
@@ -199,6 +227,7 @@ ParallelResult parallel_compress(std::span<const float> data, const Dims& dims,
   if (error) std::rethrow_exception(error);
 
   r.seconds = timer.seconds();
+  for (const double s : emit_seconds) r.entropy_encode_seconds += s;
   r.stream = std::move(out).take();
   return r;
 }
@@ -217,7 +246,8 @@ ParallelDecompressResult parallel_decompress_impl(
     std::span<const std::uint8_t> stream, ThreadPool& pool, HotPathMode mode,
     CodecScratch* scratch) {
   ByteReader in(stream);
-  if (in.get<std::uint32_t>() != kParallelMagic)
+  const auto magic = in.get<std::uint32_t>();
+  if (magic != kParallelMagic && magic != kParallelMagicV2)
     throw std::runtime_error("parallel_decompress: bad magic");
   const auto rank = in.get<std::uint8_t>();
   if (rank == 0 || rank > kMaxDims)
@@ -239,8 +269,21 @@ ParallelDecompressResult parallel_decompress_impl(
   if (layers == 0)
     throw std::runtime_error("parallel_decompress: bad layer count");
   const bool decorrelate = in.get<std::uint8_t>() != 0;
-  const auto lengths = huffman_read_lengths(in);
-  const HuffmanDecoder dec(lengths);
+  // v3 carries an explicit entropy-backend byte; v2 is always Huffman.
+  bool use_rans = false;
+  if (magic == kParallelMagic) {
+    const auto entropy = in.get<std::uint8_t>();
+    if (entropy > 1)
+      throw std::runtime_error("parallel_decompress: bad entropy backend");
+    use_rans = entropy == 1;
+  }
+  // One shared decoder table serves every slab, mirroring the encoder.
+  std::optional<HuffmanDecoder> hdec;
+  std::optional<RansDecoder> rdec;
+  if (use_rans)
+    rdec.emplace(rans_read_freqs(in));
+  else
+    hdec.emplace(huffman_read_lengths(in));
 
   std::vector<std::span<const std::uint8_t>> payloads(chunks);
   std::vector<std::span<const std::uint8_t>> unpreds(chunks);
@@ -256,6 +299,7 @@ ParallelDecompressResult parallel_decompress_impl(
   const LinearQuantizer quantizer(interval_bits, eb, mode);
 
   Timer timer;
+  std::vector<double> entropy_seconds(chunks, 0.0);
   // run_batch rethrows the first slab's failure on this thread.  Each
   // slab's code array lives only inside its task, so with an arena it
   // comes from the worker's reusable code vector.
@@ -265,7 +309,13 @@ ParallelDecompressResult parallel_decompress_impl(
     std::vector<std::uint16_t> codes_own;
     std::vector<std::uint16_t>& codes =
         scratch_code_vector_or(scratch, codes_own);
-    huffman_decode_payload_into(dec, payloads[c], sub.count(), codes, mode);
+    Timer entropy_timer;
+    if (use_rans)
+      rdec->decode_payload_into(payloads[c], sub.count(), codes);
+    else
+      huffman_decode_payload_into(*hdec, payloads[c], sub.count(), codes,
+                                  mode);
+    entropy_seconds[c] = entropy_timer.seconds();
     const LayerPredictor predictor(sub, layers);
     const UnpredictableCodecT<float> unpred(eb);
     BitReader br(unpreds[c], mode);
@@ -275,6 +325,7 @@ ParallelDecompressResult parallel_decompress_impl(
         br, scratch);
   });
   r.seconds = timer.seconds();
+  for (const double s : entropy_seconds) r.entropy_decode_seconds += s;
   return r;
 }
 

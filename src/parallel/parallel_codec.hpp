@@ -15,9 +15,13 @@
 // decoder table, per-slab payload decode + reconstruction walk).
 //
 // The stream layout is a function of the chunk count alone, so the same
-// field + same chunk count is byte-identical for ANY worker count (and any
-// completion order).  Slab borders reset prediction, so the stream is not
-// bit-identical to the sequential single-stream codec.
+// field + same chunk count + same entropy backend is byte-identical for
+// ANY worker count (and any completion order).  Slab borders reset
+// prediction, so the stream is not bit-identical to the sequential
+// single-stream codec.  `opts.exec.entropy` selects the shared-table
+// entropy coder for every slab: the seed Huffman default, or the rANS
+// backend (one normalized frequency table serves all slabs, exactly like
+// the shared canonical Huffman table).
 //
 // Execution strategy (pool, hot-path mode, scratch) comes from the
 // caller's ExecPolicy (opts.exec); the mode is resolved once on the
@@ -41,6 +45,9 @@ struct ParallelResult {
   double seconds = 0.0;       // wall-clock of the parallel region
   std::size_t predictable = 0;
   double eb_abs = 0.0;        // the resolved whole-field bound
+  /// Sum of per-slab entropy payload-emit times (CPU seconds across
+  /// workers, so it can exceed `seconds` under real parallelism).
+  double entropy_encode_seconds = 0.0;
 };
 
 /// Whole-field threaded compression driven by `opts.exec`: the pool comes
@@ -75,6 +82,8 @@ struct ParallelDecompressResult {
   std::vector<float> data;
   Dims dims;
   double seconds = 0.0;
+  /// Sum of per-slab entropy payload-decode times (CPU seconds).
+  double entropy_decode_seconds = 0.0;
 };
 
 /// Decompression parallelizes identically; results are mode-agnostic.

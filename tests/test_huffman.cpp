@@ -269,6 +269,87 @@ TEST(HuffmanFastDecode, MatchesBitwiseOnMaxLengthCodes) {
   }
 }
 
+TEST(HuffmanMultiSymbol, PayloadDecodeMatchesBitwiseOnRandomTables) {
+  // huffman_decode_payload drives the multi-symbol table path (up to
+  // kMaxTableSymbols codes per lookup); it must agree symbol-for-symbol
+  // with a pure decode_bitwise walk on arbitrary valid tables.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 31);
+    const std::size_t alphabet = 2 + rng.below(4000);
+    std::vector<std::uint64_t> freqs(alphabet, 0);
+    for (auto& f : freqs) f = rng.below(10000);
+    freqs[0] = 1;
+    const auto lens = huffman_code_lengths(freqs);
+    const auto codes = huffman_canonical_codes(lens);
+    const auto packed = huffman_pack_codes(lens, codes);
+
+    std::vector<std::uint16_t> message;
+    for (int i = 0; i < 3000; ++i) {
+      const auto s = static_cast<std::uint16_t>(rng.below(alphabet));
+      if (lens[s]) message.push_back(s);
+    }
+    std::vector<std::uint8_t> payload;
+    huffman_append_payload(message, packed, payload);
+
+    const HuffmanDecoder dec(lens);
+    EXPECT_EQ(huffman_decode_payload(dec, payload, message.size()), message);
+
+    BitReader slow(payload);
+    for (auto s : message) EXPECT_EQ(dec.decode_bitwise(slow), s);
+  }
+}
+
+TEST(HuffmanMultiSymbol, ShortCodesChainUpToThreePerLookup) {
+  // A heavily skewed 1-bit-dominated table makes nearly every 11-bit
+  // window start a 3-symbol chain — the multi-symbol fast path's best
+  // case.  Correctness must hold through long runs and at the tail where
+  // fewer than kMaxTableSymbols symbols remain.
+  std::vector<std::uint64_t> freqs = {1000, 500, 250, 125};
+  const auto lens = huffman_code_lengths(freqs);
+  const auto codes = huffman_canonical_codes(lens);
+  const auto packed = huffman_pack_codes(lens, codes);
+  Rng rng(41);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5},
+                              std::size_t{1000}}) {
+    std::vector<std::uint16_t> message(n);
+    for (auto& s : message) {
+      const auto r = rng.below(16);
+      s = static_cast<std::uint16_t>(r < 8 ? 0 : (r < 12 ? 1 : (r < 14 ? 2
+                                                                       : 3)));
+    }
+    std::vector<std::uint8_t> payload;
+    huffman_append_payload(message, packed, payload);
+    const HuffmanDecoder dec(lens);
+    EXPECT_EQ(huffman_decode_payload(dec, payload, n), message) << "n=" << n;
+  }
+}
+
+TEST(HuffmanMultiSymbol, MixedShortAndFallbackCodes) {
+  // One 1-bit symbol plus a ladder down to codes longer than kTableBits:
+  // chained entries and the canonical-scan fallback interleave in the same
+  // payload.
+  std::vector<std::uint8_t> lens = {1};
+  for (unsigned l = 2; l < kMaxHuffmanBits; ++l)
+    lens.push_back(static_cast<std::uint8_t>(l));
+  lens.push_back(kMaxHuffmanBits - 1);
+  const auto codes = huffman_canonical_codes(lens);
+  const auto packed = huffman_pack_codes(lens, codes);
+
+  std::vector<std::uint16_t> message;
+  Rng rng(43);
+  for (int i = 0; i < 4000; ++i) {
+    // ~75% the 1-bit symbol, the rest spread across the deep ladder.
+    const auto r = rng.below(4);
+    message.push_back(
+        r != 0 ? 0 : static_cast<std::uint16_t>(rng.below(lens.size())));
+  }
+  std::vector<std::uint8_t> payload;
+  huffman_append_payload(message, packed, payload);
+  const HuffmanDecoder dec(lens);
+  EXPECT_EQ(huffman_decode_payload(dec, payload, message.size()), message);
+}
+
 TEST(HuffmanFastDecode, OversubscribedLengthTableRejected) {
   // Kraft sum > 1 (three 1-bit codes) must be rejected at construction —
   // the lookup-table build would otherwise index out of bounds.

@@ -189,6 +189,52 @@ TEST(ParallelCodec, TurboStreamDeterministicAndConformant) {
   }
 }
 
+TEST(ParallelCodec, RansBackendRoundTripsAndIsWorkerCountInvariant) {
+  // The rANS backend shares one normalized frequency table across slabs
+  // exactly like the Huffman path: same chunk count => byte-identical
+  // stream for any worker count, decodable at any worker count, and a
+  // different stream than the Huffman container for the same field.
+  const auto f = data::hurricane3d(8, 16, 16);
+  Options opts;
+  opts.eb_abs = 1e-3;
+  opts.exec.entropy = EntropyBackend::kRans;
+  const auto a = compress_with(f.values, f.dims, opts, 1, 6);
+  const auto b = compress_with(f.values, f.dims, opts, 4, 6);
+  EXPECT_EQ(a.stream, b.stream);
+
+  Options hopts = opts;
+  hopts.exec.entropy = EntropyBackend::kHuffman;
+  const auto h = compress_with(f.values, f.dims, hopts, 2, 6);
+  EXPECT_NE(a.stream, h.stream);
+
+  for (const std::size_t threads : {1u, 3u}) {
+    const auto out = parallel_decompress(a.stream, threads);
+    ASSERT_EQ(out.data.size(), f.values.size());
+    for (std::size_t i = 0; i < f.values.size(); ++i)
+      ASSERT_LE(std::fabs(static_cast<double>(f.values[i]) -
+                          static_cast<double>(out.data[i])),
+                1e-3);
+    // Identical codes either way: the reconstruction must match the
+    // Huffman container's bit for bit.
+    const auto hout = parallel_decompress(h.stream, threads);
+    EXPECT_EQ(out.data, hout.data);
+  }
+}
+
+TEST(ParallelCodec, EntropyTimingsReported) {
+  const auto f = data::climate2d(64, 96);
+  Options opts;
+  opts.eb_abs = 0.01;
+  for (const auto backend :
+       {EntropyBackend::kHuffman, EntropyBackend::kRans}) {
+    opts.exec.entropy = backend;
+    const auto result = compress_with(f.values, f.dims, opts, 2, 4);
+    EXPECT_GT(result.entropy_encode_seconds, 0.0);
+    const auto out = parallel_decompress(result.stream, 2);
+    EXPECT_GT(out.entropy_decode_seconds, 0.0);
+  }
+}
+
 TEST(ParallelCodec, SharedTableBeatsPerChunkTables) {
   // The v2 container carries ONE Huffman table; many chunks must not
   // multiply the table overhead.  Compare 2 vs 16 chunks: stream growth

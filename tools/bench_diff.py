@@ -12,7 +12,11 @@ metric the perf trajectory depends on.  Exits 1 on drift.
 
 With --max-regress R, the structural check is replaced by a throughput
 regression gate: for every (field, mode) record present in BOTH files,
-require current compress_gbps/decompress_gbps >= R * baseline.  Use this
+require current compress_gbps/decompress_gbps >= R * baseline.  Entropy
+stage times (entropy_encode_seconds/entropy_decode_seconds) are gated
+alongside, lower-is-better: current must not exceed baseline / R.  A
+baseline generation without the entropy breakdown gates nothing, but once
+the baseline carries it, a current record that drops it fails.  Use this
 between two committed BENCH_PRn.json files measured on the same machine
 (e.g. `bench_diff.py BENCH_PR3.json BENCH_PR4.json --max-regress 0.9`);
 schema may legitimately differ across PR generations, so only shared
@@ -162,6 +166,26 @@ def check_regression(base_records, cur_records, ratio):
                 print(f"bench_diff: REGRESSION {ident}: {metric} "
                       f"{b:.4f} -> {c:.4f} ({c / b:.2f}x < {ratio:.2f}x)")
                 ok = False
+        for metric in ("entropy_encode_seconds", "entropy_decode_seconds"):
+            b = base[ident].get(metric)
+            if b is None:
+                # Baseline generation predates the entropy breakdown:
+                # nothing to gate on for this record.
+                continue
+            c = cur[ident].get(metric)
+            if c is None:
+                print(f"bench_diff: record {ident} is missing '{metric}' "
+                      f"in the current file")
+                ok = False
+                continue
+            if b <= 0:
+                continue
+            # Lower is better for stage times: current may be at most
+            # baseline / ratio.
+            if c > b / ratio:
+                print(f"bench_diff: REGRESSION {ident}: {metric} "
+                      f"{b:.4f}s -> {c:.4f}s ({b / c:.2f}x < {ratio:.2f}x)")
+                ok = False
     # A field silently dropped from the suite must not pass the gate.
     missing = sorted(set(base) - set(cur), key=str)
     for ident in missing:
@@ -281,6 +305,32 @@ def selftest():
                   good[:3] + [daemon_record(latency_p99_ms="oops")],
                   ["--max-regress", "0.9"], 1,
                   "must be a finite non-negative number"))
+    # Entropy stage times gate lower-is-better: slower fails, equal/faster
+    # passes, and a current record that drops a metric the baseline carries
+    # is a broken bench.  Baselines without the breakdown gate nothing.
+    goode = [record(entropy_encode_seconds=0.5,
+                    entropy_decode_seconds=0.25), good[1], good[2]]
+    cases.append(("entropy seconds equal pass", goode, goode,
+                  ["--max-regress", "0.9"], 0, "no regressions"))
+    cases.append(("entropy decode slower fails", goode,
+                  [record(entropy_encode_seconds=0.5,
+                          entropy_decode_seconds=0.30), good[1], good[2]],
+                  ["--max-regress", "0.9"], 1,
+                  "REGRESSION ('perf_suite', 'f', 'fast'): "
+                  "entropy_decode_seconds"))
+    cases.append(("entropy encode slower fails", goode,
+                  [record(entropy_encode_seconds=0.60,
+                          entropy_decode_seconds=0.25), good[1], good[2]],
+                  ["--max-regress", "0.9"], 1, "entropy_encode_seconds"))
+    cases.append(("entropy within slack passes", goode,
+                  [record(entropy_encode_seconds=0.54,
+                          entropy_decode_seconds=0.27), good[1], good[2]],
+                  ["--max-regress", "0.9"], 0, "no regressions"))
+    cases.append(("entropy dropped from current fails", goode,
+                  good, ["--max-regress", "0.9"], 1,
+                  "missing 'entropy_encode_seconds'"))
+    cases.append(("entropy absent from baseline gates nothing", good,
+                  goode, ["--max-regress", "0.9"], 0, "no regressions"))
     # The parity serving record rides record_kind's bench:mode identity:
     # present on both sides it passes, appearing only in current is drift
     # (new baseline generation required), and — carrying no compress_gbps —

@@ -99,6 +99,7 @@ struct Args {
                "  sz14 compress   -i IN -o OUT -d D1xD2[xD3[xD4]] "
                "(--abs EB | --rel EB | --pwrel P) [--dtype f32|f64] "
                "[-m BITS] [-n LAYERS] [--decorrelate] [--turbo] "
+               "[--entropy huffman|rans] "
                "[-t THREADS]   (-t: f32 slab container; 0 = all cores)\n"
                "  sz14 decompress -i IN -o OUT [-t THREADS]\n"
                "  sz14 info       -i IN\n"
@@ -107,7 +108,7 @@ struct Args {
                "  sz14 archive create  -o OUT --field NAME=FILE:DIMS "
                "[--field ...] [--codec C] (--abs EB | --rel R) "
                "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo] "
-               "[--parity [--parity-group N]]\n"
+               "[--entropy huffman|rans] [--parity [--parity-group N]]\n"
                "  sz14 archive ls      -i IN\n"
                "  sz14 archive stat    -i IN [-f NAME]\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
@@ -165,6 +166,14 @@ struct Args {
                "     get --scrub: a scrub is already running)\n"
                "  6  field not found\n");
   std::exit(2);
+}
+
+/// Shared by `compress` and `archive create`: map an --entropy value onto
+/// the per-call ExecPolicy backend selection.
+EntropyBackend parse_entropy(const std::string& value) {
+  if (value == "huffman") return EntropyBackend::kHuffman;
+  if (value == "rans") return EntropyBackend::kRans;
+  usage("--entropy must be huffman|rans");
 }
 
 Dims parse_dims(const std::string& text) {
@@ -242,6 +251,8 @@ Args parse(int argc, char** argv) {
       a.threads = std::stoull(next());
     } else if (flag == "--turbo") {
       a.turbo = true;
+    } else if (flag == "--entropy") {
+      a.opts.exec.entropy = parse_entropy(next());
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -381,6 +392,7 @@ int cmd_info(const Args& a) {
               (1u << h.interval_bits) - 1, h.interval_bits);
   std::printf("  layers       : %u\n", h.layers);
   std::printf("  decorrelate  : %s\n", h.decorrelate ? "yes" : "no");
+  std::printf("  entropy      : %s\n", h.rans_entropy ? "rans" : "huffman");
   std::printf("  stream bytes : %zu (%.2f bits/value)\n", stream.size(),
               bit_rate(stream.size(), h.dims.count()));
   return 0;
@@ -456,6 +468,7 @@ struct ArchiveArgs {
   std::size_t threads = 0;
   std::size_t limit = 0;  // 0 = no limit
   std::size_t parity_group = 0;  // 0 = parity off
+  EntropyBackend entropy = EntropyBackend::kHuffman;
   bool turbo = false;
   bool repair = false;
   bool salvage = false;
@@ -500,6 +513,8 @@ ArchiveArgs parse_archive(int argc, char** argv) {
       a.threads = std::stoull(next());
     } else if (flag == "--turbo") {
       a.turbo = true;
+    } else if (flag == "--entropy") {
+      a.entropy = parse_entropy(next());
     } else if (flag == "--limit") {
       a.limit = std::stoull(next());
     } else if (flag == "--repair") {
@@ -579,9 +594,11 @@ int cmd_archive_create(const ArchiveArgs& a) {
   if (ops->lossy && std::isnan(a.eb_abs) && std::isnan(a.eb_rel))
     usage("lossy archive codecs need --abs or --rel");
 
-  // --turbo rides the writer's per-call ExecPolicy; nothing global moves.
+  // --turbo and --entropy ride the writer's per-call ExecPolicy; nothing
+  // global moves.
   ExecPolicy policy;
   if (a.turbo) policy.mode = HotPathMode::kTurbo;
+  policy.entropy = a.entropy;
   archive::ArchiveWriter writer(a.output, a.threads, policy,
                                 static_cast<std::uint32_t>(a.parity_group));
   Timer timer;
