@@ -29,8 +29,8 @@
 //               full match).  Tags: <field>/<mode> for the sequential
 //               modes (reference|fast|turbo|rans),
 //               <field>/parallel/<mode> (fast|turbo|rans) for the slab
-//               codec, and serving/(nocache|cache|parity|daemon) for the
-//               archive-serving sections.  Cross-record outputs (the
+//               codec, and serving/(nocache|cache|parity|daemon|mmap|
+//               sharded) for the archive-serving sections.  Cross-record outputs (the
 //               fast-vs-reference identity check, the speedup record)
 //               appear only when every input they need also matched.
 #include <algorithm>
@@ -559,8 +559,10 @@ int main(int argc, char** argv) {
     const bool w_serve_cache = want("serving/cache");
     const bool w_serve_parity = want("serving/parity");
     const bool w_serve_daemon = want("serving/daemon");
+    const bool w_serve_mmap = want("serving/mmap");
+    const bool w_serve_sharded = want("serving/sharded");
     if (w_serve_nocache || w_serve_cache || w_serve_parity ||
-        w_serve_daemon) {
+        w_serve_daemon || w_serve_mmap || w_serve_sharded) {
       const data::Field& f3 = fields[2];
       const std::string apath = "/tmp/run_perf_suite_archive.sza";
       const std::size_t bs = smoke ? 8 : 32;
@@ -724,6 +726,96 @@ int main(int argc, char** argv) {
                          reader.blocks_decoded()));
         std::remove(ppath.c_str());
       }
+      // mmap-fetch serving: the zero-copy read path — payload bytes decode
+      // straight out of the page cache instead of being staged through
+      // pread.  Same skewed mix, cache off, so the record isolates the
+      // fetch path; every read is still verified bit-identical.  The
+      // sharded variant additionally splits the archive into ~64 KiB shard
+      // files (smoke: 8 KiB) and serves the same mix through the manifest,
+      // mmap-on — the full tentpole stack in one measured scenario.
+      for (const bool sharded : {false, true}) {
+        if (!(sharded ? w_serve_sharded : w_serve_mmap)) continue;
+        const std::string mpath =
+            sharded ? "/tmp/run_perf_suite_archive.szm" : apath;
+        if (sharded) {
+          archive::ArchiveWriter w(mpath, threads, {}, 0,
+                                   smoke ? (8u << 10) : (64u << 10));
+          w.append_field("v", std::span<const float>(f3.values), f3.dims,
+                         block, "sz14", 1e-3);
+          w.finish();
+        }
+        archive::ArchiveReader reader(mpath, threads, {},
+                                      archive::OpenMode::kStrict,
+                                      FetchMode::kMmap);
+        if (reader.fetch_mode() != FetchMode::kMmap)
+          std::fprintf(stderr,
+                       "run_perf_suite: warning: mmap fell back to pread\n");
+        std::vector<std::vector<float>> want;
+        want.reserve(regions.size());
+        for (const auto& r : regions)
+          want.push_back(reader.read_region("v", r));
+
+        reader.reset_counters();
+        std::atomic<std::size_t> diverged{0};
+        std::vector<std::thread> workers;
+        Timer t;
+        for (std::size_t w = 0; w < threads; ++w) {
+          workers.emplace_back([&, w] {
+            Rng wr(sharded ? 9000 + w : 5000 + w);
+            for (std::size_t k = 0; k < reads_per_thread; ++k) {
+              const std::size_t i =
+                  bench::serving_pick(wr, kHot, regions.size());
+              try {
+                if (reader.read_region("v", regions[i]) != want[i])
+                  ++diverged;
+              } catch (const std::exception& e) {
+                if (diverged.fetch_add(1) == 0)
+                  std::fprintf(stderr, "mmap serving read threw: %s\n",
+                               e.what());
+              }
+            }
+          });
+        }
+        for (auto& th : workers) th.join();
+        const double seconds = t.seconds();
+        if (diverged.load() != 0) {
+          std::fprintf(stderr,
+                       "run_perf_suite: %s SERVING DIVERGENCE\n",
+                       sharded ? "SHARDED" : "MMAP");
+          exit_code = 1;
+        }
+
+        const std::size_t reads = threads * reads_per_thread;
+        json.begin_record();
+        json.kv("bench", "perf_suite_archive_serving");
+        json.kv("field", "hurricane3d");
+        json.kv("mode", sharded ? "sharded" : "mmap");
+        json.kv("threads", threads);
+        json.kv("regions", regions.size());
+        json.kv("region_values_total", region_values);
+        json.kv("reads", reads);
+        json.kv("seconds", seconds);
+        json.kv("reads_per_s", static_cast<double>(reads) / seconds);
+        json.kv("blocks_decoded",
+                static_cast<std::size_t>(reader.blocks_decoded()));
+        json.kv("cache_hit_rate", 0.0);
+        json.end_record();
+        std::fprintf(stderr,
+                     "serving %-7s  %zu threads: %7.1f reads/s, %llu "
+                     "decodes (mmap fetch)\n",
+                     sharded ? "sharded" : "mmap", threads,
+                     static_cast<double>(reads) / seconds,
+                     static_cast<unsigned long long>(
+                         reader.blocks_decoded()));
+        if (sharded) {
+          std::remove(mpath.c_str());
+          for (std::size_t i = 0; i < 4096; ++i) {
+            const std::string sp = archive::shard_file_name(mpath, i);
+            if (std::remove(sp.c_str()) != 0) break;
+          }
+        }
+      }
+
       // Serving daemon end-to-end: the same skewed mix pushed through a
       // real Server + Client pair over the loopback transport — protocol
       // framing, event loop, pool dispatch, coalescing and cache all in

@@ -8,10 +8,38 @@
 
 #include "archive/reader.hpp"
 #include "archive/scrub.hpp"
+#include "archive/shard.hpp"
 #include "common/checksum.hpp"
-#include "common/pread_file.hpp"
 
 namespace sz14::archive {
+namespace {
+
+/// Shard files on disk named like `manifest.s####` that `indexed` does
+/// not cover — the leftovers of a crash between a shard roll and the
+/// next manifest checkpoint.
+std::vector<std::string> find_orphan_shards(
+    const std::string& manifest_path, const std::vector<ShardEntry>& indexed) {
+  std::vector<std::string> orphans;
+  const std::filesystem::path mp(manifest_path);
+  const std::string stem = mp.filename().string() + ".s";
+  std::error_code ec;
+  const auto dir = mp.parent_path().empty() ? std::filesystem::path(".")
+                                            : mp.parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < stem.size() + 4 || name.compare(0, stem.size(), stem) ||
+        !std::all_of(name.begin() + static_cast<std::ptrdiff_t>(stem.size()),
+                     name.end(), [](char c) { return c >= '0' && c <= '9'; }))
+      continue;
+    if (std::none_of(indexed.begin(), indexed.end(),
+                     [&](const ShardEntry& s) { return s.file == name; }))
+      orphans.push_back(entry.path().string());
+  }
+  std::sort(orphans.begin(), orphans.end());
+  return orphans;
+}
+
+}  // namespace
 
 FsckReport fsck_scan(const std::string& path) {
   FsckReport report;
@@ -25,17 +53,34 @@ FsckReport fsck_scan(const std::string& path) {
   report.salvage_used = info.fallback;
   report.open_detail = info.detail;
   report.parity_enabled = reader.parity_enabled();
+  report.sharded = reader.sharded();
   report.fields_indexed = reader.fields().size();
+
+  // Sharded: every shard file must end exactly where the checkpoint in
+  // use says (header + recorded payload bytes) — anything beyond is a
+  // crashed writer's unsealed tail, repairable by truncation.  Shard
+  // files the checkpoint does not know at all are orphans.
+  const ShardSet& src = reader.source();
+  if (reader.sharded()) {
+    report.shards_indexed = src.part_count();
+    for (std::size_t i = 0; i < src.part_count(); ++i) {
+      const auto& p = src.part(i);
+      const std::uint64_t keep = p.header + p.size;
+      if (p.file_bytes > keep)
+        report.shard_trailing.push_back(
+            FsckShardIssue{p.path, keep, p.file_bytes - keep});
+    }
+    report.orphan_shards = find_orphan_shards(path, reader.shards());
+  }
 
   // Verify every indexed payload against its stored CRC.  The reader
   // validated the INDEX (footer CRC + block bounds); this pass checks the
   // DATA the index points at, which a footer checksum cannot cover.
-  PreadFile file(path);
   std::vector<std::uint8_t> buf;
   const auto check = [&](std::uint64_t offset, std::uint64_t size,
                          std::uint32_t crc, std::uint32_t& actual) {
     buf.resize(static_cast<std::size_t>(size));
-    file.read_at(offset, buf);
+    src.read_at(offset, buf);
     actual = crc32(buf);
     return actual == crc;
   };
@@ -76,12 +121,14 @@ FsckReport fsck_repair(const std::string& path) {
   FsckReport report = fsck_scan(path);
   std::size_t blocks_repaired = 0;
   std::size_t parity_rebuilt = 0;
+  std::size_t shards_truncated = 0;
+  std::size_t orphans_removed = 0;
   bool truncated = false;
 
-  if (report.needs_truncate()) {
-    // Cut the file back to the newest valid checkpoint; the (possibly
-    // torn) bytes behind it are exactly what a crashed writer left
-    // unsealed.
+  if (report.consistent_bytes != report.file_bytes) {
+    // Cut the container/manifest back to the newest valid checkpoint;
+    // the (possibly torn) bytes behind it are exactly what a crashed
+    // writer left unsealed.
     std::error_code ec;
     std::filesystem::resize_file(path, report.consistent_bytes, ec);
     if (ec)
@@ -89,6 +136,25 @@ FsckReport fsck_repair(const std::string& path) {
                                std::to_string(report.consistent_bytes) +
                                " bytes: " + ec.message());
     truncated = true;
+  }
+  // Per-shard truncation: drop torn payload tails the checkpoint in use
+  // never sealed, so every shard ends exactly where its table entry says.
+  for (const auto& s : report.shard_trailing) {
+    std::error_code ec;
+    std::filesystem::resize_file(s.path, s.keep_bytes, ec);
+    if (ec)
+      throw std::runtime_error("fsck: cannot truncate shard " + s.path +
+                               " to " + std::to_string(s.keep_bytes) +
+                               " bytes: " + ec.message());
+    ++shards_truncated;
+  }
+  for (const auto& orphan : report.orphan_shards) {
+    std::error_code ec;
+    std::filesystem::remove(orphan, ec);
+    if (ec)
+      throw std::runtime_error("fsck: cannot remove orphan shard " + orphan +
+                               ": " + ec.message());
+    ++orphans_removed;
   }
 
   // Heal CRC-damaged payloads in place through the shared parity engine
@@ -103,6 +169,8 @@ FsckReport fsck_repair(const std::string& path) {
   // Re-scan so the returned report describes the REPAIRED file.
   report = fsck_scan(path);
   report.truncated = truncated;
+  report.shards_truncated = shards_truncated;
+  report.orphans_removed = orphans_removed;
   report.blocks_repaired = blocks_repaired;
   report.parity_rebuilt = parity_rebuilt;
   if (report.salvage_used || report.needs_truncate())
@@ -117,6 +185,8 @@ std::string format_fsck_report(const FsckReport& report) {
   os << report.path << ": " << report.file_bytes << " bytes, "
      << report.fields_indexed << " field(s), " << report.blocks_scanned
      << " block(s)";
+  if (report.sharded)
+    os << " across " << report.shards_indexed << " shard(s)";
   if (report.parity_enabled)
     os << " + " << report.parity_scanned << " parity payload(s)";
   os << " scanned\n";
@@ -128,6 +198,13 @@ std::string format_fsck_report(const FsckReport& report) {
     os << "  " << (report.file_bytes - report.consistent_bytes)
        << " trailing byte(s) beyond the last checkpoint"
        << " (unsealed write; --repair truncates)\n";
+  for (const auto& s : report.shard_trailing)
+    os << "  shard " << s.path << ": " << s.trailing
+       << " trailing byte(s) beyond the recorded payload"
+       << " (unsealed write; --repair truncates)\n";
+  for (const auto& orphan : report.orphan_shards)
+    os << "  orphan shard " << orphan
+       << " not indexed by any checkpoint (--repair removes)\n";
   for (const auto& bad : report.bad_blocks) {
     os << "  CORRUPT block " << bad.block << " of field '" << bad.field
        << "' at offset " << bad.offset << " (" << bad.size
@@ -150,6 +227,10 @@ std::string format_fsck_report(const FsckReport& report) {
   if (report.truncated)
     os << "  repaired: truncated to " << report.consistent_bytes
        << " bytes\n";
+  if (report.shards_truncated > 0 || report.orphans_removed > 0)
+    os << "  repaired: " << report.shards_truncated
+       << " shard(s) truncated, " << report.orphans_removed
+       << " orphan shard(s) removed\n";
   if (report.blocks_repaired > 0 || report.parity_rebuilt > 0)
     os << "  repaired: " << report.blocks_repaired
        << " data payload(s) healed from parity, " << report.parity_rebuilt

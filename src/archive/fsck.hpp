@@ -36,13 +36,29 @@ struct FsckBlockIssue {
   std::uint32_t crc_actual = 0;
 };
 
+/// One shard file with bytes beyond what the checkpoint in use recorded
+/// (a crashed writer's torn payload, or payloads sealed only by a torn —
+/// now superseded — checkpoint).  `--repair` truncates the shard back.
+struct FsckShardIssue {
+  std::string path;             ///< shard file path
+  std::uint64_t keep_bytes = 0; ///< header + recorded payload bytes
+  std::uint64_t trailing = 0;   ///< garbage bytes beyond keep_bytes
+};
+
 struct FsckReport {
   std::string path;
-  std::uint64_t file_bytes = 0;        ///< on-disk size at scan time
+  std::uint64_t file_bytes = 0;  ///< container/manifest size at scan time
   std::uint64_t consistent_bytes = 0;  ///< end of the newest valid checkpoint
   bool salvage_used = false;  ///< strict open failed; a checkpoint was used
   std::string open_detail;    ///< why the strict open failed (empty if clean)
   bool parity_enabled = false;  ///< superblock carries kFlagParity
+  bool sharded = false;         ///< path is an .szm manifest
+  std::size_t shards_indexed = 0;  ///< shard files named by the checkpoint
+  std::vector<FsckShardIssue> shard_trailing;  ///< shards needing truncation
+  /// Shard files on disk matching this manifest's naming that the
+  /// checkpoint in use does NOT index (left by a crash after a roll but
+  /// before the next checkpoint) — removed by `--repair`.
+  std::vector<std::string> orphan_shards;
   std::size_t fields_indexed = 0;
   std::size_t blocks_scanned = 0;  ///< data payloads verified
   std::size_t parity_scanned = 0;  ///< parity payloads verified
@@ -52,17 +68,22 @@ struct FsckReport {
   /// one group, or a parity-less archive) — data genuinely at risk.
   std::size_t unrecoverable_payloads = 0;
   bool truncated = false;  ///< repair removed the trailing garbage
+  std::size_t shards_truncated = 0;  ///< repair cut these shards back
+  std::size_t orphans_removed = 0;   ///< repair deleted these shard files
   std::size_t blocks_repaired = 0;  ///< repair healed these data payloads
   std::size_t parity_rebuilt = 0;   ///< repair recomputed these parity slots
 
-  /// Clean: strict-openable, no trailing garbage, every payload CRC good.
+  /// Clean: strict-openable, no trailing garbage (container OR shards),
+  /// no orphan shards, every payload CRC good.
   [[nodiscard]] bool clean() const noexcept {
     return !salvage_used && bad_blocks.empty() && bad_parity.empty() &&
-           consistent_bytes == file_bytes;
+           consistent_bytes == file_bytes && shard_trailing.empty() &&
+           orphan_shards.empty();
   }
   /// Repairable damage: a truncation would restore strict readability.
   [[nodiscard]] bool needs_truncate() const noexcept {
-    return consistent_bytes != file_bytes;
+    return consistent_bytes != file_bytes || !shard_trailing.empty() ||
+           !orphan_shards.empty();
   }
   /// Damage exists and ALL of it is repairable (truncation and/or parity
   /// heal) — `--repair` would leave the archive clean.

@@ -19,15 +19,15 @@ std::vector<std::uint8_t> compute_group_parity(
   return parity;
 }
 
-bool verify_payload(const PreadFile& file, std::uint64_t offset,
+bool verify_payload(const ShardSet& src, std::uint64_t offset,
                     std::uint64_t size, std::uint32_t crc) {
   std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
-  file.read_at(offset, buf);
+  src.read_at(offset, buf);
   return crc32(buf) == crc;
 }
 
 std::optional<std::vector<std::uint8_t>> reconstruct_block_payload(
-    const PreadFile& file, const FieldEntry& f, std::size_t bad) {
+    const ShardSet& src, const FieldEntry& f, std::size_t bad) {
   if (f.parity_group == 0 || bad >= f.blocks.size()) return std::nullopt;
   const std::size_t g = parity_group_of(bad, f.parity_group);
   if (g >= f.parity.size()) return std::nullopt;
@@ -36,7 +36,7 @@ std::optional<std::vector<std::uint8_t>> reconstruct_block_payload(
   // Start from the parity payload — which must itself verify, otherwise
   // the group already has two damaged members.
   std::vector<std::uint8_t> acc(static_cast<std::size_t>(pg.size));
-  file.read_at(pg.offset, acc);
+  src.read_at(pg.offset, acc);
   if (crc32(acc) != pg.crc) return std::nullopt;
 
   const std::size_t lo = g * f.parity_group;
@@ -47,7 +47,7 @@ std::optional<std::vector<std::uint8_t>> reconstruct_block_payload(
     if (i == bad) continue;
     const BlockEntry& b = f.blocks[i];
     member.resize(static_cast<std::size_t>(b.size));
-    file.read_at(b.offset, member);
+    src.read_at(b.offset, member);
     // A second CRC-failed member means the XOR would blend two unknowns
     // into garbage; refuse rather than mis-repair.
     if (crc32(member) != b.crc) return std::nullopt;
@@ -66,7 +66,7 @@ std::optional<std::vector<std::uint8_t>> reconstruct_block_payload(
 }
 
 std::optional<std::vector<std::uint8_t>> recompute_group_parity(
-    const PreadFile& file, const FieldEntry& f, std::size_t group) {
+    const ShardSet& src, const FieldEntry& f, std::size_t group) {
   if (f.parity_group == 0 || group >= f.parity.size()) return std::nullopt;
   const std::size_t lo = group * f.parity_group;
   const std::size_t hi =
@@ -76,7 +76,7 @@ std::optional<std::vector<std::uint8_t>> recompute_group_parity(
   for (std::size_t i = lo; i < hi; ++i) {
     const BlockEntry& b = f.blocks[i];
     member.resize(static_cast<std::size_t>(b.size));
-    file.read_at(b.offset, member);
+    src.read_at(b.offset, member);
     if (crc32(member) != b.crc) return std::nullopt;
     xor_into(acc, member);
   }

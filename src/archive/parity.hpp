@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "archive/archive_format.hpp"
-#include "common/pread_file.hpp"
+#include "archive/shard.hpp"
 
 namespace sz14::archive {
 
@@ -44,7 +44,7 @@ void xor_into(std::vector<std::uint8_t>& acc,
     std::span<const std::vector<std::uint8_t>> members);
 
 /// Read `size` bytes at `offset` and compare against `crc`.
-[[nodiscard]] bool verify_payload(const PreadFile& file, std::uint64_t offset,
+[[nodiscard]] bool verify_payload(const ShardSet& src, std::uint64_t offset,
                                   std::uint64_t size, std::uint32_t crc);
 
 /// Reconstruct the payload of data block `bad` of `f` from its parity
@@ -54,14 +54,14 @@ void xor_into(std::vector<std::uint8_t>& acc,
 /// any other member or the parity payload fails ITS stored CRC (a second
 /// damaged member — unrecoverable), or the reconstruction does not verify.
 [[nodiscard]] std::optional<std::vector<std::uint8_t>>
-reconstruct_block_payload(const PreadFile& file, const FieldEntry& f,
+reconstruct_block_payload(const ShardSet& src, const FieldEntry& f,
                           std::size_t bad);
 
 /// Recompute the parity payload of group `group` of `f` from its data
 /// members (the parity-damage heal path).  Returns nullopt when any data
 /// member fails its stored CRC — parity cannot be rebuilt over bad data.
 [[nodiscard]] std::optional<std::vector<std::uint8_t>>
-recompute_group_parity(const PreadFile& file, const FieldEntry& f,
+recompute_group_parity(const ShardSet& src, const FieldEntry& f,
                        std::size_t group);
 
 }  // namespace sz14::archive

@@ -31,46 +31,63 @@ std::vector<T> codec_decompress(const CodecOps& ops,
 std::string ArchiveReader::try_open_at(std::uint64_t end) {
   fields_.clear();
   index_.clear();
+  shards_.clear();
   if (end < kSuperblockSize + kTrailerSize || end > file_.size())
     return "no room for a trailer ending at byte " + std::to_string(end);
   try {
-    // Trailer.
+    // Trailer.  Manifests carry their own footer magic so a manifest and
+    // a single-file checkpoint can never be mistaken for each other.
     std::array<std::uint8_t, kTrailerSize> tr{};
     file_.read_at(end - kTrailerSize, tr);
     ByteReader trr(tr);
     const auto footer_size = trr.get<std::uint64_t>();
     const auto footer_crc = trr.get<std::uint32_t>();
-    if (trr.get<std::uint32_t>() != kFooterMagic)
+    if (trr.get<std::uint32_t>() !=
+        (manifest_ ? kManifestFooterMagic : kFooterMagic))
       return "bad footer magic (truncated or not finalized)";
     if (footer_size > end - kSuperblockSize - kTrailerSize)
       return "footer size exceeds file";
 
-    // Footer.
+    // Footer (for a manifest: shard table, then the field footer).
     std::vector<std::uint8_t> footer(footer_size);
     file_.read_at(end - kTrailerSize - footer_size, footer);
     if (crc32(footer) != footer_crc) return "footer checksum mismatch";
     ByteReader fr(footer);
+    if (manifest_) shards_ = read_shard_table(fr);
     fields_ = read_footer(fr, flags_);
 
+    // A manifest checkpoint is only valid if every shard it names is
+    // present, correctly numbered, and holds at least the recorded
+    // payload bytes — otherwise salvage falls back to an older one.
+    std::uint64_t payload_lo = kSuperblockSize;
+    std::uint64_t payload_end = end - kTrailerSize - footer_size;
+    if (manifest_) {
+      ShardSet candidate;
+      candidate.open_shards(file_.path(), shards_, fetch_);
+      payload_lo = 0;
+      payload_end = candidate.logical_size();
+      source_ = std::move(candidate);
+    }
+
     // Name index (read_footer rejects duplicate names) + index sanity:
-    // every payload must lie between the superblock and THIS footer (not
-    // merely inside the file — a salvaged checkpoint must not index bytes
-    // written after it).
-    const std::uint64_t payload_end = end - kTrailerSize - footer_size;
+    // every payload must lie inside THIS checkpoint's payload space (for
+    // a single file: between the superblock and this footer — a salvaged
+    // checkpoint must not index bytes written after it; for a manifest:
+    // within the shard table's logical extent).
     index_.reserve(fields_.size());
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       const auto& f = fields_[i];
       index_.emplace(f.name, i);
       for (const auto& b : f.blocks)
         // Overflow-safe: offset + size can wrap in a crafted footer.
-        if (b.offset < kSuperblockSize || b.size > payload_end ||
+        if (b.offset < payload_lo || b.size > payload_end ||
             b.offset > payload_end - b.size) {
           fields_.clear();
           index_.clear();
           return "block offset out of bounds in field '" + f.name + "'";
         }
       for (const auto& p : f.parity)
-        if (p.offset < kSuperblockSize || p.size > payload_end ||
+        if (p.offset < payload_lo || p.size > payload_end ||
             p.offset > payload_end - p.size) {
           fields_.clear();
           index_.clear();
@@ -80,6 +97,7 @@ std::string ArchiveReader::try_open_at(std::uint64_t end) {
   } catch (const std::exception& e) {
     fields_.clear();
     index_.clear();
+    shards_.clear();
     return e.what();
   }
   salvage_.consistent_bytes = end;
@@ -88,31 +106,53 @@ std::string ArchiveReader::try_open_at(std::uint64_t end) {
 
 namespace {
 
-/// Little-endian byte image of kFooterMagic ("SZAF"), the needle of the
-/// backward checkpoint scan.
+/// Little-endian byte images of kFooterMagic ("SZAF") and
+/// kManifestFooterMagic ("SZMF"), the needles of the backward checkpoint
+/// scan.
 constexpr std::array<std::uint8_t, 4> kFooterMagicBytes = {0x53, 0x5A, 0x41,
                                                            0x46};
+constexpr std::array<std::uint8_t, 4> kManifestFooterMagicBytes = {
+    0x53, 0x5A, 0x4D, 0x46};
 
 }  // namespace
 
 ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
-                             ExecPolicy policy, OpenMode mode)
-    : file_(path), threads_(threads), policy_(policy), mode_(mode) {
+                             ExecPolicy policy, OpenMode mode,
+                             FetchMode fetch)
+    : file_(path), threads_(threads), policy_(policy), mode_(mode),
+      fetch_(fetch) {
   salvage_.file_bytes = file_.size();
   if (file_.size() < kSuperblockSize + kTrailerSize)
     throw std::runtime_error("archive: file too small: " + path);
 
   // Superblock: without a valid one there is nothing to salvage either.
-  // The flags byte gates the footer's parity section, so it must be known
+  // The magic distinguishes a single-file archive from a manifest; the
+  // flags byte gates the footer's parity section, so it must be known
   // before the first footer parse.
   std::array<std::uint8_t, kSuperblockSize> sb{};
   file_.read_at(0, sb);
+  {
+    ByteReader peek(sb);
+    manifest_ = peek.get<std::uint32_t>() == kManifestMagic;
+  }
   ByteReader sbr(sb);
-  flags_ = read_superblock(sbr);
+  flags_ = manifest_ ? read_manifest_superblock(sbr) : read_superblock(sbr);
+
+  const auto open_source = [&] {
+    if (!manifest_) source_.open_single(path, fetch_);
+    // Block scans are front-to-back sweeps within a field; tell the
+    // kernel so mapped readahead matches the access pattern.
+    if (fetch_ == FetchMode::kMmap)
+      source_.advise(0, source_.logical_size(),
+                     PreadFile::Advice::kSequential);
+  };
 
   // Fast path: the trailer at EOF (a cleanly finish()ed archive).
   std::string error = try_open_at(file_.size());
-  if (error.empty()) return;
+  if (error.empty()) {
+    open_source();
+    return;
+  }
   if (mode == OpenMode::kStrict)
     throw std::runtime_error("archive: " + error + ": " + path);
 
@@ -122,6 +162,8 @@ ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
   // payloads simply fall through to the previous one.
   salvage_.detail = error;
   salvage_.fallback = true;
+  const auto& needle =
+      manifest_ ? kManifestFooterMagicBytes : kFooterMagicBytes;
   constexpr std::uint64_t kChunk = 64u << 10;
   // Highest position a magic could START at and still end a trailer
   // within the file.
@@ -138,10 +180,13 @@ ArchiveReader::ArchiveReader(const std::string& path, std::size_t threads,
     for (std::uint64_t p = pos_end; p-- > lo;) {
       const std::size_t off = static_cast<std::size_t>(p - lo);
       if (off + 4 > buf.size() ||
-          !std::equal(kFooterMagicBytes.begin(), kFooterMagicBytes.end(),
+          !std::equal(needle.begin(), needle.end(),
                       buf.begin() + static_cast<std::ptrdiff_t>(off)))
         continue;
-      if (try_open_at(p + 4).empty()) return;
+      if (try_open_at(p + 4).empty()) {
+        open_source();
+        return;
+      }
     }
     pos_end = lo;
   }
@@ -179,11 +224,17 @@ std::vector<T> ArchiveReader::decode_block(
     const FieldEntry& f, std::size_t block_index, const ExecPolicy& exec,
     std::atomic<std::uint64_t>* repairs) const {
   const BlockEntry& b = f.blocks[block_index];
-  // Payload staging comes from this thread's arena slot: steady-state
-  // serving preads into the same buffer every time, allocation-free.
-  const std::span<std::uint8_t> staged = scratch_.local().payload(b.size);
-  file_.read_at(b.offset, staged);
-  std::span<const std::uint8_t> payload = staged;
+  // Zero-copy fast path: decode straight from the mmap'd payload.  When
+  // the bytes are not mapped (pread mode, map fallback, short map, or a
+  // shard-spanning window), staging comes from this thread's arena slot:
+  // steady-state serving preads into the same buffer every time,
+  // allocation-free.
+  std::span<const std::uint8_t> payload = source_.view(b.offset, b.size);
+  if (payload.empty() && b.size > 0) {
+    const std::span<std::uint8_t> staged = scratch_.local().payload(b.size);
+    source_.read_at(b.offset, staged);
+    payload = staged;
+  }
   std::vector<std::uint8_t> repaired;  // keeps a reconstruction alive
   if (crc32(payload) != b.crc) {
     crc_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -192,7 +243,7 @@ std::vector<T> ArchiveReader::decode_block(
     // successful repair is exact — callers cannot tell it happened
     // except through the counters.
     auto fixed = f.parity_group > 0
-                     ? reconstruct_block_payload(file_, f, block_index)
+                     ? reconstruct_block_payload(source_, f, block_index)
                      : std::nullopt;
     if (!fixed) {
       unrecoverable_blocks_.fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +304,16 @@ std::vector<T> ArchiveReader::read_region_impl(std::string_view name,
   std::vector<std::size_t> touched;
   for (std::size_t i = 0; i < grid.block_count(); ++i)
     if (grid.intersects(i, region)) touched.push_back(i);
+
+  // Mapped block scan: ask the kernel to fault the touched payload range
+  // in ahead of the decodes (blocks of one field are laid out in append
+  // order, so touched.front()..touched.back() bounds the byte range).
+  if (touched.size() > 1) {
+    const BlockEntry& first = f.blocks[touched.front()];
+    const BlockEntry& last = f.blocks[touched.back()];
+    source_.advise(first.offset, last.offset + last.size - first.offset,
+                   PreadFile::Advice::kWillNeed);
+  }
 
   // Per-read execution policy: resolve the mode once on the calling thread
   // (workers never consult process state); scratch is the reader's arena.

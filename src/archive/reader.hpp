@@ -30,6 +30,7 @@
 #include "archive/archive_format.hpp"
 #include "archive/block_cache.hpp"
 #include "archive/blocking.hpp"
+#include "archive/shard.hpp"
 #include "archive/single_flight.hpp"
 #include "common/exec_policy.hpp"
 #include "common/pread_file.hpp"
@@ -130,9 +131,19 @@ class ArchiveReader {
   /// belong to the pool's bounded worker set (decodes never run on caller
   /// threads), so serving an unbounded stream of short-lived threads
   /// cannot grow reader state.
+  /// `fetch` selects the payload I/O path: FetchMode::kPread (default)
+  /// stages every payload through a scratch buffer; FetchMode::kMmap maps
+  /// the payload files and decodes straight from the mapping (zero-copy),
+  /// transparently falling back to pread when mapping is unavailable.
+  /// Decoded values are bit-identical in both modes.
+  ///
+  /// `path` may name a single-file `.sza` archive or an `.szm` manifest
+  /// (sniffed from the superblock magic); sharded archives resolve
+  /// (field, block) → (shard, offset) transparently behind the same API.
   explicit ArchiveReader(const std::string& path, std::size_t threads = 0,
                          ExecPolicy policy = {},
-                         OpenMode mode = OpenMode::kStrict);
+                         OpenMode mode = OpenMode::kStrict,
+                         FetchMode fetch = FetchMode::kPread);
 
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
@@ -151,6 +162,23 @@ class ArchiveReader {
   /// per-group parity payloads and read-repair is possible).
   [[nodiscard]] bool parity_enabled() const noexcept {
     return (flags_ & kFlagParity) != 0;
+  }
+
+  /// True when `path` is an `.szm` manifest fronting shard files.
+  [[nodiscard]] bool sharded() const noexcept { return manifest_; }
+
+  /// Shard table of the checkpoint in use (empty for single-file).
+  [[nodiscard]] const std::vector<ShardEntry>& shards() const noexcept {
+    return shards_;
+  }
+
+  /// The payload byte source (single-file or shards, pread or mmap) —
+  /// parity repair, fsck and scrub read through this.
+  [[nodiscard]] const ShardSet& source() const noexcept { return source_; }
+
+  /// FetchMode actually serving payloads (kPread after an mmap fallback).
+  [[nodiscard]] FetchMode fetch_mode() const noexcept {
+    return source_.fetch_mode();
   }
 
   /// O(1) name lookup (index built at open).  Throws std::invalid_argument
@@ -296,14 +324,18 @@ class ArchiveReader {
   ThreadPool& serving_pool() const;
 
   /// Validate a trailer+footer whose trailer ends at `end`; on success
-  /// populates fields_/index_ and returns empty, otherwise returns the
-  /// failure reason.
+  /// populates fields_/index_ (and, for a manifest, shards_ + source_)
+  /// and returns empty, otherwise returns the failure reason.
   [[nodiscard]] std::string try_open_at(std::uint64_t end);
 
-  PreadFile file_;
+  PreadFile file_;  // the container/manifest file (index reads, pread)
+  ShardSet source_;  // payload reads (single or sharded, per fetch_)
   std::size_t threads_;
   ExecPolicy policy_;
   OpenMode mode_ = OpenMode::kStrict;
+  FetchMode fetch_ = FetchMode::kPread;
+  bool manifest_ = false;   // path is an .szm manifest
+  std::vector<ShardEntry> shards_;  // manifest shard table in use
   std::uint8_t flags_ = 0;  // superblock flags (kFlagParity gates parity)
   SalvageInfo salvage_;
   std::vector<FieldEntry> fields_;

@@ -13,7 +13,6 @@
 #include "archive/parity.hpp"
 #include "archive/reader.hpp"
 #include "common/failpoint.hpp"
-#include "common/pread_file.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sz14::archive {
@@ -42,46 +41,85 @@ std::vector<Target> payload_targets(const std::vector<FieldEntry>& fields) {
   return targets;
 }
 
-/// Rewrite one payload in place.  Failpoint site "archive.scrub.rewrite":
-/// error/enospc throw inside trigger(); drop swallows the write (the
-/// caller's re-verify then reports the payload still damaged); short/torn
-/// put a prefix on disk and throw — a heal interrupted mid-rewrite, which
-/// the next scrub finds and finishes (the rewrite is idempotent).
-void rewrite_payload(std::fstream& rw, const std::string& path,
-                     std::uint64_t offset,
-                     std::span<const std::uint8_t> data) {
-  if (const auto f = fail::trigger("archive.scrub.rewrite")) {
-    if (f->kind == fail::Kind::kDrop) return;
-    const std::size_t part = std::min<std::size_t>(
-        data.size(), f->arg > 0 ? static_cast<std::size_t>(f->arg) : 0);
-    rw.seekp(static_cast<std::streamoff>(offset));
-    rw.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(part));
-    rw.flush();
-    throw std::runtime_error("scrub: torn rewrite at offset " +
-                             std::to_string(offset + part) + " in " + path +
-                             " (failpoint)");
+/// In-place payload rewriter over the archive's payload space: resolves
+/// logical offsets through the reader's ShardSet (single-file offsets are
+/// absolute; sharded offsets land in whichever shard holds them) and
+/// keeps one read/write stream per touched file.
+class PayloadRewriter {
+ public:
+  explicit PayloadRewriter(const ShardSet& src) : src_(src) {}
+
+  /// Rewrite one payload.  Failpoint site "archive.scrub.rewrite":
+  /// error/enospc throw inside trigger(); drop swallows the write (the
+  /// caller's re-verify then reports the payload still damaged);
+  /// short/torn put a prefix on disk and throw — a heal interrupted
+  /// mid-rewrite, which the next scrub finds and finishes (the rewrite
+  /// is idempotent).
+  void rewrite(std::uint64_t logical, std::span<const std::uint8_t> data) {
+    if (const auto f = fail::trigger("archive.scrub.rewrite")) {
+      if (f->kind == fail::Kind::kDrop) return;
+      const std::size_t part = std::min<std::size_t>(
+          data.size(), f->arg > 0 ? static_cast<std::size_t>(f->arg) : 0);
+      write_range(logical, data.first(part));
+      throw std::runtime_error("scrub: torn rewrite at offset " +
+                               std::to_string(logical + part) +
+                               " (failpoint)");
+    }
+    write_range(logical, data);
   }
-  rw.seekp(static_cast<std::streamoff>(offset));
-  rw.write(reinterpret_cast<const char*>(data.data()),
-           static_cast<std::streamsize>(data.size()));
-  rw.flush();
-  if (!rw)
-    throw std::runtime_error("scrub: rewrite of " +
-                             std::to_string(data.size()) +
-                             " bytes at offset " + std::to_string(offset) +
-                             " failed in " + path);
-}
+
+ private:
+  /// Write `data` at logical `offset`, crossing shard boundaries if a
+  /// payload ever spans one (the writer never splits payloads, but the
+  /// heal path must not silently corrupt if an index says otherwise).
+  void write_range(std::uint64_t offset, std::span<const std::uint8_t> data) {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ShardSet::Location loc = src_.locate(offset + done);
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(loc.available, data.size() - done));
+      std::fstream& rw = stream_for(loc.path);
+      rw.seekp(static_cast<std::streamoff>(loc.offset));
+      rw.write(reinterpret_cast<const char*>(data.data() + done),
+               static_cast<std::streamsize>(take));
+      rw.flush();
+      if (!rw)
+        throw std::runtime_error(
+            "scrub: rewrite of " + std::to_string(take) +
+            " bytes at offset " + std::to_string(loc.offset) + " failed in " +
+            loc.path);
+      done += take;
+    }
+  }
+
+  std::fstream& stream_for(const std::string& path) {
+    auto it = streams_.find(path);
+    if (it == streams_.end()) {
+      it = streams_
+               .emplace(path,
+                        std::fstream(path, std::ios::in | std::ios::out |
+                                               std::ios::binary))
+               .first;
+      if (!it->second)
+        throw std::runtime_error("scrub: cannot open for rewrite: " + path);
+    }
+    return it->second;
+  }
+
+  const ShardSet& src_;
+  std::map<std::string, std::fstream> streams_;
+};
 
 }  // namespace
 
 HealOutcome heal_damaged_payloads(const std::string& path) {
   HealOutcome out;
   ArchiveReader reader(path, 1, {}, OpenMode::kSalvage);
-  PreadFile file(path);
-  std::fstream rw(path, std::ios::in | std::ios::out | std::ios::binary);
-  if (!rw)
-    throw std::runtime_error("scrub: cannot open for rewrite: " + path);
+  // Heals read back through the same source they write through: a
+  // logical offset resolves to (shard file, local offset) for sharded
+  // archives and to the absolute offset for single-file ones.
+  const ShardSet& file = reader.source();
+  PayloadRewriter rw(file);
 
   for (const auto& f : reader.fields()) {
     if (f.parity_group == 0) {
@@ -108,7 +146,7 @@ HealOutcome heal_damaged_payloads(const std::string& path) {
         // Parity-only damage: no data is at risk; rebuild the parity from
         // the (just verified) data members so the group is protected again.
         if (const auto p = recompute_group_parity(file, f, g)) {
-          rewrite_payload(rw, path, f.parity[g].offset, *p);
+          rw.rewrite(f.parity[g].offset, *p);
           if (verify_payload(file, f.parity[g].offset, f.parity[g].size,
                              f.parity[g].crc))
             ++out.parity_rebuilt;
@@ -125,7 +163,7 @@ HealOutcome heal_damaged_payloads(const std::string& path) {
         if (const auto payload =
                 reconstruct_block_payload(file, f, bad[0])) {
           const BlockEntry& b = f.blocks[bad[0]];
-          rewrite_payload(rw, path, b.offset, *payload);
+          rw.rewrite(b.offset, *payload);
           if (verify_payload(file, b.offset, b.size, b.crc))
             ++out.blocks_repaired;
           else
@@ -153,7 +191,7 @@ ScrubReport scrub_archive(const std::string& path, bool repair,
   report.parity_enabled = reader.parity_enabled();
   report.fields_scanned = reader.fields().size();
 
-  PreadFile file(path);
+  const ShardSet& file = reader.source();
   const std::vector<Target> targets = payload_targets(reader.fields());
   for (const auto& t : targets)
     t.parity ? ++report.parity_scanned : ++report.blocks_scanned;

@@ -34,12 +34,16 @@ std::vector<std::uint8_t> codec_compress(const CodecOps& ops,
 }  // namespace
 
 ArchiveWriter::ArchiveWriter(const std::string& path, std::size_t threads,
-                             ExecPolicy policy, std::uint32_t parity_group)
-    : path_(path), parity_group_(parity_group),
+                             ExecPolicy policy, std::uint32_t parity_group,
+                             std::uint64_t shard_size)
+    : path_(path), parity_group_(parity_group), shard_size_(shard_size),
       out_(path, std::ios::binary | std::ios::trunc), policy_(policy) {
   if (!out_) throw std::runtime_error("archive: cannot create: " + path);
   ByteWriter sb;
-  write_superblock(sb, parity_group_ > 0 ? kFlagParity : 0);
+  if (sharded())
+    write_manifest_superblock(sb, parity_group_ > 0 ? kFlagParity : 0);
+  else
+    write_superblock(sb, parity_group_ > 0 ? kFlagParity : 0);
   raw_write(sb.view(), "superblock write");
   if (policy_.pool != nullptr) {
     pool_ = policy_.pool;
@@ -74,8 +78,10 @@ ArchiveWriter::~ArchiveWriter() {
   }
 }
 
-void ArchiveWriter::raw_write(std::span<const std::uint8_t> data,
-                              const char* what) {
+void ArchiveWriter::funnel_write(std::ofstream& os, const std::string& fpath,
+                                 std::uint64_t* pos,
+                                 std::span<const std::uint8_t> data,
+                                 const char* what) {
   // check(), not trigger(): this site enacts EVERY kind itself so the
   // on-disk shape is right.  trigger()'s central kAbort would _Exit
   // inside the registry with this writer's ofstream buffer unflushed —
@@ -101,39 +107,97 @@ void ArchiveWriter::raw_write(std::span<const std::uint8_t> data,
           std::min<std::size_t>(data.size(),
                                 f->arg > 0 ? static_cast<std::size_t>(f->arg)
                                            : 0);
-      out_.write(reinterpret_cast<const char*>(data.data()),
-                 static_cast<std::streamsize>(part));
-      out_.flush();
+      os.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(part));
+      os.flush();
       if (f->kind == fail::Kind::kAbort) {
         std::fflush(nullptr);
         std::_Exit(fail::kAbortExitCode);
       }
       broken_ = true;
       throw std::runtime_error(
-          "archive: torn write at offset " + std::to_string(offset_ + part) +
-          " in " + path_ + " (failpoint)");
+          "archive: torn write at offset " + std::to_string(*pos + part) +
+          " in " + fpath + " (failpoint)");
     }
   }
-  out_.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size()));
-  if (!out_) {
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size()));
+  if (!os) {
     broken_ = true;
     throw std::runtime_error(
         std::string("archive: ") + what + " failed at offset " +
-        std::to_string(offset_) + " in " + path_ +
-        " (disk full or I/O error; file is consistent through byte " +
+        std::to_string(*pos) + " in " + fpath +
+        " (disk full or I/O error; archive is consistent through byte " +
         std::to_string(clean_size_) + ")");
   }
-  offset_ += data.size();
+  *pos += data.size();
+}
+
+void ArchiveWriter::raw_write(std::span<const std::uint8_t> data,
+                              const char* what) {
+  funnel_write(out_, path_, &offset_, data, what);
+}
+
+void ArchiveWriter::roll_shard() {
+  if (shard_out_.is_open()) {
+    shard_out_.flush();
+    if (!shard_out_) {
+      broken_ = true;
+      throw std::runtime_error("archive: shard flush failed: " + shard_path_);
+    }
+    shard_out_.close();
+  }
+  const std::size_t index = shards_.size();
+  shard_path_ = shard_file_name(path_, index);
+  shard_out_.open(shard_path_, std::ios::binary | std::ios::trunc);
+  if (!shard_out_) {
+    broken_ = true;
+    throw std::runtime_error("archive: cannot create shard: " + shard_path_);
+  }
+  shard_file_offset_ = 0;
+  ByteWriter hdr;
+  write_shard_header(hdr, static_cast<std::uint32_t>(index));
+  funnel_write(shard_out_, shard_path_, &shard_file_offset_, hdr.view(),
+               "shard header write");
+  shards_.push_back(ShardEntry{shard_table_name(path_, index), 0, 0});
+}
+
+void ArchiveWriter::payload_write(std::span<const std::uint8_t> data,
+                                  const char* what) {
+  if (!sharded()) {
+    raw_write(data, what);
+    return;
+  }
+  // Roll before any payload that would overflow the threshold; a payload
+  // never spans shards (one bigger than the threshold gets its own shard).
+  if (!shard_out_.is_open() ||
+      (shards_.back().size > 0 &&
+       shards_.back().size + data.size() > shard_size_))
+    roll_shard();
+  funnel_write(shard_out_, shard_path_, &shard_file_offset_, data, what);
+  shards_.back().size += data.size();
+  shards_.back().crc = crc32_update(shards_.back().crc, data);
+  logical_offset_ += data.size();
 }
 
 void ArchiveWriter::write_checkpoint() {
+  // Sharded: the shard stream must be ON DISK before the manifest
+  // checkpoint that indexes it — a checkpoint must never win a race with
+  // its own payload bytes.
+  if (sharded() && shard_out_.is_open()) {
+    shard_out_.flush();
+    if (!shard_out_) {
+      broken_ = true;
+      throw std::runtime_error("archive: shard flush failed: " + shard_path_);
+    }
+  }
   ByteWriter footer;
+  if (sharded()) write_shard_table(shards_, footer);
   write_footer(fields_, footer, parity_group_ > 0 ? kFlagParity : 0);
   ByteWriter trailer;
   trailer.put<std::uint64_t>(footer.size());
   trailer.put<std::uint32_t>(crc32(footer.view()));
-  trailer.put<std::uint32_t>(kFooterMagic);
+  trailer.put<std::uint32_t>(sharded() ? kManifestFooterMagic : kFooterMagic);
   raw_write(footer.view(), "checkpoint footer write");
   raw_write(trailer.view(), "checkpoint trailer write");
   // Flush so a process killed after append_field() returns leaves the
@@ -224,12 +288,14 @@ void ArchiveWriter::append_impl(const std::string& name,
   f.blocks.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     BlockEntry b;
-    b.offset = offset_;
     b.size = payloads[i].size();
     b.crc = crc32(payloads[i]);
     b.min = ranges[i].first;
     b.max = ranges[i].second;
-    raw_write(payloads[i], "block payload write");
+    // Sharded mode may roll to a new shard first, so the offset is only
+    // known once payload_write has picked the destination.
+    b.offset = payload_offset();
+    payload_write(payloads[i], "block payload write");
     f.blocks.push_back(b);
   }
   // Parity payloads ride AFTER the field's data payloads and BEFORE the
@@ -245,10 +311,10 @@ void ArchiveWriter::append_impl(const std::string& name,
           std::span<const std::vector<std::uint8_t>>(payloads.data() + lo,
                                                      hi - lo));
       ParityGroupEntry p;
-      p.offset = offset_;
+      p.offset = payload_offset();
       p.size = par.size();
       p.crc = crc32(par);
-      raw_write(par, "parity payload write");
+      payload_write(par, "parity payload write");
       f.parity.push_back(p);
     }
   }
@@ -284,6 +350,12 @@ void ArchiveWriter::finish() {
   // The per-append checkpoint already sealed the file; only an archive
   // with zero appends still needs its (empty) footer written.
   if (clean_size_ != offset_) write_checkpoint();
+  if (shard_out_.is_open()) {
+    shard_out_.close();
+    if (!shard_out_)
+      throw std::runtime_error("archive: shard finalize failed: " +
+                               shard_path_);
+  }
   out_.close();
   if (!out_) throw std::runtime_error("archive: finalize failed: " + path_);
   finished_ = true;

@@ -3,6 +3,18 @@
 // in parallel on a thread pool (batch API), and appends the payloads to the
 // container.  finish() seals the file with the footer index + trailer.
 //
+// With `shard_size` > 0 the writer produces a SHARDED archive instead: the
+// named path becomes a small `.szm` manifest and the payload bytes land in
+// rolling shard files next to it (see shard.hpp for the on-disk layout).
+// The writer rolls to a new shard before any payload that would push the
+// current shard past the threshold (payloads never span shards; one
+// oversized payload gets a shard to itself), keeps a running CRC-32 per
+// shard, and the per-append checkpoint — shard table + field footer +
+// trailer — goes into the manifest after the shard stream is flushed, so
+// a checkpoint never indexes shard bytes that are not on disk.
+// `shard_size` == 0 (the default) writes the single-file `.sza` format
+// through the exact same code path as before — byte-identical output.
+//
 // Incremental snapshot workflows simply append one field per timestep
 // ("temp/t000", "temp/t001", ...); nothing already written is ever touched.
 //
@@ -32,6 +44,7 @@
 #include <vector>
 
 #include "archive/archive_format.hpp"
+#include "archive/shard.hpp"
 #include "common/dims.hpp"
 #include "common/exec_policy.hpp"
 #include "parallel/thread_pool.hpp"
@@ -62,9 +75,15 @@ class ArchiveWriter {
   /// roughly 1/parity_group of the compressed size
   /// (kDefaultParityGroup = 16 → ~6.25%).  0 (the default) writes the
   /// parity-less format, byte-identical to pre-parity archives.
+  ///
+  /// `shard_size` > 0 selects the sharded container: `path` is written as
+  /// an `.szm` manifest and payloads roll into shard files of roughly
+  /// that many bytes each (see the class comment).  0 keeps the
+  /// single-file format.
   explicit ArchiveWriter(const std::string& path, std::size_t threads = 0,
                          ExecPolicy policy = {},
-                         std::uint32_t parity_group = 0);
+                         std::uint32_t parity_group = 0,
+                         std::uint64_t shard_size = 0);
 
   /// Seals the archive on destruction if finish() was not called.
   /// Best-effort: a failure to seal is reported on stderr (a destructor
@@ -110,26 +129,60 @@ class ArchiveWriter {
     return fields_;
   }
 
+  /// True when this writer emits the sharded (manifest + shards) format.
+  [[nodiscard]] bool sharded() const noexcept { return shard_size_ > 0; }
+
+  /// Manifest shard table built so far (empty for single-file writers).
+  [[nodiscard]] const std::vector<ShardEntry>& shards() const noexcept {
+    return shards_;
+  }
+
  private:
   template <typename T>
   void append_impl(const std::string& name, std::span<const T> data,
                    const Dims& dims, const Dims& block_dims,
                    const std::string& codec_name, double eb_abs);
 
-  /// Write + verify stream state; throws std::runtime_error with the
+  /// Write + verify stream state on `os` writing file `fpath` at
+  /// `*pos` (advanced on success); throws std::runtime_error with the
   /// failing offset and marks the writer broken on failure.  The one
-  /// funnel for every byte this class emits (failpoint site
-  /// "archive.writer.write").
+  /// funnel for every byte this class emits — container, manifest and
+  /// shard files alike (failpoint site "archive.writer.write").
+  void funnel_write(std::ofstream& os, const std::string& fpath,
+                    std::uint64_t* pos, std::span<const std::uint8_t> data,
+                    const char* what);
+
+  /// funnel_write into the container/manifest stream.
   void raw_write(std::span<const std::uint8_t> data, const char* what);
 
-  /// Footer + trailer covering fields_, flushed; updates clean_size_.
+  /// Next logical/absolute offset a payload will land at.
+  [[nodiscard]] std::uint64_t payload_offset() const noexcept {
+    return sharded() ? logical_offset_ : offset_;
+  }
+
+  /// Append one payload: straight into the container (single-file) or
+  /// into the active shard, rolling first when the threshold is reached.
+  void payload_write(std::span<const std::uint8_t> data, const char* what);
+
+  /// Flush + close the active shard (if any) and open the next one.
+  void roll_shard();
+
+  /// Footer + trailer covering fields_ (and, sharded, the shard table),
+  /// flushed; updates clean_size_.
   void write_checkpoint();
 
   std::string path_;
   std::uint32_t parity_group_ = 0;  // data blocks per parity group (0 = off)
+  std::uint64_t shard_size_ = 0;    // payload bytes per shard (0 = one file)
   std::ofstream out_;
   std::uint64_t offset_ = 0;      // absolute file offset of the next write
   std::uint64_t clean_size_ = 0;  // end of the last flushed checkpoint
+  // Sharded-mode state: the active shard stream and the manifest table.
+  std::ofstream shard_out_;
+  std::string shard_path_;             // resolved path of the active shard
+  std::uint64_t shard_file_offset_ = 0;  // next write offset in the shard
+  std::uint64_t logical_offset_ = 0;     // next logical payload offset
+  std::vector<ShardEntry> shards_;
   std::vector<FieldEntry> fields_;
   std::unordered_set<std::string> names_;  // O(1) duplicate-append rejection
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -142,6 +142,50 @@ TEST(ServeDaemon, LoopbackRoundTripMatchesDirectReader) {
   server.stop();
 }
 
+TEST(ServeDaemon, ShardedArchiveServesIdenticalBytesInBothFetchModes) {
+  // The daemon in front of a manifest + shards, in mmap AND pread mode,
+  // must serve byte-identical fields and regions to a direct single-file
+  // reader of the same data.
+  const std::string single = make_archive("sharded_ref.sza");
+  const std::string manifest = tmp_path("sharded.szm");
+  {
+    const Dims dims{24, 20, 16};
+    archive::ArchiveWriter w(manifest, 2, {}, 0, /*shard_size=*/8192);
+    const auto f32 = wavy_field(dims);
+    const auto f64 = wavy_field64(dims);
+    w.append_field("lossy32", std::span<const float>(f32), dims,
+                   Dims{8, 8, 8}, "sz14", 1e-4);
+    w.append_field("lossy64", std::span<const double>(f64), dims,
+                   Dims{8, 8, 8}, "sz14", 1e-4);
+    w.finish();
+    ASSERT_TRUE(w.sharded());
+    ASSERT_GT(w.shards().size(), 1u);
+  }
+  archive::ArchiveReader direct(single, 2);
+  const auto r = region3(3, 5, 2, 9, 8, 7);
+
+  for (const FetchMode fetch : {FetchMode::kPread, FetchMode::kMmap}) {
+    ServerConfig cfg = loopback_config(
+        fetch == FetchMode::kMmap ? "shard_mmap" : "shard_pread");
+    cfg.fetch = fetch;
+    Server server(manifest, cfg);
+    EXPECT_EQ(server.reader().fetch_mode(), fetch);
+    EXPECT_TRUE(server.reader().sharded());
+    server.start();
+    Client client("loopback", server.endpoint());
+    EXPECT_EQ(client.read_field("lossy32"), direct.read_field("lossy32"));
+    EXPECT_EQ(client.read_field64("lossy64"),
+              direct.read_field64("lossy64"));
+    EXPECT_EQ(client.read_region("lossy32", r),
+              direct.read_region("lossy32", r));
+    server.stop();
+  }
+  std::remove(single.c_str());
+  std::remove(manifest.c_str());
+  for (std::size_t i = 0; i < 64; ++i)
+    std::remove(archive::shard_file_name(manifest, i).c_str());
+}
+
 TEST(ServeDaemon, TcpRoundTrip) {
   const std::string path = make_archive("tcp.sza");
   ServerConfig cfg = loopback_config("unused");

@@ -241,7 +241,8 @@ def selftest():
         return {k: v for k, v in base.items() if v is not ...}
 
     def serving_record(**kw):
-        """perf_suite_archive_serving rows (modes nocache/cache/parity)."""
+        """perf_suite_archive_serving rows (modes
+        nocache/cache/parity/mmap/sharded)."""
         base = {"bench": "perf_suite_archive_serving", "field": "f",
                 "mode": "parity", "threads": 4, "reads": 96,
                 "reads_per_s": 900.0, "blocks_decoded": 64,
@@ -344,6 +345,27 @@ def selftest():
                   "missing from"))
     cases.append(("gate skips serving-only records", goodp,
                   good + [serving_record(reads_per_s=1.0)],
+                  ["--max-regress", "0.9"], 0, "no regressions"))
+    # The mmap and sharded fetch-mode records introduced with the
+    # zero-copy read path are distinct bench:mode kinds under the same
+    # rules: matched on both sides they pass, one-sided presence is drift,
+    # and (carrying no compress_gbps) the throughput gate skips them.
+    goodm = good + [serving_record(mode="mmap"),
+                    serving_record(mode="sharded", blocks_decoded=80)]
+    cases.append(("mmap+sharded serving records pass schema", goodm, goodm,
+                  [], 0, "schemas match"))
+    cases.append(("new mmap mode is schema drift", good, goodm, [], 1,
+                  "new in"))
+    cases.append(("sharded mode dropped is schema drift", goodm,
+                  good + [serving_record(mode="mmap")], [], 1,
+                  "missing from"))
+    cases.append(("mmap serving keys drift like any record", goodm,
+                  good + [serving_record(mode="mmap", extra_key=1),
+                          serving_record(mode="sharded")], [], 1,
+                  "key drift"))
+    cases.append(("gate skips mmap serving records too", goodm,
+                  good + [serving_record(mode="mmap", reads_per_s=1.0),
+                          serving_record(mode="sharded", reads_per_s=1.0)],
                   ["--max-regress", "0.9"], 0, "no regressions"))
 
     failures = 0

@@ -108,18 +108,20 @@ struct Args {
                "  sz14 archive create  -o OUT --field NAME=FILE:DIMS "
                "[--field ...] [--codec C] (--abs EB | --rel R) "
                "[--dtype f32|f64] [--block DIMS] [-t THREADS] [--turbo] "
-               "[--entropy huffman|rans] [--parity [--parity-group N]]\n"
-               "  sz14 archive ls      -i IN\n"
-               "  sz14 archive stat    -i IN [-f NAME]\n"
+               "[--entropy huffman|rans] [--parity [--parity-group N]] "
+               "[--shard-size BYTES[K|M|G]]\n"
+               "  sz14 archive ls      -i IN [--mmap]\n"
+               "  sz14 archive stat    -i IN [-f NAME] [--mmap]\n"
                "  sz14 archive extract -i IN -f NAME -o OUT "
-               "[--origin DIMS --shape DIMS] [-t THREADS]\n"
+               "[--origin DIMS --shape DIMS] [-t THREADS] [--mmap]\n"
                "  sz14 archive cat     -i IN -f NAME "
-               "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS]\n"
+               "[--origin DIMS --shape DIMS] [--limit N] [-t THREADS] "
+               "[--mmap]\n"
                "  sz14 archive fsck    -i IN [--repair]\n"
                "  sz14 archive scrub   -i IN [--repair] [-t THREADS]\n"
                "  sz14 serve -i IN [--transport tcp|unix] "
                "[--listen ENDPOINT] [-t THREADS] [--cache BYTES[K|M|G]] "
-               "[--max-sessions N] [--no-coalesce] [--degraded] "
+               "[--max-sessions N] [--no-coalesce] [--degraded] [--mmap] "
                "[--idle-timeout MS] [--drain-grace MS]\n"
                "  sz14 get   --connect ENDPOINT [--transport tcp|unix] "
                "(--ls | --stats | --stat -f NAME | --scrub [--repair] | "
@@ -134,6 +136,21 @@ struct Args {
                "  data blocks (default 16); reads then repair any single "
                "damaged block\n"
                "  per group transparently.\n"
+               "  archive create --shard-size rolls payloads into numbered "
+               "shard files\n"
+               "  (OUT.s0000, OUT.s0001, ...) once the current shard holds "
+               "that many\n"
+               "  bytes; OUT becomes a manifest indexing them.  Without it "
+               "the classic\n"
+               "  single-file container is written.  ls/stat/extract/cat/"
+               "fsck/scrub and\n"
+               "  serve open both layouts transparently.\n"
+               "  --mmap (ls/stat/extract/cat/serve) decodes straight from "
+               "memory-mapped\n"
+               "  payload bytes with readahead advice, falling back to pread "
+               "when\n"
+               "  mapping is unavailable; output is bit-identical either "
+               "way.\n"
                "  archive ls/stat/extract/cat accept --salvage to open a "
                "crash-damaged\n"
                "  archive at its last valid checkpoint instead of failing, "
@@ -468,11 +485,13 @@ struct ArchiveArgs {
   std::size_t threads = 0;
   std::size_t limit = 0;  // 0 = no limit
   std::size_t parity_group = 0;  // 0 = parity off
+  std::uint64_t shard_size = 0;  // 0 = single-file .sza layout
   EntropyBackend entropy = EntropyBackend::kHuffman;
   bool turbo = false;
   bool repair = false;
   bool salvage = false;
   bool degraded = false;
+  bool mmap = false;  // read side: FetchMode::kMmap
 };
 
 ArchiveArgs parse_archive(int argc, char** argv) {
@@ -528,6 +547,11 @@ ArchiveArgs parse_archive(int argc, char** argv) {
     } else if (flag == "--parity-group") {
       a.parity_group = std::stoull(next());
       if (a.parity_group == 0) usage("--parity-group must be >= 1");
+    } else if (flag == "--shard-size") {
+      a.shard_size = parse_size_bytes(next());
+      if (a.shard_size == 0) usage("--shard-size must be >= 1");
+    } else if (flag == "--mmap") {
+      a.mmap = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -600,7 +624,8 @@ int cmd_archive_create(const ArchiveArgs& a) {
   if (a.turbo) policy.mode = HotPathMode::kTurbo;
   policy.entropy = a.entropy;
   archive::ArchiveWriter writer(a.output, a.threads, policy,
-                                static_cast<std::uint32_t>(a.parity_group));
+                                static_cast<std::uint32_t>(a.parity_group),
+                                a.shard_size);
   Timer timer;
   const auto do_append = [&](const FieldSpec& spec, const Dims& block,
                              const auto& values) {
@@ -634,6 +659,9 @@ int cmd_archive_create(const ArchiveArgs& a) {
               writer.fields().size(), static_cast<unsigned long long>(raw),
               static_cast<unsigned long long>(payload),
               compression_factor(raw, payload), timer.seconds());
+  if (writer.sharded())
+    std::printf("manifest %s indexes %zu shard file(s)\n", a.output.c_str(),
+                writer.shards().size());
   return 0;
 }
 
@@ -646,7 +674,12 @@ std::unique_ptr<archive::ArchiveReader> open_archive(const ArchiveArgs& a) {
                  : (a.salvage ? archive::OpenMode::kSalvage
                               : archive::OpenMode::kStrict);
   auto reader = std::make_unique<archive::ArchiveReader>(
-      a.input, a.threads, ExecPolicy{}, mode);
+      a.input, a.threads, ExecPolicy{}, mode,
+      a.mmap ? FetchMode::kMmap : FetchMode::kPread);
+  if (a.mmap && reader->fetch_mode() != FetchMode::kMmap)
+    std::fprintf(stderr,
+                 "warning: %s: mmap unavailable; falling back to pread\n",
+                 a.input.c_str());
   const auto& info = reader->salvage_info();
   if (info.fallback)
     std::fprintf(stderr,
@@ -677,6 +710,19 @@ int cmd_archive_ls(const ArchiveArgs& a) {
                 f.dims.to_string().c_str(), f.block_dims.to_string().c_str(),
                 ops ? ops->name : "?", f.blocks.size(),
                 static_cast<unsigned long long>(f.payload_bytes()), lo, hi);
+  }
+  if (reader.sharded()) {
+    const archive::ShardSet& src = reader.source();
+    std::printf("manifest: %zu shard file(s), %llu payload byte(s)\n",
+                src.part_count(),
+                static_cast<unsigned long long>(src.logical_size()));
+    for (std::size_t i = 0; i < src.part_count(); ++i) {
+      const auto& p = src.part(i);
+      std::printf("  shard %04zu  %12llu bytes  logical offset %llu  %s\n",
+                  i, static_cast<unsigned long long>(p.size),
+                  static_cast<unsigned long long>(p.logical_start),
+                  p.path.c_str());
+    }
   }
   return 0;
 }
@@ -764,6 +810,9 @@ int cmd_archive_stat(const ArchiveArgs& a) {
     std::fputs(
         archive::format_field_stat(archive::field_stat(f, true)).c_str(),
         stdout);
+  if (reader.sharded())
+    std::printf("layout: sharded manifest (%zu shard file(s))\n",
+                reader.shards().size());
   return 0;
 }
 
@@ -862,6 +911,8 @@ int cmd_serve(int argc, char** argv) {
       cfg.coalescing = false;
     } else if (flag == "--degraded") {
       cfg.degraded = true;
+    } else if (flag == "--mmap") {
+      cfg.fetch = FetchMode::kMmap;
     } else if (flag == "--idle-timeout") {
       cfg.idle_timeout_ms = std::stoi(next());
     } else if (flag == "--drain-grace") {
